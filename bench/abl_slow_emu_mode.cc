@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: BadgerTrap software emulation vs a modeled slow device
+ * (paper Sec 4.2).
+ *
+ * The paper evaluates with a ~1us fault per TLB miss standing in
+ * for the device.  It notes two biases: the fault fires even on LLC
+ * hits (over-estimate), while subsequent lines on the same page
+ * ride the installed translation for free (under-estimate).  The
+ * Device mode models a real 1us-read device on LLC misses with a
+ * cheap counting handler, bounding the emulation error.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace thermostat;
+using namespace thermostat::bench;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = quickMode(argc, argv);
+    banner("Ablation: BadgerTrap emulation vs modeled slow device",
+           "Sec 4.2 (slow-memory emulation)", quick);
+
+    const Ns duration = scaledDuration(600, quick);
+    TablePrinter table({"Workload", "mode", "slowdown", "cold frac",
+                        "device slow acc/s"});
+    for (const std::string &name : benchWorkloadNames()) {
+        for (const SlowEmuMode mode :
+             {SlowEmuMode::BadgerTrapEmu, SlowEmuMode::Device}) {
+            SimConfig config = standardConfig(name, 3.0, duration);
+            config.machine.slowMode = mode;
+            if (mode == SlowEmuMode::Device) {
+                // A bare counting handler instead of the 1us
+                // emulation fault.
+                config.machine.trap.faultLatency = 300;
+            }
+            Simulation sim(makeWorkload(name), config);
+            const SimResult r = sim.run();
+            table.addRow(
+                {name,
+                 mode == SlowEmuMode::Device ? "device" : "emu",
+                 formatPct(r.slowdown, 2),
+                 formatPct(r.finalColdFraction),
+                 formatNumber(r.deviceSlowRate.meanValue(), 0)});
+        }
+    }
+    table.print();
+    std::printf("\nExpected: both modes land near the target; the "
+                "device mode runs\nslightly hotter per access "
+                "(counting handler + full device latency),\nthe "
+                "emulation mode matches the paper's methodology "
+                "(Sec 4.2).\n");
+    return 0;
+}

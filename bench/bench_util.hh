@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: one function per
+ * "standard run" shape, quick-mode handling, and correlation math
+ * for the scatter studies.
+ *
+ * Every harness honors the environment variable THERMOSTAT_QUICK=1
+ * (or argv "--quick"), which divides run durations by 4 so the whole
+ * suite can be smoke-tested rapidly.
+ */
+
+#ifndef THERMOSTAT_BENCH_BENCH_UTIL_HH
+#define THERMOSTAT_BENCH_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/app_tuning.hh"
+#include "sim/reporter.hh"
+#include "sim/simulation.hh"
+#include "workload/cloud_apps.hh"
+
+namespace thermostat::bench
+{
+
+/** True when quick mode is requested via env or argv. */
+bool quickMode(int argc, char **argv);
+
+/**
+ * Workload list for multi-app harnesses: all six, or the single
+ * name in THERMOSTAT_ONLY (partial re-runs after recalibration).
+ */
+std::vector<std::string> benchWorkloadNames();
+
+/** Divide @p seconds by 4 in quick mode (minimum 120s). */
+Ns scaledDuration(long seconds, bool quick);
+
+/**
+ * Standard experiment setup: tuned machine, given tolerable
+ * slowdown, fixed seed, no warmup.
+ */
+SimConfig standardConfig(const std::string &workload,
+                         double tolerable_slowdown_pct,
+                         Ns duration);
+
+/**
+ * Run one workload under Thermostat and return the results.
+ * @param warmup Pre-measurement time with Thermostat active
+ *        (paper methodology: measure after benchmark warmup).
+ */
+SimResult runThermostat(const std::string &workload,
+                        double tolerable_slowdown_pct, Ns duration,
+                        std::uint64_t seed = 42, Ns warmup = 0);
+
+/** Pearson correlation coefficient of two equal-length vectors. */
+double pearson(const std::vector<double> &x,
+               const std::vector<double> &y);
+
+/** Spearman rank correlation of two equal-length vectors. */
+double spearman(std::vector<double> x, std::vector<double> y);
+
+/** Print the standard harness banner. */
+void banner(const std::string &title, const std::string &paper_ref,
+            bool quick);
+
+/**
+ * Shared body of the Figures 5-10 harnesses: run one application
+ * under Thermostat at 3%, print the hot/cold 2MB/4KB footprint over
+ * time, the achieved slowdown and the paper's reported values.
+ */
+void runColdFootprintFigure(const std::string &workload,
+                            const std::string &figure,
+                            const std::string &paper_notes,
+                            bool quick);
+
+} // namespace thermostat::bench
+
+#endif // THERMOSTAT_BENCH_BENCH_UTIL_HH

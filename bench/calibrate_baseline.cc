@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Calibration helper (not a paper experiment): measures each
+ * workload's baseline memory time per wall second on its tuned
+ * machine with THP on and Thermostat off.  The cpuWorkFraction in
+ * cloud_apps.cc should equal 1 - memfrac so that one second of
+ * baseline execution takes one second of wall time, which is what
+ * the paper's accesses-per-second budget arithmetic assumes.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace thermostat;
+using namespace thermostat::bench;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = quickMode(argc, argv);
+    const Ns duration = scaledDuration(quick ? 480 : 240, quick);
+    TablePrinter table({"Workload", "cpu_frac", "mem_frac",
+                        "baseline s/s", "suggested cpu_frac"});
+    for (const std::string &name : allWorkloadNames()) {
+        SimConfig config = standardConfig(name, 3.0, duration);
+        config.thermostatEnabled = false;
+        Simulation sim(makeWorkload(name), config);
+        const double cpu = sim.workload().cpuWorkFraction();
+        const SimResult r = sim.run();
+        const double per_sec =
+            r.baselineSeconds /
+            (static_cast<double>(duration) / kNsPerSec);
+        const double mem = per_sec - cpu;
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3f", 1.0 - mem);
+        table.addRow({name, formatNumber(cpu, 2),
+                      formatNumber(mem, 3), formatNumber(per_sec, 3),
+                      buf});
+    }
+    table.print();
+    return 0;
+}

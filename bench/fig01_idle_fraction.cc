@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 1: fraction of 2MB pages idle for 10 seconds, detected via
+ * hardware Accessed bits (kstaled-style scanning), per application.
+ *
+ * Also reproduces the caption's observation: Accessed bits cannot
+ * estimate access *rates*, so naively placing every idle page in
+ * slow memory degrades Redis by more than 10% (its bursty warm set
+ * looks idle between visits but carries heavy long-run traffic).
+ * The naive policy is the IdlePagePolicy baseline from src/core.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hh"
+#include "core/idle_policy.hh"
+
+using namespace thermostat;
+using namespace thermostat::bench;
+
+namespace
+{
+
+std::unique_ptr<ComposedWorkload>
+makeFor(const std::string &name)
+{
+    // Figure 1 predates Thermostat: Redis uses the bursty load
+    // whose idle set is a trap (see makeRedisBursty()).
+    if (name == "redis") {
+        return makeRedisBursty();
+    }
+    return makeWorkload(name);
+}
+
+struct IdleResult
+{
+    double idleFraction = 0.0;
+    double naiveSlowdown = 0.0;
+    std::uint64_t placedBytes = 0;
+};
+
+IdleResult
+runOne(const std::string &name, Ns settle, Ns measure)
+{
+    SimConfig config = standardConfig(name, 3.0, measure);
+    config.warmup = settle;
+    config.thermostatEnabled = false;
+    Simulation sim(makeFor(name), config);
+
+    IdlePagePolicy policy(sim.machine().space(), sim.kstaled(),
+                          sim.migrator(), sim.machine().trap());
+    IdleResult result;
+    bool snapped = false;
+    sim.setEpochHook([&](Simulation &s, Ns now) {
+        (void)s;
+        // The policy only starts *placing* after the settle phase;
+        // before that it just scans.
+        if (now < settle) {
+            if (now % policy.config().scanPeriod == 0) {
+                sim.kstaled().scanAll();
+            }
+            return;
+        }
+        if (!snapped) {
+            result.idleFraction = policy.idleFraction();
+            snapped = true;
+        }
+        policy.tick(now);
+    });
+
+    const SimResult r = sim.run();
+    result.naiveSlowdown = r.slowdown;
+    result.placedBytes = policy.placedBytes();
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = quickMode(argc, argv);
+    banner("Figure 1: 2MB pages idle for 10s (Accessed-bit "
+           "detection)",
+           "Figure 1", quick);
+
+    const Ns settle = scaledDuration(120, quick);
+    const Ns measure = scaledDuration(300, quick);
+
+    TablePrinter table({"Workload", "idle >= 10s", "naively placed",
+                        "naive slowdown"});
+    for (const std::string &name : benchWorkloadNames()) {
+        const IdleResult r = runOne(name, settle, measure);
+        table.addRow({name, formatPct(r.idleFraction),
+                      formatBytes(r.placedBytes),
+                      formatPct(r.naiveSlowdown)});
+    }
+    table.print();
+    std::printf(
+        "\nExpected shape: substantial idle data (>50%% for MySQL);"
+        "\nplacing Redis's idle pages naively costs >10%% because "
+        "its bursty\nwarm set looks idle to Accessed-bit scans "
+        "(paper Fig. 1 caption).\n");
+    return 0;
+}

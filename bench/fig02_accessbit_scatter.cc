@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Figure 2: memory access rate vs. hardware Accessed-bit
+ * distribution of 4KB regions within 2MB pages, for Redis.
+ *
+ * Method (paper Sec 2.1): split a set of huge pages, scan their
+ * subpages' Accessed bits at the maximum frequency compatible with
+ * the 3% slowdown target, call a 4KB region "hot" when its bit was
+ * set in three consecutive scans, and compare the per-2MB-page hot
+ * count against the ground-truth access rate.  The paper's
+ * take-away: the scatter is highly dispersed -- the spatial
+ * frequency of accesses within a 2MB page is poorly correlated with
+ * its true access rate -- so Accessed bits alone cannot classify.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace thermostat;
+using namespace thermostat::bench;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = quickMode(argc, argv);
+    banner("Figure 2: access rate vs Accessed-bit hot-region count "
+           "(Redis)",
+           "Figure 2", quick);
+
+    SimConfig config = standardConfig("redis", 3.0,
+                                      scaledDuration(160, quick));
+    config.thermostatEnabled = false;
+    Simulation sim(makeRedis(), config);
+
+    // Sample ~400 huge pages across the footprint and split them.
+    Rng rng(99);
+    auto huge_pages = sim.machine().space().hugePageAddrs();
+    rng.shuffle(huge_pages);
+    huge_pages.resize(std::min<std::size_t>(huge_pages.size(), 400));
+    for (const Addr base : huge_pages) {
+        sim.machine().space().splitHuge(base);
+    }
+
+    // Ground truth: per-huge-page access counts from the workload
+    // stream itself (the paper measures it with performance
+    // counters, Sec 3.3).
+    std::unordered_map<Addr, Count> true_counts;
+    std::unordered_map<Addr, unsigned> max_streak;
+    std::unordered_map<Addr, unsigned> cur_streak;
+    for (const Addr base : huge_pages) {
+        true_counts[base] = 0;
+    }
+
+    Rng truth_rng(7777);
+    const Ns scan_period = 2 * kNsPerSec; // max rate within 3%
+    sim.setEpochHook([&](Simulation &s, Ns now) {
+        // Ground-truth sampling of the reference stream.
+        for (int i = 0; i < 20000; ++i) {
+            const MemRef ref = s.workload().sample(truth_rng);
+            const auto it = true_counts.find(alignDown2M(ref.addr));
+            if (it != true_counts.end()) {
+                ++it->second;
+            }
+        }
+        if (now % scan_period != 0) {
+            return;
+        }
+        // Accessed-bit scan of the split subpages; maintain
+        // consecutive-scan hot streaks per 4KB region.
+        for (const Addr base : huge_pages) {
+            for (unsigned i = 0; i < kSubpagesPerHuge; ++i) {
+                const Addr sub = base + i * kPageSize4K;
+                unsigned &streak = cur_streak[sub];
+                if (s.kstaled().testAndClearAccessed(sub)) {
+                    ++streak;
+                    max_streak[sub] =
+                        std::max(max_streak[sub], streak);
+                } else {
+                    streak = 0;
+                }
+            }
+        }
+    });
+
+    (void)sim.run();
+
+    // Per huge page: #hot 4KB regions (streak >= 3) vs true rate.
+    std::vector<double> hot_counts;
+    std::vector<double> true_rates;
+    const double dur_sec =
+        static_cast<double>(config.duration) / kNsPerSec;
+    for (const Addr base : huge_pages) {
+        unsigned hot = 0;
+        for (unsigned i = 0; i < kSubpagesPerHuge; ++i) {
+            if (max_streak[base + i * kPageSize4K] >= 3) {
+                ++hot;
+            }
+        }
+        hot_counts.push_back(static_cast<double>(hot));
+        true_rates.push_back(
+            static_cast<double>(true_counts[base]) / dur_sec);
+    }
+
+    // Binned scatter summary (console stand-in for the plot).
+    std::map<unsigned, MeanAccumulator> bins;
+    for (std::size_t i = 0; i < hot_counts.size(); ++i) {
+        unsigned bin = 0;
+        const double h = hot_counts[i];
+        if (h > 0) {
+            bin = 1;
+            while ((1u << bin) < h) {
+                ++bin;
+            }
+        }
+        bins[bin].add(true_rates[i]);
+    }
+    TablePrinter table({"hot 4KB regions", "pages", "mean rate",
+                        "min rate", "max rate"});
+    for (auto &[bin, acc] : bins) {
+        const unsigned lo = bin == 0 ? 0 : (1u << (bin - 1)) + 1;
+        const unsigned hi = bin == 0 ? 0 : (1u << bin);
+        char label[32];
+        std::snprintf(label, sizeof(label), "%u..%u", lo, hi);
+        table.addRow({label, formatNumber(acc.count(), 0),
+                      formatNumber(acc.mean(), 1),
+                      formatNumber(acc.min(), 1),
+                      formatNumber(acc.max(), 1)});
+    }
+    table.print();
+
+    const double r = pearson(hot_counts, true_rates);
+    const double rho = spearman(hot_counts, true_rates);
+    std::printf("\nPearson r = %.3f, Spearman rho = %.3f over %zu "
+                "pages\n",
+                r, rho, hot_counts.size());
+    std::printf("Expected shape: wide rate ranges within every bin "
+                "(dispersed scatter);\nlow correlation between hot-"
+                "region count and true access rate (paper Fig 2).\n");
+    return 0;
+}

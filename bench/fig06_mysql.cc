@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 6: amount of cold data in mysql-tpcc identified at run time under a 3%
+ * tolerable slowdown.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace thermostat::bench;
+    runColdFootprintFigure(
+        "mysql-tpcc", "Figure 6",
+        "40-50% of TPCC's footprint cold (the rarely-read history table); 1.3% throughput degradation.",
+        quickMode(argc, argv));
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 7: amount of cold data in aerospike identified at run time under a 3%
+ * tolerable slowdown.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace thermostat::bench;
+    runColdFootprintFigure(
+        "aerospike", "Figure 7",
+        "~15% of Aerospike's footprint cold (read-heavy 95:5); 1% throughput degradation; read/write latencies within 3% of baseline.",
+        quickMode(argc, argv));
+    return 0;
+}

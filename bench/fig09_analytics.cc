@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 9: amount of cold data in in-memory-analytics identified at run time under a 3%
+ * tolerable slowdown.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace thermostat::bench;
+    runColdFootprintFigure(
+        "in-memory-analytics", "Figure 9",
+        "15-20% cold with 3% runtime overhead; the cold fraction grows with the footprint as Spark materializes RDDs over the 317s run.",
+        quickMode(argc, argv));
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table 2: application memory footprints (resident set size and
+ * file-mapped pages), checked against the running workloads.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+
+using namespace thermostat;
+using namespace thermostat::bench;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = quickMode(argc, argv);
+    banner("Table 2: application memory footprints", "Table 2",
+           quick);
+
+    struct PaperRow
+    {
+        const char *rss;
+        const char *file;
+    };
+    const std::map<std::string, PaperRow> paper = {
+        {"aerospike", {"12.3GB", "5MB"}},
+        {"cassandra", {"8GB", "4GB"}},
+        {"mysql-tpcc", {"6GB", "3.5GB"}},
+        {"redis", {"17.2GB", "1MB"}},
+        {"in-memory-analytics", {"6.2GB (peak)", "1MB"}},
+        {"web-search", {"2.28GB", "86MB"}},
+    };
+
+    TablePrinter table({"Workload", "RSS", "File-mapped",
+                        "Paper RSS", "Paper file-mapped"});
+    for (const std::string &name : benchWorkloadNames()) {
+        // Instantiate the workload and advance it to its natural
+        // end so growing footprints reach their peak.
+        SimConfig config = standardConfig(name, 3.0, kNsPerSec);
+        config.thermostatEnabled = false;
+        Simulation sim(makeWorkload(name), config);
+        sim.workload().advance(
+            sim.workload().naturalDuration(),
+            sim.machine().space());
+        const std::uint64_t rss = sim.machine().space().rssBytes();
+        const std::uint64_t file =
+            sim.machine().space().fileBackedBytes();
+        table.addRow({name, formatBytes(rss), formatBytes(file),
+                      paper.at(name).rss, paper.at(name).file});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,15 @@
+#!/bin/bash
+# Post-recalibration partial re-run: fig03 executed before the
+# in-memory-analytics scan-stride/RDD-cache recalibration; its
+# analytics series below supersedes the one above.  (Every other
+# harness in this file already ran with the recalibrated model.)
+cd "$(dirname "$0")"
+{
+echo ""
+echo "################################################################"
+echo "# RERUN: in-memory-analytics series of Figure 3 after the"
+echo "# scan-stride and RDD-cache recalibration (supersedes above)."
+echo "################################################################"
+echo "===== rerun:fig03_slowmem_rate (in-memory-analytics) ====="
+THERMOSTAT_ONLY=in-memory-analytics ./build/bench/fig03_slowmem_rate
+} >> bench_output.txt 2>&1

@@ -1,0 +1,14 @@
+#!/bin/bash
+# Regenerates every table and figure. Headline experiments run at
+# full durations; ablations/microbenches honor THERMOSTAT_QUICK.
+cd "$(dirname "$0")"
+FULL="fig03_slowmem_rate fig05_cassandra fig06_mysql fig07_aerospike fig08_redis fig09_analytics fig10_websearch fig11_slowdown_sweep tab01_thp_gain tab02_footprints tab03_migration_bw tab04_cost_savings fig01_idle_fraction fig02_accessbit_scatter"
+QUICK="abl_sampling_overhead abl_poison_budget abl_sample_fraction abl_correction abl_slow_emu_mode abl_hw_counting abl_spread_pages abl_wear_leveling micro_components"
+for b in $FULL; do
+  echo "===== $b ====="
+  ./build/bench/$b
+done
+for b in $QUICK; do
+  echo "===== $b ====="
+  THERMOSTAT_QUICK=1 ./build/bench/$b --quick
+done

@@ -1,0 +1,132 @@
+#include "cache/llc.hh"
+
+#include "common/logging.hh"
+
+namespace thermostat
+{
+
+LastLevelCache::LastLevelCache(const LlcConfig &config)
+    : config_(config)
+{
+    TSTAT_ASSERT(config.lineSize > 0 && config.ways > 0,
+                 "bad LLC geometry");
+    const std::uint64_t line_count = config.sizeBytes / config.lineSize;
+    TSTAT_ASSERT(line_count % config.ways == 0,
+                 "LLC lines not divisible by ways");
+    setCount_ = static_cast<unsigned>(line_count / config.ways);
+    lines_.resize(line_count);
+}
+
+std::uint64_t
+LastLevelCache::lineAddr(Addr paddr) const
+{
+    return paddr / config_.lineSize;
+}
+
+unsigned
+LastLevelCache::setIndex(std::uint64_t line) const
+{
+    return static_cast<unsigned>(line % setCount_);
+}
+
+bool
+LastLevelCache::access(Addr paddr, AccessType type)
+{
+    const std::uint64_t line = lineAddr(paddr);
+    const unsigned set = setIndex(line);
+    ++useClock_;
+
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Line &l = lines_[static_cast<std::uint64_t>(set) *
+                             config_.ways + w];
+        if (l.valid && l.tag == line) {
+            l.lastUse = useClock_;
+            l.dirty = l.dirty || type == AccessType::Write;
+            ++stats_.hits;
+            return true;
+        }
+        if (!l.valid) {
+            if (!victim || victim->valid) {
+                victim = &l;
+            }
+        } else if (!victim ||
+                   (victim->valid && l.lastUse < victim->lastUse)) {
+            victim = &l;
+        }
+    }
+
+    ++stats_.misses;
+    if (config_.trackFrameMisses) {
+        const Pfn huge_base =
+            (paddr >> kPageShift2M) << (kPageShift2M - kPageShift4K);
+        ++frameMisses_[huge_base];
+    }
+    if (victim->valid && victim->dirty) {
+        ++stats_.writebacks;
+    }
+    victim->tag = line;
+    victim->valid = true;
+    victim->dirty = type == AccessType::Write;
+    victim->lastUse = useClock_;
+    return false;
+}
+
+bool
+LastLevelCache::contains(Addr paddr) const
+{
+    const std::uint64_t line = lineAddr(paddr);
+    const unsigned set = setIndex(line);
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        const Line &l = lines_[static_cast<std::uint64_t>(set) *
+                                   config_.ways + w];
+        if (l.valid && l.tag == line) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+LastLevelCache::flushAll()
+{
+    for (Line &l : lines_) {
+        l.valid = false;
+        l.dirty = false;
+    }
+}
+
+void
+LastLevelCache::invalidateFrame(Pfn pfn)
+{
+    const std::uint64_t first_line =
+        pfn * kPageSize4K / config_.lineSize;
+    const std::uint64_t line_count = kPageSize4K / config_.lineSize;
+    for (std::uint64_t line = first_line;
+         line < first_line + line_count; ++line) {
+        const unsigned set = setIndex(line);
+        for (unsigned w = 0; w < config_.ways; ++w) {
+            Line &l = lines_[static_cast<std::uint64_t>(set) *
+                                 config_.ways + w];
+            if (l.valid && l.tag == line) {
+                l.valid = false;
+                l.dirty = false;
+            }
+        }
+    }
+}
+
+void
+LastLevelCache::resetStats()
+{
+    stats_ = LlcStats();
+}
+
+Count
+LastLevelCache::frameMisses(Pfn huge_frame_base) const
+{
+    const auto it = frameMisses_.find(huge_frame_base);
+    return it == frameMisses_.end() ? 0 : it->second;
+}
+
+} // namespace thermostat

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * gem5-style status/error reporting helpers.
+ *
+ * panic()  - internal invariant violated; aborts.
+ * fatal()  - unrecoverable user/configuration error; exits cleanly.
+ * warn()   - suspicious but survivable condition.
+ * inform() - status message.
+ *
+ * All messages go to stderr so that experiment output on stdout stays
+ * machine-parseable.
+ */
+
+#ifndef THERMOSTAT_COMMON_LOGGING_HH
+#define THERMOSTAT_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace thermostat
+{
+
+/** Verbosity threshold for inform(); warn/fatal/panic always print. */
+enum class LogLevel : int { Quiet = 0, Normal = 1, Verbose = 2 };
+
+/** Process-wide log verbosity (default Normal). */
+LogLevel logLevel();
+
+/** Set the process-wide log verbosity. */
+void setLogLevel(LogLevel level);
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg, LogLevel level);
+
+/** Minimal printf-style formatting into a std::string. */
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/**
+ * Abort on a broken internal invariant (a Thermostat bug, never a
+ * user error).
+ */
+#define TSTAT_PANIC(...)                                                  \
+    ::thermostat::detail::panicImpl(                                     \
+        __FILE__, __LINE__,                                              \
+        ::thermostat::detail::formatString(__VA_ARGS__))
+
+/** Exit on an unrecoverable user/configuration error. */
+#define TSTAT_FATAL(...)                                                  \
+    ::thermostat::detail::fatalImpl(                                     \
+        ::thermostat::detail::formatString(__VA_ARGS__))
+
+/** Report a survivable but suspicious condition. */
+#define TSTAT_WARN(...)                                                   \
+    ::thermostat::detail::warnImpl(                                      \
+        ::thermostat::detail::formatString(__VA_ARGS__))
+
+/** Report normal operating status (suppressed when Quiet). */
+#define TSTAT_INFORM(...)                                                 \
+    ::thermostat::detail::informImpl(                                    \
+        ::thermostat::detail::formatString(__VA_ARGS__),                 \
+        ::thermostat::LogLevel::Normal)
+
+/** Report detailed status (printed only when Verbose). */
+#define TSTAT_VERBOSE(...)                                                \
+    ::thermostat::detail::informImpl(                                    \
+        ::thermostat::detail::formatString(__VA_ARGS__),                 \
+        ::thermostat::LogLevel::Verbose)
+
+/** Panic with a formatted message unless @p cond holds. */
+#define TSTAT_ASSERT(cond, ...)                                           \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::thermostat::detail::panicImpl(                             \
+                __FILE__, __LINE__,                                      \
+                std::string("assertion failed: ") + #cond + ": " +       \
+                    ::thermostat::detail::formatString(__VA_ARGS__));    \
+        }                                                                \
+    } while (0)
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_COMMON_LOGGING_HH

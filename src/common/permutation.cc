@@ -1,0 +1,61 @@
+#include "common/permutation.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace thermostat
+{
+
+FixedPermutation::FixedPermutation(std::uint64_t size, std::uint64_t seed)
+    : size_(size)
+{
+    TSTAT_ASSERT(size > 0, "FixedPermutation over empty domain");
+    // Domain for the Feistel network: smallest even-bit power of two
+    // covering size (even so the two halves are equal width).
+    unsigned bits = std::bit_width(size - 1);
+    if (bits < 2) {
+        bits = 2;
+    }
+    if (bits % 2) {
+        ++bits;
+    }
+    halfBits_ = bits / 2;
+    halfMask_ = (std::uint64_t{1} << halfBits_) - 1;
+    std::uint64_t s = seed ^ 0xfeedface0badf00dULL;
+    for (auto &key : keys_) {
+        key = splitMix64(s);
+    }
+}
+
+std::uint64_t
+FixedPermutation::feistel(std::uint64_t value) const
+{
+    std::uint64_t left = (value >> halfBits_) & halfMask_;
+    std::uint64_t right = value & halfMask_;
+    for (const std::uint64_t key : keys_) {
+        std::uint64_t mix = right ^ key;
+        mix = (mix ^ (mix >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        mix = (mix ^ (mix >> 27)) * 0x94d049bb133111ebULL;
+        mix ^= mix >> 31;
+        const std::uint64_t next_right = left ^ (mix & halfMask_);
+        left = right;
+        right = next_right;
+    }
+    return (left << halfBits_) | right;
+}
+
+std::uint64_t
+FixedPermutation::map(std::uint64_t index) const
+{
+    TSTAT_ASSERT(index < size_, "permutation index out of range");
+    // Cycle walking: re-encrypt until the image lands inside [0,n).
+    std::uint64_t value = feistel(index);
+    while (value >= size_) {
+        value = feistel(value);
+    }
+    return value;
+}
+
+} // namespace thermostat

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic fixed permutation of [0, n).
+ *
+ * Workload generators map logical item ranks to addresses through a
+ * bijection.  A hash-table-backed store (Redis) scatters hot keys
+ * uniformly over its address space -- the effect the paper points at
+ * when explaining why Redis pages are uniformly warm (Sec 5) -- while
+ * a log- or table-structured store keeps ranks roughly in order.
+ *
+ * Implemented as a 4-round Feistel network over a power-of-two domain
+ * with cycle walking to reach exactly [0, n); O(1) per evaluation,
+ * no tables.
+ */
+
+#ifndef THERMOSTAT_COMMON_PERMUTATION_HH
+#define THERMOSTAT_COMMON_PERMUTATION_HH
+
+#include <cstdint>
+
+namespace thermostat
+{
+
+/** A seeded bijection on [0, size). */
+class FixedPermutation
+{
+  public:
+    FixedPermutation(std::uint64_t size, std::uint64_t seed);
+
+    /** Image of @p index under the permutation. */
+    std::uint64_t map(std::uint64_t index) const;
+
+    std::uint64_t size() const { return size_; }
+
+  private:
+    std::uint64_t feistel(std::uint64_t value) const;
+
+    std::uint64_t size_;
+    unsigned halfBits_;
+    std::uint64_t halfMask_;
+    std::uint64_t keys_[4];
+};
+
+/** The identity mapping, for generators that preserve locality. */
+class IdentityPermutation
+{
+  public:
+    explicit IdentityPermutation(std::uint64_t size) : size_(size) {}
+
+    std::uint64_t map(std::uint64_t index) const { return index; }
+    std::uint64_t size() const { return size_; }
+
+  private:
+    std::uint64_t size_;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_COMMON_PERMUTATION_HH

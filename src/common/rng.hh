@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Deterministic random number generation for the simulator.
+ *
+ * Every stochastic component (workload generators, the Thermostat
+ * sampler, cache/TLB replacement tie-breaks) owns its own Rng stream
+ * seeded from a single experiment seed, so runs are reproducible and
+ * components do not perturb each other's streams.
+ *
+ * The core generator is xoshiro256** (Blackman & Vigna), seeded via
+ * SplitMix64, both public domain algorithms.
+ */
+
+#ifndef THERMOSTAT_COMMON_RNG_HH
+#define THERMOSTAT_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace thermostat
+{
+
+/** SplitMix64 step; used for seeding and cheap hashing. */
+constexpr std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** pseudo random generator.
+ *
+ * Satisfies UniformRandomBitGenerator so it can also drive <random>
+ * distributions where convenient.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x5eedULL);
+
+    /** Derive an independent child stream (for a sub-component). */
+    Rng fork();
+
+    /** Next raw 64 random bits. */
+    std::uint64_t next();
+
+    std::uint64_t operator()() { return next(); }
+
+    static constexpr std::uint64_t min() { return 0; }
+    static constexpr std::uint64_t max() { return ~0ULL; }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool nextBool(double p);
+
+    /**
+     * Sample @p k distinct indices from [0, n) without replacement
+     * (Floyd's algorithm); returns fewer when k > n.
+     */
+    std::vector<std::uint64_t> sampleWithoutReplacement(std::uint64_t n,
+                                                        std::uint64_t k);
+
+    /** Fisher-Yates shuffle of an index vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            const std::size_t j =
+                static_cast<std::size_t>(nextBounded(i));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+/**
+ * Zipfian sampler over [0, n) with parameter theta, using the
+ * Gray-et-al. (YCSB) rejection-free method.  Item 0 is the most
+ * popular.  theta in (0, 1) matches YCSB's default skew regime.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t n, double theta);
+
+    /** Draw one item; item 0 is hottest. */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t itemCount() const { return n_; }
+    double theta() const { return theta_; }
+
+    /** Exact popularity of item @p rank (probability mass). */
+    double popularity(std::uint64_t rank) const;
+
+  private:
+    static double zeta(std::uint64_t n, double theta);
+
+    std::uint64_t n_;
+    double theta_;
+    double zetaN_;
+    double zeta2_;
+    double alpha_;
+    double eta_;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_COMMON_RNG_HH

@@ -1,0 +1,52 @@
+#include "core/access_estimator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace thermostat
+{
+
+unsigned
+debiasAccessedCount(unsigned marked, unsigned total,
+                    double stream_quantum)
+{
+    if (marked == 0 || total == 0 || stream_quantum <= 1.0) {
+        return marked;
+    }
+    if (marked >= total) {
+        return total;
+    }
+    const double f = static_cast<double>(marked) /
+                     static_cast<double>(total);
+    const double true_frac =
+        1.0 - std::pow(1.0 - f, stream_quantum);
+    const auto est = static_cast<unsigned>(
+        std::lround(true_frac * static_cast<double>(total)));
+    return std::clamp(est, marked, total);
+}
+
+double
+estimateAccessRate(Count sampled_faults, unsigned poisoned_count,
+                   unsigned accessed_count, Ns window)
+{
+    if (poisoned_count == 0 || window == 0) {
+        return 0.0;
+    }
+    const double sample_rate =
+        static_cast<double>(sampled_faults) *
+        static_cast<double>(kNsPerSec) / static_cast<double>(window);
+    // Scale the sampled subpages' rate up by the number of subpages
+    // known (via Accessed bits) to have a non-zero access rate.
+    const double scale = static_cast<double>(accessed_count) /
+                         static_cast<double>(poisoned_count);
+    return sample_rate * (scale < 1.0 ? 1.0 : scale);
+}
+
+double
+RateEstimate::estimatedRate() const
+{
+    return estimateAccessRate(sampledFaults, poisonedCount,
+                              accessedCount, window);
+}
+
+} // namespace thermostat

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Spatial-extrapolation access-rate estimation (paper Sec 3.2).
+ *
+ * Thermostat cannot afford to poison all 512 4KB subpages of every
+ * sampled huge page, so it (i) uses the hardware Accessed bits to
+ * find the subpages with a non-zero access rate, (ii) poisons a
+ * random sample of at most K of those, and (iii) extrapolates:
+ *
+ *   rate(2MB) = rate(poisoned sample) * accessed_count / sampled_count
+ *
+ * The unaccessed subpages are assumed to contribute negligibly.
+ */
+
+#ifndef THERMOSTAT_CORE_ACCESS_ESTIMATOR_HH
+#define THERMOSTAT_CORE_ACCESS_ESTIMATOR_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace thermostat
+{
+
+/** Inputs and result of one huge-page rate estimate. */
+struct RateEstimate
+{
+    Addr pageBase = 0;            //!< virtual base of the page
+    std::uint64_t pageBytes = 0;  //!< 2MB, or 4KB for base pages
+    Count sampledFaults = 0;      //!< faults on poisoned subpages
+    unsigned poisonedCount = 0;   //!< subpages poisoned
+    unsigned accessedCount = 0;   //!< subpages with A bit set
+    Ns window = 0;                //!< observation window
+
+    /** Estimated accesses/sec for the whole page. */
+    double estimatedRate() const;
+};
+
+/**
+ * Compute the spatially-extrapolated access rate.
+ *
+ * @param sampled_faults Weighted fault count over the window.
+ * @param poisoned_count Number of poisoned (monitored) subpages.
+ * @param accessed_count Number of subpages with non-zero rate.
+ * @param window Observation window.
+ * @return Estimated accesses/sec; 0 when nothing was monitored.
+ */
+double estimateAccessRate(Count sampled_faults, unsigned poisoned_count,
+                          unsigned accessed_count, Ns window);
+
+/**
+ * De-bias an Accessed-bit population observed through a scaled
+ * access stream (simulation-fidelity shim, not part of the paper's
+ * mechanism).  When the reference stream delivers only every q-th
+ * access, subpages with few accesses in the window are never
+ * marked; assuming Poisson per-subpage arrivals, an observed marked
+ * fraction f corresponds to a true accessed fraction
+ * 1 - (1 - f)^q.
+ *
+ * @param marked Subpages whose Accessed bit was observed set.
+ * @param total Subpages scanned (512 for a 2MB page).
+ * @param stream_quantum Real accesses represented per stream sample
+ *        (q = 1 means the stream is exact; no correction).
+ * @return Estimated number of subpages a full-rate stream would
+ *         have marked; always >= marked.
+ */
+unsigned debiasAccessedCount(unsigned marked, unsigned total,
+                             double stream_quantum);
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_CORE_ACCESS_ESTIMATOR_HH

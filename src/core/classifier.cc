@@ -1,0 +1,44 @@
+#include "core/classifier.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace thermostat
+{
+
+double
+slowdownToRateBudget(double tolerable_slowdown_pct, Ns slow_mem_latency)
+{
+    TSTAT_ASSERT(slow_mem_latency > 0, "zero slow-memory latency");
+    const double ts_sec = static_cast<double>(slow_mem_latency) /
+                          static_cast<double>(kNsPerSec);
+    return tolerable_slowdown_pct / (100.0 * ts_sec);
+}
+
+Classification
+classifyPages(std::vector<PageRate> rates, double budget_rate)
+{
+    std::sort(rates.begin(), rates.end(),
+              [](const PageRate &a, const PageRate &b) {
+                  if (a.rate != b.rate) {
+                      return a.rate < b.rate;
+                  }
+                  return a.base < b.base; // deterministic tie-break
+              });
+
+    Classification result;
+    double spent = 0.0;
+    for (PageRate &page : rates) {
+        if (spent + page.rate <= budget_rate) {
+            spent += page.rate;
+            result.cold.push_back(page);
+        } else {
+            result.hot.push_back(page);
+        }
+    }
+    result.coldAggregateRate = spent;
+    return result;
+}
+
+} // namespace thermostat

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Hot/cold page classification (paper Sec 3.4).
+ *
+ * The user-specified tolerable slowdown x% translates to an access
+ * rate budget: A accesses/sec to slow memory with latency ts cost
+ * A*ts seconds per second, so the budget is x / (100 * ts).  When
+ * only a fraction f of pages was sampled this period, the sampled
+ * pages may consume f times the budget.  Pages are sorted by
+ * estimated rate and the coldest prefix is selected until the
+ * budget is exhausted.
+ */
+
+#ifndef THERMOSTAT_CORE_CLASSIFIER_HH
+#define THERMOSTAT_CORE_CLASSIFIER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sys/mem_cgroup.hh"
+
+namespace thermostat
+{
+
+/** A page with an estimated (or measured) access rate. */
+struct PageRate
+{
+    Addr base = 0;
+    std::uint64_t bytes = 0;
+    double rate = 0.0; //!< accesses/sec
+};
+
+/** Result of a classification pass. */
+struct Classification
+{
+    std::vector<PageRate> cold; //!< selected for slow memory
+    std::vector<PageRate> hot;  //!< stays in fast memory
+    double coldAggregateRate = 0.0;
+};
+
+/**
+ * Translate a tolerable slowdown into the aggregate slow-memory
+ * access-rate budget (accesses/sec): x / (100 * ts).
+ */
+double slowdownToRateBudget(double tolerable_slowdown_pct,
+                            Ns slow_mem_latency);
+
+/**
+ * Select the coldest pages whose cumulative rate fits the budget.
+ *
+ * @param rates Estimated per-page rates (consumed by value).
+ * @param budget_rate Aggregate accesses/sec allowed.
+ * @return Cold/hot partition, cold sorted coldest-first.
+ */
+Classification classifyPages(std::vector<PageRate> rates,
+                             double budget_rate);
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_CORE_CLASSIFIER_HH

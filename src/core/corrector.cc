@@ -1,0 +1,39 @@
+#include "core/corrector.hh"
+
+#include <algorithm>
+
+namespace thermostat
+{
+
+CorrectionPlan
+planCorrection(std::vector<PageRate> cold_rates, double target_rate)
+{
+    CorrectionPlan plan;
+    for (const PageRate &page : cold_rates) {
+        plan.measuredRate += page.rate;
+    }
+    plan.residualRate = plan.measuredRate;
+    if (plan.measuredRate <= target_rate) {
+        return plan;
+    }
+
+    // Hottest first: each promotion buys the most rate reduction per
+    // byte of fast memory reclaimed from the budget.
+    std::sort(cold_rates.begin(), cold_rates.end(),
+              [](const PageRate &a, const PageRate &b) {
+                  if (a.rate != b.rate) {
+                      return a.rate > b.rate;
+                  }
+                  return a.base < b.base;
+              });
+    for (const PageRate &page : cold_rates) {
+        if (plan.residualRate <= target_rate) {
+            break;
+        }
+        plan.promote.push_back(page);
+        plan.residualRate -= page.rate;
+    }
+    return plan;
+}
+
+} // namespace thermostat

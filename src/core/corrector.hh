@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Mis-classification detection and correction (paper Sec 3.5).
+ *
+ * Pages in slow memory remain poisoned, so every TLB miss to them is
+ * counted at low overhead (they are cold by construction).  Each
+ * sampling period the cold pages are sorted by measured access count
+ * and the hottest are promoted back to fast memory until the
+ * aggregate access rate of the remaining cold set drops under the
+ * target slow-memory rate.  This both fixes sampling errors and
+ * adapts to working-set changes.
+ */
+
+#ifndef THERMOSTAT_CORE_CORRECTOR_HH
+#define THERMOSTAT_CORE_CORRECTOR_HH
+
+#include <vector>
+
+#include "core/classifier.hh"
+
+namespace thermostat
+{
+
+/** Outcome of a correction pass. */
+struct CorrectionPlan
+{
+    std::vector<PageRate> promote;  //!< hottest-first promotions
+    double residualRate = 0.0;      //!< rate of the remaining cold set
+    double measuredRate = 0.0;      //!< pre-correction aggregate rate
+};
+
+/**
+ * Decide which cold pages to promote.
+ *
+ * @param cold_rates Measured per-page rates of the cold set.
+ * @param target_rate Aggregate slow-memory access rate budget.
+ * @return Promotion plan; empty when already under budget.
+ */
+CorrectionPlan planCorrection(std::vector<PageRate> cold_rates,
+                              double target_rate);
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_CORE_CORRECTOR_HH

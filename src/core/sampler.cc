@@ -1,0 +1,130 @@
+#include "core/sampler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace thermostat
+{
+
+Sampler::Sampler(AddressSpace &space, BadgerTrap &trap, Kstaled &kstaled,
+                 Rng rng)
+    : space_(space), trap_(trap), kstaled_(kstaled), rng_(rng)
+{
+}
+
+std::vector<Addr>
+Sampler::selectAndSplit(double fraction,
+                        const std::unordered_set<Addr> &exclude)
+{
+    std::vector<Addr> candidates;
+    space_.pageTable().forEachLeaf(
+        [&](Addr base, Pte &, bool huge) {
+            if (huge && exclude.find(base) == exclude.end()) {
+                candidates.push_back(base);
+            }
+        });
+    const auto want = static_cast<std::uint64_t>(
+        static_cast<double>(candidates.size()) * fraction + 0.5);
+    const auto picks =
+        rng_.sampleWithoutReplacement(candidates.size(), want);
+
+    std::vector<Addr> split_bases;
+    split_bases.reserve(picks.size());
+    for (const std::uint64_t idx : picks) {
+        const Addr base = candidates[idx];
+        if (!space_.splitHuge(base)) {
+            continue; // raced with a concurrent state change
+        }
+        ++stats_.splits;
+        ++stats_.hugeSampled;
+        split_bases.push_back(base);
+        // Clear subpage Accessed bits so stage 2 sees only accesses
+        // from this period (single shootdown: the split flushed the
+        // old 2MB translation anyway).
+        kstaled_.clearSubpagesAfterSplit(base);
+    }
+    return split_bases;
+}
+
+std::vector<Addr>
+Sampler::selectBasePages(double fraction,
+                         const std::unordered_set<Addr> &exclude,
+                         const std::vector<Addr> &split_bases)
+{
+    std::unordered_set<Addr> split_set(split_bases.begin(),
+                                       split_bases.end());
+    std::vector<Addr> candidates;
+    space_.pageTable().forEachLeaf(
+        [&](Addr base, Pte &, bool huge) {
+            if (huge) {
+                return;
+            }
+            if (exclude.find(base) != exclude.end()) {
+                return;
+            }
+            // Skip subpages of huge pages split for this period.
+            if (split_set.find(alignDown2M(base)) != split_set.end()) {
+                return;
+            }
+            candidates.push_back(base);
+        });
+    const auto want = static_cast<std::uint64_t>(
+        static_cast<double>(candidates.size()) * fraction + 0.5);
+    const auto picks =
+        rng_.sampleWithoutReplacement(candidates.size(), want);
+
+    std::vector<Addr> selected;
+    selected.reserve(picks.size());
+    for (const std::uint64_t idx : picks) {
+        selected.push_back(candidates[idx]);
+    }
+    kstaled_.scanPages(selected);
+    stats_.baseSampled += selected.size();
+    return selected;
+}
+
+SampledPage
+Sampler::poisonSubpages(Addr huge_base, unsigned budget)
+{
+    SampledPage page;
+    page.base = huge_base;
+    page.huge = true;
+
+    page.accessed.reserve(kSubpagesPerHuge);
+    for (unsigned i = 0; i < kSubpagesPerHuge; ++i) {
+        const Addr sub = huge_base + i * kPageSize4K;
+        if (kstaled_.testAndClearAccessed(sub)) {
+            page.accessed.push_back(sub);
+        }
+    }
+    page.accessedSubpages =
+        static_cast<unsigned>(page.accessed.size());
+
+    const auto picks = rng_.sampleWithoutReplacement(
+        page.accessed.size(),
+        std::min<std::uint64_t>(budget, page.accessed.size()));
+    page.poisoned.reserve(picks.size());
+    for (const std::uint64_t idx : picks) {
+        const Addr sub = page.accessed[idx];
+        trap_.poison(sub);
+        page.poisoned.push_back(sub);
+    }
+    stats_.subpagesPoisoned += page.poisoned.size();
+    return page;
+}
+
+SampledPage
+Sampler::poisonBasePage(Addr base)
+{
+    SampledPage page;
+    page.base = base;
+    page.huge = false;
+    page.accessedSubpages = 1;
+    trap_.poison(base);
+    page.poisoned.push_back(base);
+    ++stats_.subpagesPoisoned;
+    return page;
+}
+
+} // namespace thermostat

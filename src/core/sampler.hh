@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Page sampling for access-rate profiling (paper Sec 3.2).
+ *
+ * Each sampling period Thermostat randomly selects a fraction
+ * (default 5%) of the application's huge pages, splits them into
+ * 4KB mappings, uses the hardware Accessed bits to find subpages
+ * with non-zero rate, and poisons at most K (default 50) of those
+ * for software access counting.  Standalone 4KB pages are sampled
+ * and poisoned directly.  Only ~0.5% of memory is under the costly
+ * poison-based monitoring at any time, keeping overhead under 1%.
+ */
+
+#ifndef THERMOSTAT_CORE_SAMPLER_HH
+#define THERMOSTAT_CORE_SAMPLER_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "sys/badger_trap.hh"
+#include "sys/kstaled.hh"
+#include "vm/address_space.hh"
+
+namespace thermostat
+{
+
+/** One page under profiling in the current period. */
+struct SampledPage
+{
+    Addr base = 0;
+    bool huge = false;            //!< was a 2MB page (now split)
+    std::vector<Addr> poisoned;   //!< poisoned 4KB subpages
+    std::vector<Addr> accessed;   //!< subpages whose A bit was set
+    unsigned accessedSubpages = 0;
+};
+
+/** Sampler counters. */
+struct SamplerStats
+{
+    Count hugeSampled = 0;
+    Count baseSampled = 0;
+    Count splits = 0;
+    Count subpagesPoisoned = 0;
+};
+
+/**
+ * Selects, splits and poisons the per-period profiling sample.
+ */
+class Sampler
+{
+  public:
+    Sampler(AddressSpace &space, BadgerTrap &trap, Kstaled &kstaled,
+            Rng rng);
+
+    /**
+     * Stage 1: choose ~fraction of the huge pages (excluding
+     * @p exclude, e.g. pages already in slow memory), split them,
+     * and clear their subpages' Accessed bits so the next scan
+     * reflects this period only.
+     * @return bases of the split pages.
+     */
+    std::vector<Addr> selectAndSplit(
+        double fraction, const std::unordered_set<Addr> &exclude);
+
+    /**
+     * Stage 1 for standalone 4KB pages (non-THP mappings): select
+     * ~fraction, excluding @p exclude and subpages of @p split_bases,
+     * and clear their Accessed bits.
+     */
+    std::vector<Addr> selectBasePages(
+        double fraction, const std::unordered_set<Addr> &exclude,
+        const std::vector<Addr> &split_bases);
+
+    /**
+     * Stage 2 for one split huge page: read the subpages' Accessed
+     * bits, poison at most @p budget of the accessed subpages, and
+     * return the bookkeeping needed for estimation.
+     */
+    SampledPage poisonSubpages(Addr huge_base, unsigned budget);
+
+    /** Stage 2 for a standalone 4KB page: poison it directly. */
+    SampledPage poisonBasePage(Addr base);
+
+    const SamplerStats &stats() const { return stats_; }
+
+  private:
+    AddressSpace &space_;
+    BadgerTrap &trap_;
+    Kstaled &kstaled_;
+    Rng rng_;
+    SamplerStats stats_;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_CORE_SAMPLER_HH

@@ -1,0 +1,356 @@
+#include "core/thermostat.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "core/access_estimator.hh"
+#include "core/corrector.hh"
+
+namespace thermostat
+{
+
+ThermostatEngine::ThermostatEngine(MemCgroup &cgroup,
+                                   AddressSpace &space, BadgerTrap &trap,
+                                   Kstaled &kstaled,
+                                   PageMigrator &migrator, Rng rng)
+    : cgroup_(cgroup),
+      space_(space),
+      trap_(trap),
+      kstaled_(kstaled),
+      migrator_(migrator),
+      rng_(rng),
+      sampler_(space, trap, kstaled, rng_.fork())
+{
+}
+
+Ns
+ThermostatEngine::stageLength() const
+{
+    return std::max<Ns>(1, cgroup_.params().samplingPeriod / 3);
+}
+
+double
+ThermostatEngine::targetRate() const
+{
+    const ThermostatParams &params = cgroup_.params();
+    return slowdownToRateBudget(params.tolerableSlowdownPct,
+                                params.slowMemLatency);
+}
+
+std::uint64_t
+ThermostatEngine::coldBytes() const
+{
+    return coldHuge_.size() * kPageSize2M +
+           coldBase_.size() * kPageSize4K;
+}
+
+Ns
+ThermostatEngine::takeOverhead()
+{
+    const Ns out = pendingOverhead_;
+    pendingOverhead_ = 0;
+    return out;
+}
+
+void
+ThermostatEngine::accrueOverhead()
+{
+    const Ns kstaled_cost = kstaled_.totalCost();
+    const Ns trap_cost = trap_.stats().maintenanceTime;
+    pendingOverhead_ += (kstaled_cost - seenKstaledCost_) +
+                        (trap_cost - seenTrapMaintenance_);
+    stats_.overheadTime += (kstaled_cost - seenKstaledCost_) +
+                           (trap_cost - seenTrapMaintenance_);
+    seenKstaledCost_ = kstaled_cost;
+    seenTrapMaintenance_ = trap_cost;
+}
+
+void
+ThermostatEngine::tick(Ns now)
+{
+    if (!cgroup_.params().enabled) {
+        return;
+    }
+    while (now >= nextStageTime_) {
+        switch (nextStage_) {
+          case Stage::Split:
+            runSplitStage(now);
+            break;
+          case Stage::Poison:
+            runPoisonStage(now);
+            break;
+          case Stage::Classify:
+            runClassifyStage(now);
+            break;
+        }
+    }
+}
+
+void
+ThermostatEngine::runSplitStage(Ns now)
+{
+    const ThermostatParams &params = cgroup_.params();
+    splitBases_ =
+        sampler_.selectAndSplit(params.sampleFraction, coldHuge_);
+    sampledBase_ = sampler_.selectBasePages(params.sampleFraction,
+                                            coldBase_, splitBases_);
+    accrueOverhead();
+    nextStage_ = Stage::Poison;
+    nextStageTime_ = now + stageLength();
+}
+
+void
+ThermostatEngine::runPoisonStage(Ns now)
+{
+    const ThermostatParams &params = cgroup_.params();
+    profiled_.clear();
+    profiled_.reserve(splitBases_.size() + sampledBase_.size());
+    for (const Addr base : splitBases_) {
+        profiled_.push_back(
+            sampler_.poisonSubpages(base, params.poisonBudget));
+    }
+    for (const Addr base : sampledBase_) {
+        // Only pages with a non-zero rate are worth poisoning; the
+        // Accessed bit from stage 1 tells us which.  Unaccessed
+        // pages keep a zero estimate for free.
+        SampledPage page;
+        if (kstaled_.testAndClearAccessed(base)) {
+            page = sampler_.poisonBasePage(base);
+        } else {
+            page.base = base;
+            page.huge = false;
+            page.accessedSubpages = 0;
+        }
+        profiled_.push_back(page);
+    }
+    accrueOverhead();
+    poisonStart_ = now;
+    nextStage_ = Stage::Classify;
+    nextStageTime_ = now + 2 * stageLength();
+}
+
+void
+ThermostatEngine::runClassifyStage(Ns now)
+{
+    const Ns window = now > poisonStart_ ? now - poisonStart_ : 1;
+
+    // Harvest counts and release the profiling poison.
+    std::vector<PageRate> rates;
+    rates.reserve(profiled_.size());
+    std::uint64_t sampled_bytes = 0;
+    for (const SampledPage &page : profiled_) {
+        Count faults = 0;
+        for (const Addr sub : page.poisoned) {
+            faults += trap_.faultCount(sub);
+            trap_.unpoison(sub);
+        }
+        PageRate rate;
+        rate.base = page.base;
+        rate.bytes = page.huge ? kPageSize2M : kPageSize4K;
+        const unsigned accessed =
+            page.huge ? debiasAccessedCount(page.accessedSubpages,
+                                            kSubpagesPerHuge,
+                                            markingQuantum_)
+                      : page.accessedSubpages;
+        rate.rate = estimateAccessRate(
+            faults, static_cast<unsigned>(page.poisoned.size()),
+            accessed, window);
+        if (page.huge && page.poisoned.empty()) {
+            // No subpage had a non-zero rate: genuinely idle.
+            rate.rate = 0.0;
+        }
+        rates.push_back(rate);
+        sampled_bytes += rate.bytes;
+    }
+
+    // Budget for this period's sample: f * x / (100 ts), f computed
+    // as the sampled fraction of the resident footprint, applied to
+    // the budget headroom left after the cold set's measured rate
+    // (the corrector's view from the previous period); placing into
+    // spent budget would only be clawed back next period.
+    const std::uint64_t rss = space_.rssBytes();
+    const double f =
+        rss == 0 ? 0.0
+                 : static_cast<double>(sampled_bytes) /
+                       static_cast<double>(rss);
+    const double headroom =
+        std::max(0.0, targetRate() - slowRateSeries_.lastValue());
+    profiledByBase_.clear();
+    for (const SampledPage &page : profiled_) {
+        profiledByBase_.emplace(page.base, &page);
+    }
+    const Classification classes =
+        classifyPages(std::move(rates), f * headroom);
+
+    applyClassification(classes, now);
+    profiledByBase_.clear();
+    runCorrection(now);
+    accrueOverhead();
+
+    profiled_.clear();
+    splitBases_.clear();
+    sampledBase_.clear();
+    ++stats_.periods;
+    lastClassify_ = now;
+    nextStage_ = Stage::Split;
+    // One tick past `now` so a single tick() call cannot loop
+    // through more than one full period.
+    nextStageTime_ = now + 1;
+}
+
+void
+ThermostatEngine::applyClassification(const Classification &classes,
+                                      Ns now)
+{
+    for (const PageRate &page : classes.cold) {
+        if (page.bytes == kPageSize2M) {
+            if (!space_.collapseHuge(page.base)) {
+                ++stats_.collapseFailures;
+                continue;
+            }
+            const MigrateResult res =
+                migrator_.migrate(page.base, Tier::Slow, now);
+            pendingOverhead_ += res.cost;
+            stats_.overheadTime += res.cost;
+            if (!res.moved) {
+                ++stats_.migrationFailures;
+                continue;
+            }
+            // Keep the cold page poisoned: its fault counts feed
+            // the mis-classification corrector.
+            pendingOverhead_ += trap_.poison(page.base);
+            coldHuge_.insert(page.base);
+            ++stats_.coldHugePlaced;
+        } else {
+            const MigrateResult res =
+                migrator_.migrate(page.base, Tier::Slow, now);
+            pendingOverhead_ += res.cost;
+            stats_.overheadTime += res.cost;
+            if (!res.moved) {
+                ++stats_.migrationFailures;
+                continue;
+            }
+            pendingOverhead_ += trap_.poison(page.base);
+            coldBase_.insert(page.base);
+            ++stats_.coldBasePlaced;
+        }
+    }
+    for (const PageRate &page : classes.hot) {
+        if (page.bytes != kPageSize2M) {
+            continue;
+        }
+        const auto it = profiledByBase_.find(page.base);
+        if (cgroup_.params().spreadHugePages &&
+            it != profiledByBase_.end() &&
+            trySpreadHotPage(*it->second, now)) {
+            continue;
+        }
+        if (!space_.collapseHuge(page.base)) {
+            ++stats_.collapseFailures;
+        }
+    }
+}
+
+bool
+ThermostatEngine::trySpreadHotPage(const SampledPage &page, Ns now)
+{
+    // Sec 6 extension: a hot page whose hot footprint is confined to
+    // a few subpages stays split; its never-accessed subpages move
+    // to slow memory individually and keep being monitored.
+    const ThermostatParams &params = cgroup_.params();
+    const unsigned accessed =
+        debiasAccessedCount(page.accessedSubpages, kSubpagesPerHuge,
+                            markingQuantum_);
+    if (accessed == 0 || accessed > params.spreadMaxHotSubpages) {
+        return false;
+    }
+    std::unordered_set<Addr> hot_subpages(page.accessed.begin(),
+                                          page.accessed.end());
+    unsigned demoted = 0;
+    for (unsigned i = 0; i < kSubpagesPerHuge; ++i) {
+        const Addr sub = page.base + i * kPageSize4K;
+        if (hot_subpages.find(sub) != hot_subpages.end()) {
+            continue;
+        }
+        const MigrateResult res =
+            migrator_.migrate(sub, Tier::Slow, now);
+        pendingOverhead_ += res.cost;
+        stats_.overheadTime += res.cost;
+        if (!res.moved) {
+            ++stats_.migrationFailures;
+            continue;
+        }
+        pendingOverhead_ += trap_.poison(sub);
+        coldBase_.insert(sub);
+        ++demoted;
+    }
+    if (demoted == 0) {
+        return false;
+    }
+    ++stats_.pagesSpread;
+    stats_.spreadSubpagesDemoted += demoted;
+    return true;
+}
+
+void
+ThermostatEngine::runCorrection(Ns now)
+{
+    if (!cgroup_.params().correctionEnabled) {
+        return;
+    }
+    const Ns window =
+        lastClassify_ == 0 ? cgroup_.params().samplingPeriod
+                           : now - lastClassify_;
+    if (window == 0 || (coldHuge_.empty() && coldBase_.empty())) {
+        slowRateSeries_.append(now, 0.0);
+        return;
+    }
+
+    std::vector<PageRate> cold_rates;
+    cold_rates.reserve(coldHuge_.size() + coldBase_.size());
+    const double per_sec = static_cast<double>(kNsPerSec) /
+                           static_cast<double>(window);
+    for (const Addr base : coldHuge_) {
+        cold_rates.push_back(
+            {base, kPageSize2M,
+             static_cast<double>(trap_.faultCount(base)) * per_sec});
+    }
+    for (const Addr base : coldBase_) {
+        cold_rates.push_back(
+            {base, kPageSize4K,
+             static_cast<double>(trap_.faultCount(base)) * per_sec});
+    }
+
+    const CorrectionPlan plan =
+        planCorrection(std::move(cold_rates), targetRate());
+    slowRateSeries_.append(now, plan.measuredRate);
+
+    for (const PageRate &page : plan.promote) {
+        const MigrateResult res =
+            migrator_.migrate(page.base, Tier::Fast, now);
+        pendingOverhead_ += res.cost;
+        stats_.overheadTime += res.cost;
+        if (!res.moved) {
+            ++stats_.migrationFailures;
+            continue;
+        }
+        pendingOverhead_ += trap_.unpoison(page.base);
+        if (page.bytes == kPageSize2M) {
+            coldHuge_.erase(page.base);
+        } else {
+            coldBase_.erase(page.base);
+        }
+        ++stats_.promotions;
+    }
+
+    // Fresh window for the surviving cold set.
+    for (const Addr base : coldHuge_) {
+        trap_.resetCount(base);
+    }
+    for (const Addr base : coldBase_) {
+        trap_.resetCount(base);
+    }
+}
+
+} // namespace thermostat

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The Thermostat engine (paper Sec 3).
+ *
+ * A periodic daemon driving the three-stage sampling pipeline of
+ * Figure 4 over each sampling period:
+ *
+ *   Stage 1 (split):    randomly select ~5% of huge pages, split
+ *                       them, clear subpage Accessed bits.
+ *   Stage 2 (poison):   read Accessed bits, poison <=50 accessed
+ *                       subpages per sampled page.
+ *   Stage 3 (classify): estimate per-page rates by spatial
+ *                       extrapolation, place the coldest sampled
+ *                       pages in slow memory within the f-scaled
+ *                       rate budget, and run the mis-classification
+ *                       corrector over the resident cold set.
+ *
+ * Cold pages remain poisoned while in slow memory so their access
+ * counts keep accumulating at low overhead; the corrector promotes
+ * the hottest of them whenever the aggregate measured rate exceeds
+ * the budget (Sec 3.5), which also adapts to working-set changes.
+ */
+
+#ifndef THERMOSTAT_CORE_THERMOSTAT_HH
+#define THERMOSTAT_CORE_THERMOSTAT_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/classifier.hh"
+#include "core/sampler.hh"
+#include "sys/badger_trap.hh"
+#include "sys/kstaled.hh"
+#include "sys/mem_cgroup.hh"
+#include "sys/migration.hh"
+#include "vm/address_space.hh"
+
+namespace thermostat
+{
+
+/** Engine-level counters. */
+struct EngineStats
+{
+    Count periods = 0;
+    Count coldHugePlaced = 0;
+    Count coldBasePlaced = 0;
+    Count pagesSpread = 0;     //!< Sec 6 extension: split-and-spread
+    Count spreadSubpagesDemoted = 0;
+    Count promotions = 0;
+    Count collapseFailures = 0;
+    Count migrationFailures = 0;
+    Ns overheadTime = 0; //!< total monitoring+migration CPU charged
+};
+
+/**
+ * The application-transparent page management engine.
+ */
+class ThermostatEngine
+{
+  public:
+    ThermostatEngine(MemCgroup &cgroup, AddressSpace &space,
+                     BadgerTrap &trap, Kstaled &kstaled,
+                     PageMigrator &migrator, Rng rng);
+
+    /**
+     * Advance the engine to @p now; runs any pipeline stage whose
+     * time has come.  Call at least once per stage length
+     * (samplingPeriod / 3).
+     */
+    void tick(Ns now);
+
+    /** Huge pages currently placed in slow memory. */
+    const std::unordered_set<Addr> &coldHugePages() const
+    {
+        return coldHuge_;
+    }
+
+    /** Standalone 4KB pages currently placed in slow memory. */
+    const std::unordered_set<Addr> &coldBasePages() const
+    {
+        return coldBase_;
+    }
+
+    /** Bytes currently placed in slow memory. */
+    std::uint64_t coldBytes() const;
+
+    /** Aggregate slow-memory access-rate budget (accesses/sec). */
+    double targetRate() const;
+
+    /**
+     * Measured slow-memory access rate at each classification point
+     * (accesses/sec over the preceding period); Figure 3's series.
+     */
+    const TimeSeries &slowRateSeries() const { return slowRateSeries_; }
+
+    const EngineStats &stats() const { return stats_; }
+
+    /**
+     * Monitoring/migration CPU time accumulated since the last call
+     * (the simulation charges it to the application's epoch).
+     */
+    Ns takeOverhead();
+
+    /**
+     * Simulation-fidelity shim: real accesses represented per
+     * reference-stream sample, used to de-bias Accessed-bit
+     * populations (see debiasAccessedCount()).  1 = exact stream.
+     */
+    void setMarkingQuantum(double quantum) { markingQuantum_ = quantum; }
+
+  private:
+    enum class Stage { Split, Poison, Classify };
+
+    Ns stageLength() const;
+    void runSplitStage(Ns now);
+    void runPoisonStage(Ns now);
+    void runClassifyStage(Ns now);
+    void applyClassification(const Classification &classes, Ns now);
+    bool trySpreadHotPage(const SampledPage &page, Ns now);
+    void runCorrection(Ns now);
+    void accrueOverhead();
+
+    MemCgroup &cgroup_;
+    AddressSpace &space_;
+    BadgerTrap &trap_;
+    Kstaled &kstaled_;
+    PageMigrator &migrator_;
+    Rng rng_;
+    Sampler sampler_;
+
+    Stage nextStage_ = Stage::Split;
+    Ns nextStageTime_ = 0;
+    Ns poisonStart_ = 0;
+    Ns lastClassify_ = 0;
+    std::vector<Addr> splitBases_;
+    std::vector<Addr> sampledBase_;
+    std::vector<SampledPage> profiled_;
+    std::unordered_map<Addr, const SampledPage *> profiledByBase_;
+
+    std::unordered_set<Addr> coldHuge_;
+    std::unordered_set<Addr> coldBase_;
+
+    TimeSeries slowRateSeries_{"slow_mem_access_rate"};
+    EngineStats stats_;
+    double markingQuantum_ = 1.0;
+    Ns pendingOverhead_ = 0;
+    Ns seenKstaledCost_ = 0;
+    Ns seenTrapMaintenance_ = 0;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_CORE_THERMOSTAT_HH

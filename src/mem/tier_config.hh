@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Configuration of a physical memory tier.
+ *
+ * The paper's system model (Sec 1, 2.1): conventional DRAM with
+ * 50-100ns access latency, and a denser, cheaper technology (e.g.
+ * Intel/Micron 3D XPoint) with 400ns to several microseconds of
+ * latency at roughly 1/3 to 1/5 the cost per bit.
+ */
+
+#ifndef THERMOSTAT_MEM_TIER_CONFIG_HH
+#define THERMOSTAT_MEM_TIER_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace thermostat
+{
+
+/** Static parameters of one memory tier. */
+struct TierConfig
+{
+    std::string name = "dram";
+
+    /** Usable capacity in bytes (must be 2MB aligned). */
+    std::uint64_t capacityBytes = 16ULL << 30;
+
+    /** Uncontended read access latency. */
+    Ns readLatency = 80;
+
+    /** Uncontended write access latency. */
+    Ns writeLatency = 80;
+
+    /** Peak sustainable bandwidth in bytes/sec. */
+    double bandwidthBytesPerSec = 50.0e9;
+
+    /** Relative cost per byte (DRAM == 1.0). */
+    double relativeCostPerByte = 1.0;
+
+    /**
+     * Write endurance per 4KB frame before wear-out (0 = unlimited,
+     * as for DRAM).  Used by the device-wear analysis (paper Sec 6).
+     */
+    std::uint64_t writeEndurance = 0;
+
+    /** DRAM-like tier used throughout the evaluation. */
+    static TierConfig dram(std::uint64_t capacity_bytes);
+
+    /**
+     * Near-future slow memory: 1us access latency (the paper's
+     * BadgerTrap-emulated operating point), 1/3 DRAM cost, finite
+     * endurance representative of PCM-class devices.
+     */
+    static TierConfig slow(std::uint64_t capacity_bytes);
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_MEM_TIER_CONFIG_HH

@@ -1,0 +1,183 @@
+#include "mem/tiered_memory.hh"
+
+#include "common/logging.hh"
+
+namespace thermostat
+{
+
+TierConfig
+TierConfig::dram(std::uint64_t capacity_bytes)
+{
+    TierConfig cfg;
+    cfg.name = "dram";
+    cfg.capacityBytes = capacity_bytes;
+    cfg.readLatency = 80;
+    cfg.writeLatency = 80;
+    cfg.bandwidthBytesPerSec = 50.0e9;
+    cfg.relativeCostPerByte = 1.0;
+    cfg.writeEndurance = 0;
+    return cfg;
+}
+
+TierConfig
+TierConfig::slow(std::uint64_t capacity_bytes)
+{
+    TierConfig cfg;
+    cfg.name = "slowmem";
+    cfg.capacityBytes = capacity_bytes;
+    cfg.readLatency = 1000;
+    cfg.writeLatency = 1500;
+    cfg.bandwidthBytesPerSec = 5.0e9;
+    cfg.relativeCostPerByte = 1.0 / 3.0;
+    cfg.writeEndurance = 100'000'000ULL;
+    return cfg;
+}
+
+MemoryTier::MemoryTier(const TierConfig &config, Pfn base_pfn)
+    : config_(config),
+      allocator_(base_pfn, config.capacityBytes / kPageSize4K)
+{
+    TSTAT_ASSERT(config.capacityBytes % kPageSize2M == 0,
+                 "tier capacity must be 2MB aligned");
+}
+
+Ns
+MemoryTier::accessLatency(AccessType type) const
+{
+    return type == AccessType::Read ? config_.readLatency
+                                    : config_.writeLatency;
+}
+
+void
+MemoryTier::recordAccess(AccessType type, std::uint64_t bytes)
+{
+    if (type == AccessType::Read) {
+        ++stats_.reads;
+        stats_.bytesRead += bytes;
+    } else {
+        ++stats_.writes;
+        stats_.bytesWritten += bytes;
+    }
+}
+
+void
+MemoryTier::recordMigrationIn(std::uint64_t bytes)
+{
+    ++stats_.migrationsIn;
+    stats_.migrationBytesIn += bytes;
+}
+
+void
+MemoryTier::recordMigrationOut(std::uint64_t bytes)
+{
+    ++stats_.migrationsOut;
+    stats_.migrationBytesOut += bytes;
+}
+
+void
+MemoryTier::recordWear(Pfn pfn, Count writes)
+{
+    if (config_.writeEndurance == 0) {
+        return; // DRAM-like: wear not tracked.
+    }
+    totalWear_ += writes;
+    Count &w = frameWear_[pfn];
+    w += writes;
+    maxFrameWear_ = std::max(maxFrameWear_, w);
+}
+
+bool
+MemoryTier::wornOut() const
+{
+    return config_.writeEndurance != 0 &&
+           maxFrameWear_ > config_.writeEndurance;
+}
+
+std::uint64_t
+MemoryTier::usedBytes() const
+{
+    return allocator_.allocatedFrames() * kPageSize4K;
+}
+
+TieredMemory::TieredMemory(const TierConfig &fast, const TierConfig &slow)
+    : fastTier_(fast, 0),
+      slowTier_(slow, fast.capacityBytes / kPageSize4K),
+      slowBasePfn_(fast.capacityBytes / kPageSize4K)
+{
+}
+
+MemoryTier &
+TieredMemory::tier(Tier t)
+{
+    return t == Tier::Fast ? fastTier_ : slowTier_;
+}
+
+const MemoryTier &
+TieredMemory::tier(Tier t) const
+{
+    return t == Tier::Fast ? fastTier_ : slowTier_;
+}
+
+Tier
+TieredMemory::tierOf(Pfn pfn) const
+{
+    return pfn < slowBasePfn_ ? Tier::Fast : Tier::Slow;
+}
+
+Ns
+TieredMemory::access(Pfn pfn, AccessType type, std::uint64_t bytes)
+{
+    MemoryTier &t = tier(tierOf(pfn));
+    t.recordAccess(type, bytes);
+    if (type == AccessType::Write) {
+        t.recordWear(pfn, 1);
+    }
+    return t.accessLatency(type);
+}
+
+std::optional<Pfn>
+TieredMemory::allocHuge(Tier t)
+{
+    return tier(t).allocator().allocHuge();
+}
+
+std::optional<Pfn>
+TieredMemory::allocBase(Tier t)
+{
+    return tier(t).allocator().allocBase();
+}
+
+void
+TieredMemory::freeHuge(Pfn base)
+{
+    tier(tierOf(base)).allocator().freeHuge(base);
+}
+
+void
+TieredMemory::freeBase(Pfn pfn)
+{
+    tier(tierOf(pfn)).allocator().freeBase(pfn);
+}
+
+std::uint64_t
+TieredMemory::usedBytes() const
+{
+    return fastTier_.usedBytes() + slowTier_.usedBytes();
+}
+
+double
+TieredMemory::costRelativeToAllFast() const
+{
+    const auto fast_used = static_cast<double>(fastTier_.usedBytes());
+    const auto slow_used = static_cast<double>(slowTier_.usedBytes());
+    const double total = fast_used + slow_used;
+    if (total == 0.0) {
+        return 1.0;
+    }
+    const double blended =
+        fast_used * fastTier_.config().relativeCostPerByte +
+        slow_used * slowTier_.config().relativeCostPerByte;
+    return blended / (total * fastTier_.config().relativeCostPerByte);
+}
+
+} // namespace thermostat

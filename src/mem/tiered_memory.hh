@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The two-tier physical memory system.
+ *
+ * Models the paper's dual-technology main memory: a fast DRAM tier
+ * and a slow, cheap tier exposed to the OS as a separate NUMA zone
+ * (Sec 3.6).  Tracks per-tier occupancy, access traffic, migration
+ * bandwidth (Table 3) and device wear (Sec 6).
+ */
+
+#ifndef THERMOSTAT_MEM_TIERED_MEMORY_HH
+#define THERMOSTAT_MEM_TIERED_MEMORY_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/frame_allocator.hh"
+#include "mem/tier_config.hh"
+
+namespace thermostat
+{
+
+/** Per-tier runtime statistics. */
+struct TierStats
+{
+    Count reads = 0;
+    Count writes = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+    Count migrationsIn = 0;
+    Count migrationsOut = 0;
+    std::uint64_t migrationBytesIn = 0;
+    std::uint64_t migrationBytesOut = 0;
+};
+
+/**
+ * One physical memory tier (a NUMA zone in the paper's KVM setup):
+ * configuration, frame allocator and traffic accounting.
+ */
+class MemoryTier
+{
+  public:
+    MemoryTier(const TierConfig &config, Pfn base_pfn);
+
+    const TierConfig &config() const { return config_; }
+    FrameAllocator &allocator() { return allocator_; }
+    const FrameAllocator &allocator() const { return allocator_; }
+    const TierStats &stats() const { return stats_; }
+
+    /** Latency of one device access (cache-line granularity). */
+    Ns accessLatency(AccessType type) const;
+
+    /** Record a cache-line access to this tier. */
+    void recordAccess(AccessType type, std::uint64_t bytes);
+
+    /** Record migration traffic landing in / leaving this tier. */
+    void recordMigrationIn(std::uint64_t bytes);
+    void recordMigrationOut(std::uint64_t bytes);
+
+    /** Record wear: @p writes line writes against frame @p pfn. */
+    void recordWear(Pfn pfn, Count writes);
+
+    /** Maximum line-writes recorded against any single 4KB frame. */
+    Count maxFrameWear() const { return maxFrameWear_; }
+
+    /** Total line-writes across the tier. */
+    Count totalWear() const { return totalWear_; }
+
+    /**
+     * Whether any frame has exceeded the configured endurance
+     * (always false for unlimited-endurance tiers).
+     */
+    bool wornOut() const;
+
+    std::uint64_t capacityBytes() const { return config_.capacityBytes; }
+    std::uint64_t usedBytes() const;
+
+  private:
+    TierConfig config_;
+    FrameAllocator allocator_;
+    TierStats stats_;
+    Count totalWear_ = 0;
+    Count maxFrameWear_ = 0;
+    std::unordered_map<Pfn, Count> frameWear_;
+};
+
+/**
+ * The complete physical memory: a fast tier and a slow tier occupying
+ * disjoint PFN ranges (fast first).  tierOf() resolves a PFN to its
+ * tier, as the OS does with pfn_to_nid().
+ */
+class TieredMemory
+{
+  public:
+    TieredMemory(const TierConfig &fast, const TierConfig &slow);
+
+    MemoryTier &tier(Tier t);
+    const MemoryTier &tier(Tier t) const;
+
+    MemoryTier &fast() { return tier(Tier::Fast); }
+    MemoryTier &slow() { return tier(Tier::Slow); }
+
+    /** Which tier a physical frame belongs to. */
+    Tier tierOf(Pfn pfn) const;
+
+    /** Device access latency for a line access to frame @p pfn. */
+    Ns access(Pfn pfn, AccessType type, std::uint64_t bytes = 64);
+
+    /** Allocate a 2MB block in @p t; nullopt when the tier is full. */
+    std::optional<Pfn> allocHuge(Tier t);
+
+    /** Allocate a 4KB frame in @p t; nullopt when the tier is full. */
+    std::optional<Pfn> allocBase(Tier t);
+
+    void freeHuge(Pfn base);
+    void freeBase(Pfn pfn);
+
+    /** Total bytes allocated across both tiers. */
+    std::uint64_t usedBytes() const;
+
+    /**
+     * Blended memory cost of the *used* footprint relative to backing
+     * the same footprint entirely with fast-tier memory, given
+     * per-tier relativeCostPerByte.  Used for Table 4.
+     */
+    double costRelativeToAllFast() const;
+
+  private:
+    MemoryTier fastTier_;
+    MemoryTier slowTier_;
+    Pfn slowBasePfn_;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_MEM_TIERED_MEMORY_HH

@@ -1,0 +1,53 @@
+#include "mem/wear_leveler.hh"
+
+#include "common/logging.hh"
+
+namespace thermostat
+{
+
+StartGapWearLeveler::StartGapWearLeveler(std::uint64_t line_count,
+                                         std::uint64_t gap_move_period,
+                                         std::uint64_t seed)
+    : lineCount_(line_count),
+      gapMovePeriod_(gap_move_period),
+      randomize_(line_count, seed),
+      gap_(line_count) // gap initially after the last line
+{
+    TSTAT_ASSERT(line_count > 0, "StartGap over empty region");
+    TSTAT_ASSERT(gap_move_period > 0, "StartGap: zero move period");
+}
+
+std::uint64_t
+StartGapWearLeveler::remap(std::uint64_t logical) const
+{
+    TSTAT_ASSERT(logical < lineCount_, "StartGap: logical out of range");
+    // Static randomization, then the Start-Gap algebraic map: the
+    // pre-gap position is computed over the N logical lines, and
+    // positions at or past the gap shift up by one into the N+1
+    // physical slots, so no line ever maps onto the gap itself.
+    const std::uint64_t randomized = randomize_.map(logical);
+    std::uint64_t physical = (randomized + start_) % lineCount_;
+    if (physical >= gap_) {
+        ++physical;
+    }
+    return physical;
+}
+
+void
+StartGapWearLeveler::recordWrite()
+{
+    if (++writesSinceMove_ < gapMovePeriod_) {
+        return;
+    }
+    writesSinceMove_ = 0;
+    ++gapMoves_;
+    if (gap_ == 0) {
+        gap_ = lineCount_;
+        start_ = (start_ + 1) % lineCount_;
+        ++rotations_;
+    } else {
+        --gap_;
+    }
+}
+
+} // namespace thermostat

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Start-Gap wear leveling (Qureshi et al., MICRO'09).
+ *
+ * The paper's device-wear discussion (Sec 6) points at Start-Gap as
+ * the standard remedy for write-endurance-limited slow memory.  This
+ * is a faithful standalone implementation: an algebraic mapping from
+ * logical to physical lines using one gap line that rotates through
+ * the region every `gapMovePeriod` writes, plus a static randomized
+ * start offset.
+ */
+
+#ifndef THERMOSTAT_MEM_WEAR_LEVELER_HH
+#define THERMOSTAT_MEM_WEAR_LEVELER_HH
+
+#include <cstdint>
+
+#include "common/permutation.hh"
+#include "common/types.hh"
+
+namespace thermostat
+{
+
+/**
+ * Start-Gap remapper over a region of @p lineCount lines (the line is
+ * the wear-leveling granule; we use 4KB frames).  Physical line
+ * count is lineCount + 1 (the extra gap line).
+ */
+class StartGapWearLeveler
+{
+  public:
+    /**
+     * @param line_count Logical lines in the region.
+     * @param gap_move_period Writes between gap movements (Qureshi
+     *        et al. use 100).
+     * @param seed Seeds the static address-space randomization (a
+     *        Feistel permutation; a plain shift would preserve the
+     *        adjacency of hot lines and defeat the leveling).
+     */
+    StartGapWearLeveler(std::uint64_t line_count,
+                        std::uint64_t gap_move_period = 100,
+                        std::uint64_t seed = 0);
+
+    /** Translate a logical line to its current physical line. */
+    std::uint64_t remap(std::uint64_t logical) const;
+
+    /** Record one write; may advance the gap. */
+    void recordWrite();
+
+    std::uint64_t gapPosition() const { return gap_; }
+    std::uint64_t startPosition() const { return start_; }
+    std::uint64_t gapMoves() const { return gapMoves_; }
+    std::uint64_t lineCount() const { return lineCount_; }
+
+    /**
+     * Number of complete rotations of the gap through the region;
+     * after each rotation every line has shifted by one, spreading
+     * writes across all physical lines.
+     */
+    std::uint64_t rotations() const { return rotations_; }
+
+  private:
+    std::uint64_t lineCount_;
+    std::uint64_t gapMovePeriod_;
+    FixedPermutation randomize_;
+    std::uint64_t start_ = 0;
+    std::uint64_t gap_;
+    std::uint64_t writesSinceMove_ = 0;
+    std::uint64_t gapMoves_ = 0;
+    std::uint64_t rotations_ = 0;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_MEM_WEAR_LEVELER_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Per-application machine tuning.
+ *
+ * The evaluation machine is the same box for every workload
+ * (Sec 4.1), but the *effective* cost of a page walk differs by
+ * application: small active sets keep page-table entries resident
+ * in the page-walk caches and LLC (web search), while huge
+ * TLB-hostile footprints pay nearly full nested-walk cost (Redis).
+ * These factors are the calibration surface for Table 1's reported
+ * THP gains; everything else is shared.
+ */
+
+#ifndef THERMOSTAT_SIM_APP_TUNING_HH
+#define THERMOSTAT_SIM_APP_TUNING_HH
+
+#include <string>
+
+#include "sim/machine.hh"
+
+namespace thermostat
+{
+
+/**
+ * Machine configuration tuned for one of the six cloud workloads:
+ * tier capacities sized to the footprint, walk-cache factors
+ * calibrated per application.  Unknown names get the defaults.
+ */
+MachineConfig tunedMachineConfig(const std::string &workload);
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_SIM_APP_TUNING_HH

@@ -1,0 +1,128 @@
+#include "sim/csv_export.hh"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace thermostat
+{
+
+namespace
+{
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *file) const
+    {
+        if (file) {
+            std::fclose(file);
+        }
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr
+openCsv(const std::string &directory, const char *name)
+{
+    const std::string path = directory + "/" + name;
+    FilePtr file(std::fopen(path.c_str(), "w"));
+    if (!file) {
+        TSTAT_WARN("cannot write %s", path.c_str());
+    }
+    return file;
+}
+
+double
+seconds(Ns t)
+{
+    return static_cast<double>(t) / static_cast<double>(kNsPerSec);
+}
+
+} // namespace
+
+bool
+writeSimResultCsv(const SimResult &result,
+                  const std::string &directory)
+{
+    bool ok = true;
+
+    if (FilePtr f = openCsv(directory, "footprint.csv")) {
+        std::fprintf(f.get(),
+                     "time_sec,hot_2mb,hot_4kb,cold_2mb,cold_4kb\n");
+        for (std::size_t i = 0; i < result.hot2M.size(); ++i) {
+            std::fprintf(f.get(), "%.1f,%.0f,%.0f,%.0f,%.0f\n",
+                         seconds(result.hot2M.at(i).time),
+                         result.hot2M.at(i).value,
+                         result.hot4K.at(i).value,
+                         result.cold2M.at(i).value,
+                         result.cold4K.at(i).value);
+        }
+    } else {
+        ok = false;
+    }
+
+    if (FilePtr f = openCsv(directory, "slow_rate.csv")) {
+        std::fprintf(f.get(), "time_sec,engine_rate\n");
+        for (const auto &s : result.engineSlowRate.samples()) {
+            std::fprintf(f.get(), "%.1f,%.1f\n", seconds(s.time),
+                         s.value);
+        }
+    } else {
+        ok = false;
+    }
+
+    if (FilePtr f = openCsv(directory, "device_rate.csv")) {
+        std::fprintf(f.get(), "time_sec,device_rate\n");
+        for (const auto &s : result.deviceSlowRate.samples()) {
+            std::fprintf(f.get(), "%.1f,%.1f\n", seconds(s.time),
+                         s.value);
+        }
+    } else {
+        ok = false;
+    }
+
+    if (FilePtr f = openCsv(directory, "summary.csv")) {
+        std::fprintf(f.get(), "key,value\n");
+        std::fprintf(f.get(), "workload,%s\n",
+                     result.workload.c_str());
+        std::fprintf(f.get(), "duration_sec,%.0f\n",
+                     seconds(result.duration));
+        std::fprintf(f.get(), "slowdown,%.5f\n", result.slowdown);
+        std::fprintf(f.get(), "final_cold_fraction,%.5f\n",
+                     result.finalColdFraction);
+        std::fprintf(f.get(), "avg_cold_fraction,%.5f\n",
+                     result.avgColdFraction);
+        std::fprintf(f.get(), "rss_bytes,%llu\n",
+                     static_cast<unsigned long long>(
+                         result.finalRssBytes));
+        std::fprintf(f.get(), "file_mapped_bytes,%llu\n",
+                     static_cast<unsigned long long>(
+                         result.finalFileBytes));
+        std::fprintf(f.get(), "demotion_bytes_per_sec,%.1f\n",
+                     result.demotionBytesPerSec);
+        std::fprintf(f.get(), "promotion_bytes_per_sec,%.1f\n",
+                     result.promotionBytesPerSec);
+        std::fprintf(f.get(), "monitor_overhead_fraction,%.5f\n",
+                     result.monitorOverheadFraction);
+        std::fprintf(f.get(), "cold_huge_placed,%llu\n",
+                     static_cast<unsigned long long>(
+                         result.engine.coldHugePlaced));
+        std::fprintf(f.get(), "cold_base_placed,%llu\n",
+                     static_cast<unsigned long long>(
+                         result.engine.coldBasePlaced));
+        std::fprintf(f.get(), "promotions,%llu\n",
+                     static_cast<unsigned long long>(
+                         result.engine.promotions));
+        std::fprintf(f.get(), "pages_spread,%llu\n",
+                     static_cast<unsigned long long>(
+                         result.engine.pagesSpread));
+    } else {
+        ok = false;
+    }
+    return ok;
+}
+
+} // namespace thermostat

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * CSV export of simulation results, for plotting the figures with
+ * external tooling (gnuplot/matplotlib).
+ */
+
+#ifndef THERMOSTAT_SIM_CSV_EXPORT_HH
+#define THERMOSTAT_SIM_CSV_EXPORT_HH
+
+#include <string>
+
+#include "sim/simulation.hh"
+
+namespace thermostat
+{
+
+/**
+ * Write a run's series and summary into @p directory:
+ *
+ *   footprint.csv  time_sec, hot_2mb, hot_4kb, cold_2mb, cold_4kb
+ *   slow_rate.csv  time_sec, engine_rate; plus the device series
+ *   summary.csv    key,value rows (slowdown, cold fraction, ...)
+ *
+ * The directory must exist.
+ * @return false (with a warning) when any file cannot be written.
+ */
+bool writeSimResultCsv(const SimResult &result,
+                       const std::string &directory);
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_SIM_CSV_EXPORT_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The evaluation machine: cores' memory path over the two-tier
+ * system (paper Sec 4.1 hardware, Sec 4.2 slow-memory emulation).
+ *
+ * Every memory reference flows TLB -> (page walk -> poison fault?)
+ * -> LLC -> memory tier.  Two slow-memory operating modes:
+ *
+ *  - BadgerTrapEmu (paper's methodology): cold data physically sits
+ *    in the slow NUMA zone but the device behaves like DRAM; the 1us
+ *    poison-fault on each TLB miss to a cold page *is* the emulated
+ *    slow access.
+ *  - Device: a real slow device model; LLC misses to the slow tier
+ *    pay its latency, and the poison fault only costs a bare
+ *    counting handler.
+ *
+ * Alongside the actual latency, each access computes the latency it
+ * would have had on the all-DRAM, unmonitored baseline, so a single
+ * run yields the slowdown directly.
+ */
+
+#ifndef THERMOSTAT_SIM_MACHINE_HH
+#define THERMOSTAT_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/llc.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/tiered_memory.hh"
+#include "sys/badger_trap.hh"
+#include "tlb/tlb.hh"
+#include "vm/address_space.hh"
+#include "vm/page_walker.hh"
+
+namespace thermostat
+{
+
+/** How slow memory is realized (paper Sec 4.2). */
+enum class SlowEmuMode : std::uint8_t
+{
+    BadgerTrapEmu, //!< 1us fault per TLB miss emulates the device
+    Device         //!< modeled device latency on LLC misses
+};
+
+/**
+ * How accesses to monitored (poisoned) pages are observed (paper
+ * Sec 3.3 and the Sec 6.1 hardware proposals).
+ */
+enum class CountingMode : std::uint8_t
+{
+    BadgerTrap, //!< reserved-bit fault on every TLB miss (software)
+    CmBit,      //!< proposed "count miss" PTE bit: fault on LLC
+                //!< miss, service overlapped with the memory access
+    Pebs        //!< PEBS-style sampled records, no faults at all
+};
+
+/** Full machine configuration. */
+struct MachineConfig
+{
+    TierConfig fastTier = TierConfig::dram(24ULL << 30);
+    TierConfig slowTier = TierConfig::slow(24ULL << 30);
+    TlbConfig l1Tlb{64, 4};
+    TlbConfig l2Tlb{1024, 8};
+    WalkerConfig walker;
+    LlcConfig llc;
+    BadgerTrapConfig trap;
+    SlowEmuMode slowMode = SlowEmuMode::BadgerTrapEmu;
+    CountingMode countingMode = CountingMode::BadgerTrap;
+
+    /**
+     * Visible cost of a CM-bit fault: the handler runs while the
+     * memory access proceeds in parallel, so only a small residue
+     * shows up on the critical path (Sec 6.1.1).
+     */
+    Ns cmFaultLatency = 150;
+
+    /**
+     * Memory-level parallelism: pipelineable latencies (walks, LLC,
+     * DRAM) overlap by this factor; poison faults and the slow-tier
+     * latency excess are serialized (pointer-chase-like).
+     */
+    double overlapFactor = 4.0;
+
+    /** L2 TLB hit cost (L1 hits are free / hidden). */
+    Ns l2TlbHitLatency = 7;
+
+    bool thpEnabled = true;
+};
+
+/** Per-access outcome. */
+struct AccessOutcome
+{
+    Ns actualLatency = 0;   //!< with tiering + monitoring
+    Ns baselineLatency = 0; //!< all-DRAM, no monitoring
+    bool tlbMiss = false;
+    bool llcMiss = false;
+    bool poisonFault = false;
+    Tier tier = Tier::Fast;
+};
+
+/** Machine-level accumulated counters. */
+struct MachineStats
+{
+    Count accesses = 0;          //!< sampled bursts simulated
+    Count lineAccesses = 0;      //!< line-level accesses simulated
+    Count cmFaults = 0;          //!< CM-bit faults (CmBit mode)
+    Count weightedAccesses = 0;  //!< real accesses represented
+    Count weightedSlowAccesses = 0;
+    Ns actualTime = 0;           //!< weighted actual memory time
+    Ns baselineTime = 0;         //!< weighted baseline memory time
+};
+
+/**
+ * Owns the memory system components and executes accesses.
+ */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config);
+
+    /**
+     * Execute one sampled burst reference representing @p weight
+     * real bursts.  The first line access pays the TLB/walk/fault
+     * path; the remaining @p burst_lines - 1 line accesses on the
+     * same page only see the LLC and the device.  Weighted latencies
+     * accumulate into stats().
+     */
+    AccessOutcome access(Addr vaddr, AccessType type, Count weight = 1,
+                         unsigned burst_lines = 1);
+
+    const MachineConfig &config() const { return config_; }
+    TieredMemory &memory() { return memory_; }
+    AddressSpace &space() { return space_; }
+    TlbHierarchy &tlb() { return tlb_; }
+    PageWalker &walker() { return walker_; }
+    LastLevelCache &llc() { return llc_; }
+    BadgerTrap &trap() { return trap_; }
+    const MachineStats &stats() const { return stats_; }
+
+    /** Weighted slow-tier accesses since the last call. */
+    Count takeSlowAccessCount();
+
+    /** Effective (overlapped) latency helpers, for tests. */
+    Ns effectiveWalkLatency(bool huge) const;
+
+  private:
+    MachineConfig config_;
+    TieredMemory memory_;
+    AddressSpace space_;
+    TlbHierarchy tlb_;
+    PageWalker walker_;
+    LastLevelCache llc_;
+    BadgerTrap trap_;
+    MachineStats stats_;
+    Count slowAccessWindow_ = 0;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_SIM_MACHINE_HH

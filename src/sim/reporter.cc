@@ -1,0 +1,137 @@
+#include "sim/reporter.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace thermostat
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    TSTAT_ASSERT(cells.size() == headers_.size(),
+                 "row width %zu != header width %zu", cells.size(),
+                 headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::toString() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+        for (const auto &row : rows_) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            os << cells[c];
+            os << std::string(widths[c] - cells[c].size(), ' ');
+        }
+        os << "\n";
+    };
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (const std::size_t w : widths) {
+        total += w + 2;
+    }
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows_) {
+        emit_row(row);
+    }
+    return os.str();
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    char buf[32];
+    if (bytes >= 10ULL << 30) {
+        std::snprintf(buf, sizeof(buf), "%.1fGB",
+                      static_cast<double>(bytes) / (1ULL << 30));
+    } else if (bytes >= 1ULL << 30) {
+        std::snprintf(buf, sizeof(buf), "%.2fGB",
+                      static_cast<double>(bytes) / (1ULL << 30));
+    } else if (bytes >= 1ULL << 20) {
+        std::snprintf(buf, sizeof(buf), "%.0fMB",
+                      static_cast<double>(bytes) / (1ULL << 20));
+    } else if (bytes >= 1ULL << 10) {
+        std::snprintf(buf, sizeof(buf), "%.0fKB",
+                      static_cast<double>(bytes) / (1ULL << 10));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lluB",
+                      static_cast<unsigned long long>(bytes));
+    }
+    return buf;
+}
+
+std::string
+formatPct(double fraction, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+formatNumber(double value, int decimals)
+{
+    char buf[32];
+    if (value >= 1.0e6) {
+        std::snprintf(buf, sizeof(buf), "%.2fM", value / 1.0e6);
+    } else if (value >= 1.0e4) {
+        std::snprintf(buf, sizeof(buf), "%.1fK", value / 1.0e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    }
+    return buf;
+}
+
+std::string
+formatRateMBps(double bytes_per_sec)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f MB/s",
+                  bytes_per_sec / 1.0e6);
+    return buf;
+}
+
+void
+printSeries(const TimeSeries &series, const std::string &unit,
+            std::size_t max_points)
+{
+    const std::size_t n = series.size();
+    if (n == 0) {
+        std::printf("  (empty series)\n");
+        return;
+    }
+    const std::size_t step = std::max<std::size_t>(1, n / max_points);
+    for (std::size_t i = 0; i < n; i += step) {
+        const auto &s = series.at(i);
+        std::printf("  t=%7.1fs  %12.3f %s\n",
+                    static_cast<double>(s.time) / kNsPerSec, s.value,
+                    unit.c_str());
+    }
+}
+
+} // namespace thermostat

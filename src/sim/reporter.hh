@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Console reporting helpers used by the benchmark harnesses to
+ * print paper-style tables and series.
+ */
+
+#ifndef THERMOSTAT_SIM_REPORTER_HH
+#define THERMOSTAT_SIM_REPORTER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace thermostat
+{
+
+/**
+ * Fixed-width console table: add rows of strings, print aligned.
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to a string (also usable in tests). */
+    std::string toString() const;
+
+    /** Print to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** "12.3GB", "512MB", "4KB" style formatting. */
+std::string formatBytes(std::uint64_t bytes);
+
+/** "3.1%" style formatting. */
+std::string formatPct(double fraction, int decimals = 1);
+
+/** "30000", "1.2e6" plain number formatting. */
+std::string formatNumber(double value, int decimals = 1);
+
+/** "12.5 MB/s" bandwidth formatting. */
+std::string formatRateMBps(double bytes_per_sec);
+
+/**
+ * Print a TimeSeries as aligned "t=...s  value" lines, downsampled
+ * to at most @p max_points evenly spaced points.
+ */
+void printSeries(const TimeSeries &series, const std::string &unit,
+                 std::size_t max_points = 24);
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_SIM_REPORTER_HH

@@ -1,0 +1,238 @@
+#include "sim/simulation.hh"
+
+#include "common/logging.hh"
+
+namespace thermostat
+{
+
+Simulation::Simulation(std::unique_ptr<Workload> workload,
+                       const SimConfig &config)
+    : config_(config),
+      workload_(std::move(workload)),
+      machine_(config.machine),
+      kstaled_(machine_.space(), machine_.tlb()),
+      khugepaged_(machine_.space(), machine_.tlb()),
+      migrator_(machine_.space(), machine_.tlb(), &machine_.llc()),
+      cgroup_("workload", config.params),
+      engine_(cgroup_, machine_.space(), machine_.trap(), kstaled_,
+              migrator_, Rng(config.seed ^ 0x7e47a11ULL)),
+      rng_(config.seed),
+      profileRng_(config.seed ^ 0x5aadddULL)
+{
+    TSTAT_ASSERT(workload_ != nullptr, "Simulation without workload");
+    engine_.setMarkingQuantum(
+        static_cast<double>(config.profileWeight));
+    workload_->setup(machine_.space());
+}
+
+void
+Simulation::recordFootprint(SimResult &result, Ns now)
+{
+    std::uint64_t hot2m = 0;
+    std::uint64_t hot4k = 0;
+    std::uint64_t cold2m = 0;
+    std::uint64_t cold4k = 0;
+    TieredMemory &memory = machine_.memory();
+    machine_.space().pageTable().forEachLeaf(
+        [&](Addr, Pte &pte, bool huge) {
+            const bool cold = memory.tierOf(pte.pfn()) == Tier::Slow;
+            if (huge) {
+                (cold ? cold2m : hot2m) += kPageSize2M;
+            } else {
+                (cold ? cold4k : hot4k) += kPageSize4K;
+            }
+        });
+    result.hot2M.append(now, static_cast<double>(hot2m));
+    result.hot4K.append(now, static_cast<double>(hot4k));
+    result.cold2M.append(now, static_cast<double>(cold2m));
+    result.cold4K.append(now, static_cast<double>(cold4k));
+}
+
+SimResult
+Simulation::run()
+{
+    SimResult result;
+    result.workload = workload_->name();
+    const Ns duration = config_.duration != 0
+                            ? config_.duration
+                            : workload_->naturalDuration();
+    result.duration = duration;
+
+    const double rate = workload_->memRefRate();
+    const double epoch_sec = static_cast<double>(config_.epoch) /
+                             static_cast<double>(kNsPerSec);
+    const Count weight = static_cast<Count>(
+        rate * epoch_sec /
+            static_cast<double>(config_.samplesPerEpoch) +
+        0.5);
+    TSTAT_ASSERT(weight >= 1, "sample weight underflow; lower "
+                              "samplesPerEpoch or raise access rate");
+    const auto profile_samples = static_cast<std::uint64_t>(
+        rate * epoch_sec /
+            static_cast<double>(config_.profileWeight) +
+        0.5);
+
+    // CPU (non-memory) work per epoch on the baseline machine.
+    const double cpu_frac = workload_->cpuWorkFraction();
+    const Ns work_per_epoch = static_cast<Ns>(
+        cpu_frac * static_cast<double>(config_.epoch));
+
+    double actual_total = 0.0;
+    double baseline_total = 0.0;
+    double cold_frac_sum = 0.0;
+    std::uint64_t cold_frac_count = 0;
+    Ns next_report = 0;
+    Ns overhead_total = 0;
+
+    const Ns warmup = config_.warmup;
+    for (Ns now = 0; now < warmup + duration; now += config_.epoch) {
+        const bool recording = now >= warmup;
+        const Ns rec_time = recording ? now - warmup : 0;
+        workload_->advance(now, machine_.space());
+        if (config_.thermostatEnabled) {
+            engine_.tick(now);
+        }
+        if (config_.khugepagedEnabled) {
+            khugepaged_.tick(now);
+        }
+        if (hook_) {
+            hook_(*this, now);
+        }
+        const Ns overhead = engine_.takeOverhead();
+        if (recording) {
+            overhead_total += overhead;
+        }
+
+        Ns epoch_actual = 0;
+        Ns epoch_baseline = 0;
+        for (unsigned i = 0; i < config_.samplesPerEpoch; ++i) {
+            const MemRef ref = workload_->sample(rng_);
+            const AccessOutcome out =
+                machine_.access(ref.addr, ref.type, weight,
+                                ref.burstLines);
+            epoch_actual += out.actualLatency;
+            epoch_baseline += out.baselineLatency;
+        }
+        // Profiling stream: fine-grained accesses that maintain
+        // Accessed bits and poisoned-page counters without touching
+        // the timing model.
+        const bool pebs = config_.machine.countingMode ==
+                          CountingMode::Pebs;
+        const auto pebs_budget = static_cast<Count>(
+            config_.pebsMaxRecordsPerSec * epoch_sec);
+        Count pebs_records = 0;
+        for (std::uint64_t i = 0; i < profile_samples; ++i) {
+            const MemRef ref = workload_->sample(profileRng_);
+            WalkResult wr =
+                machine_.space().pageTable().walk(ref.addr);
+            TSTAT_ASSERT(wr.mapped(), "profile ref unmapped");
+            wr.pte->setAccessed();
+            if (ref.type == AccessType::Write) {
+                wr.pte->setDirty();
+            }
+            if (!wr.pte->poisoned()) {
+                continue;
+            }
+            const Addr base = wr.huge ? alignDown2M(ref.addr)
+                                      : alignDown4K(ref.addr);
+            if (!pebs) {
+                machine_.trap().recordAccess(base,
+                                             config_.profileWeight);
+                continue;
+            }
+            // PEBS: one record per pebsPeriod monitored accesses,
+            // silently dropped beyond the record-rate budget --
+            // which is exactly why 1000Hz cannot support 30K
+            // accesses/sec of monitoring (Sec 6.1.2).
+            if (++pebsMonitoredHits_ % config_.pebsPeriod != 0) {
+                continue;
+            }
+            if (pebs_records >= pebs_budget) {
+                continue;
+            }
+            ++pebs_records;
+            machine_.trap().recordAccess(
+                base, config_.profileWeight * config_.pebsPeriod);
+        }
+
+        const Count slow_accesses = machine_.takeSlowAccessCount();
+        if (!recording) {
+            continue;
+        }
+        const double actual_mem =
+            static_cast<double>(epoch_actual) *
+            static_cast<double>(weight);
+        const double baseline_mem =
+            static_cast<double>(epoch_baseline) *
+            static_cast<double>(weight);
+        actual_total += static_cast<double>(work_per_epoch) +
+                        actual_mem + static_cast<double>(overhead);
+        baseline_total +=
+            static_cast<double>(work_per_epoch) + baseline_mem;
+
+        // Device-level slow access rate for this epoch.
+        result.deviceSlowRate.append(
+            rec_time + config_.epoch,
+            static_cast<double>(slow_accesses) / epoch_sec);
+
+        if (rec_time >= next_report) {
+            recordFootprint(result, rec_time);
+            const std::uint64_t rss = machine_.space().rssBytes();
+            if (rss > 0) {
+                cold_frac_sum +=
+                    static_cast<double>(engine_.coldBytes()) /
+                    static_cast<double>(rss);
+                ++cold_frac_count;
+            }
+            next_report += config_.reportInterval;
+        }
+    }
+    recordFootprint(result, duration);
+
+    result.slowdown =
+        baseline_total > 0.0 ? actual_total / baseline_total - 1.0
+                             : 0.0;
+    result.actualSeconds = actual_total / kNsPerSec;
+    result.baselineSeconds = baseline_total / kNsPerSec;
+    result.finalRssBytes = machine_.space().rssBytes();
+    result.finalFileBytes = machine_.space().fileBackedBytes();
+    result.finalColdFraction =
+        result.finalRssBytes > 0
+            ? static_cast<double>(engine_.coldBytes()) /
+                  static_cast<double>(result.finalRssBytes)
+            : 0.0;
+    result.avgColdFraction =
+        cold_frac_count > 0
+            ? cold_frac_sum / static_cast<double>(cold_frac_count)
+            : 0.0;
+    // Shift the engine's series into measurement time.
+    for (const auto &sample : engine_.slowRateSeries().samples()) {
+        if (sample.time >= warmup) {
+            result.engineSlowRate.append(sample.time - warmup,
+                                         sample.value);
+        }
+    }
+
+    const double dur_sec = static_cast<double>(duration) /
+                           static_cast<double>(kNsPerSec);
+    result.demotionBytesPerSec =
+        static_cast<double>(migrator_.stats().bytesDemoted) / dur_sec;
+    result.promotionBytesPerSec =
+        static_cast<double>(migrator_.stats().bytesPromoted) / dur_sec;
+    result.monitorOverheadFraction =
+        baseline_total > 0.0
+            ? static_cast<double>(overhead_total) / baseline_total
+            : 0.0;
+
+    result.migration = migrator_.stats();
+    result.engine = engine_.stats();
+    result.trap = machine_.trap().stats();
+    result.machineStats = machine_.stats();
+    result.l1Tlb = machine_.tlb().l1().stats();
+    result.l2Tlb = machine_.tlb().l2().stats();
+    result.llc = machine_.llc().stats();
+    result.walker = machine_.walker().stats();
+    return result;
+}
+
+} // namespace thermostat

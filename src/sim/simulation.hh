@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The experiment driver: runs a workload on a Machine with the
+ * Thermostat engine attached, epoch by epoch, and produces the
+ * measurements the paper's tables and figures report.
+ *
+ * Scaled-stream methodology: each 1s epoch simulates
+ * `samplesPerEpoch` concrete references, each representing
+ * `memRefRate / samplesPerEpoch` real accesses; latencies and event
+ * counts scale linearly.  Both the actual and the all-DRAM baseline
+ * latency of every access are computed in the same pass, so one run
+ * yields throughput degradation directly.
+ */
+
+#ifndef THERMOSTAT_SIM_SIMULATION_HH
+#define THERMOSTAT_SIM_SIMULATION_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "core/thermostat.hh"
+#include "sim/machine.hh"
+#include "sys/khugepaged.hh"
+#include "sys/kstaled.hh"
+#include "sys/mem_cgroup.hh"
+#include "sys/migration.hh"
+#include "workload/workload.hh"
+
+namespace thermostat
+{
+
+/** Experiment configuration. */
+struct SimConfig
+{
+    std::uint64_t seed = 42;
+    Ns epoch = kNsPerSec;
+    unsigned samplesPerEpoch = 40000;
+
+    /** 0 = the workload's natural duration. */
+    Ns duration = 0;
+
+    /**
+     * Warmup time before measurement starts.  Thermostat runs and
+     * the workload executes, but nothing is recorded; matches the
+     * paper's methodology of measuring after benchmark warmup
+     * (e.g. 600s for MySQL-TPCC, Sec 4.3).
+     */
+    Ns warmup = 0;
+
+    /**
+     * Weight (real accesses per sample) of the profiling stream
+     * that drives poisoned-page access counting and Accessed bits.
+     * Finer than the timing stream so that low-rate pages are
+     * measurable: the paper's mechanism observes every TLB miss,
+     * which a coarse-grained timing stream cannot represent.
+     */
+    Count profileWeight = 4;
+
+    MachineConfig machine;
+    ThermostatParams params;
+    bool thermostatEnabled = true;
+
+    /**
+     * Run the khugepaged model alongside Thermostat, recovering
+     * huge pages from ranges left split (off by default: the engine
+     * collapses its own samples, so the daemon matters mainly for
+     * THP-off phases and the spreading extension).
+     */
+    bool khugepagedEnabled = false;
+
+    /**
+     * PEBS counting parameters (machine.countingMode == Pebs): one
+     * record per `pebsPeriod` monitored accesses, capped at
+     * `pebsMaxRecordsPerSec` (the Linux default of 1000Hz is the
+     * bottleneck the paper calls out in Sec 6.1.2).
+     */
+    Count pebsPeriod = 16;
+    double pebsMaxRecordsPerSec = 1000.0;
+
+    /** Footprint/timeseries sampling interval. */
+    Ns reportInterval = 5 * kNsPerSec;
+};
+
+/** Everything a run produces. */
+struct SimResult
+{
+    std::string workload;
+    Ns duration = 0;
+
+    /** Overall throughput degradation: actual/baseline - 1. */
+    double slowdown = 0.0;
+
+    /** Absolute modeled execution time (for cross-run comparisons,
+     *  e.g. Table 1's THP on/off throughput gain). */
+    double actualSeconds = 0.0;
+    double baselineSeconds = 0.0;
+
+    /** Cold bytes / RSS, averaged over report points & at the end. */
+    double avgColdFraction = 0.0;
+    double finalColdFraction = 0.0;
+
+    std::uint64_t finalRssBytes = 0;
+    std::uint64_t finalFileBytes = 0;
+
+    /** Footprint breakdown over time (bytes). */
+    TimeSeries hot2M{"hot_2MB"};
+    TimeSeries hot4K{"hot_4KB"};
+    TimeSeries cold2M{"cold_2MB"};
+    TimeSeries cold4K{"cold_4KB"};
+
+    /** Engine-measured slow-memory access rate (Fig 3). */
+    TimeSeries engineSlowRate{"engine_slow_rate"};
+
+    /** Device-level slow-tier access rate per epoch. */
+    TimeSeries deviceSlowRate{"device_slow_rate"};
+
+    /** Average migration bandwidth over the run (bytes/sec). */
+    double demotionBytesPerSec = 0.0;
+    double promotionBytesPerSec = 0.0;
+
+    /** Engine/monitoring CPU overhead relative to baseline time. */
+    double monitorOverheadFraction = 0.0;
+
+    MigrationStats migration;
+    EngineStats engine;
+    BadgerTrapStats trap;
+    MachineStats machineStats;
+    TlbStats l1Tlb;
+    TlbStats l2Tlb;
+    LlcStats llc;
+    WalkerStats walker;
+};
+
+/**
+ * One experiment: workload + machine + Thermostat.
+ */
+class Simulation
+{
+  public:
+    /** Called at each epoch boundary (after the engine tick). */
+    using EpochHook = std::function<void(Simulation &, Ns)>;
+
+    Simulation(std::unique_ptr<Workload> workload,
+               const SimConfig &config);
+
+    /** Run to completion and collect results. */
+    SimResult run();
+
+    /** Install a per-epoch callback (custom policies in benches). */
+    void setEpochHook(EpochHook hook) { hook_ = std::move(hook); }
+
+    Machine &machine() { return machine_; }
+    Workload &workload() { return *workload_; }
+    Kstaled &kstaled() { return kstaled_; }
+    Khugepaged &khugepaged() { return khugepaged_; }
+    PageMigrator &migrator() { return migrator_; }
+    MemCgroup &cgroup() { return cgroup_; }
+    ThermostatEngine &engine() { return engine_; }
+    const SimConfig &config() const { return config_; }
+
+  private:
+    void recordFootprint(SimResult &result, Ns now);
+
+    SimConfig config_;
+    std::unique_ptr<Workload> workload_;
+    Machine machine_;
+    Kstaled kstaled_;
+    Khugepaged khugepaged_;
+    PageMigrator migrator_;
+    MemCgroup cgroup_;
+    ThermostatEngine engine_;
+    Rng rng_;
+    Rng profileRng_;
+    Count pebsMonitoredHits_ = 0;
+    EpochHook hook_;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_SIM_SIMULATION_HH

@@ -1,0 +1,82 @@
+#include "sys/badger_trap.hh"
+
+#include "common/logging.hh"
+
+namespace thermostat
+{
+
+BadgerTrap::BadgerTrap(AddressSpace &space, TlbHierarchy &tlb,
+                       const BadgerTrapConfig &config)
+    : space_(space), tlb_(tlb), config_(config)
+{
+}
+
+Ns
+BadgerTrap::poison(Addr page_base)
+{
+    WalkResult wr = space_.pageTable().walk(page_base);
+    TSTAT_ASSERT(wr.mapped(), "poison: unmapped page %#lx",
+                 static_cast<unsigned long>(page_base));
+    wr.pte->poison();
+    tlb_.invalidatePage(page_base);
+    counts_[page_base] = 0;
+    ++stats_.poisons;
+    stats_.maintenanceTime += config_.poisonCost;
+    return config_.poisonCost;
+}
+
+Ns
+BadgerTrap::unpoison(Addr page_base)
+{
+    WalkResult wr = space_.pageTable().walk(page_base);
+    TSTAT_ASSERT(wr.mapped(), "unpoison: unmapped page %#lx",
+                 static_cast<unsigned long>(page_base));
+    wr.pte->unpoison();
+    ++stats_.unpoisons;
+    stats_.maintenanceTime += config_.poisonCost;
+    return config_.poisonCost;
+}
+
+bool
+BadgerTrap::isPoisoned(Addr page_base)
+{
+    WalkResult wr = space_.pageTable().walk(page_base);
+    return wr.mapped() && wr.pte->poisoned();
+}
+
+Ns
+BadgerTrap::onPoisonFault(Addr page_base, Count weight)
+{
+    (void)page_base;
+    ++stats_.faults;
+    stats_.weightedFaults += weight;
+    stats_.handlerTime += config_.faultLatency;
+    return config_.faultLatency;
+}
+
+void
+BadgerTrap::recordAccess(Addr page_base, Count weight)
+{
+    counts_[page_base] += weight;
+}
+
+Count
+BadgerTrap::faultCount(Addr page_base) const
+{
+    const auto it = counts_.find(page_base);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+void
+BadgerTrap::resetCount(Addr page_base)
+{
+    counts_[page_base] = 0;
+}
+
+void
+BadgerTrap::resetAllCounts()
+{
+    counts_.clear();
+}
+
+} // namespace thermostat

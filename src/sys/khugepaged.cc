@@ -1,0 +1,74 @@
+#include "sys/khugepaged.hh"
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace thermostat
+{
+
+Khugepaged::Khugepaged(AddressSpace &space, TlbHierarchy &tlb,
+                       const KhugepagedConfig &config)
+    : space_(space), tlb_(tlb), config_(config)
+{
+}
+
+void
+Khugepaged::tick(Ns now)
+{
+    while (now >= nextPass_) {
+        runPass();
+        nextPass_ += config_.scanPeriod;
+    }
+}
+
+unsigned
+Khugepaged::runPass()
+{
+    ++stats_.passes;
+
+    // Gather the 2MB-aligned ranges that currently hold 4KB leaves.
+    std::unordered_set<Addr> candidates;
+    std::unordered_set<Addr> poisoned_ranges;
+    space_.pageTable().forEachLeaf(
+        [&](Addr base, Pte &pte, bool huge) {
+            if (huge) {
+                return;
+            }
+            const Addr range = alignDown2M(base);
+            candidates.insert(range);
+            if (pte.poisoned()) {
+                // A poisoned subpage means the range is under
+                // active monitoring; leave it alone, like
+                // khugepaged skips pages with special PTE bits.
+                poisoned_ranges.insert(range);
+            }
+        });
+
+    std::vector<Addr> ordered(candidates.begin(), candidates.end());
+    std::sort(ordered.begin(), ordered.end());
+
+    unsigned collapsed = 0;
+    for (const Addr range : ordered) {
+        ++stats_.rangesScanned;
+        stats_.totalCost += config_.perRangeCost;
+        if (collapsed >= config_.maxCollapsesPerPass) {
+            break;
+        }
+        if (poisoned_ranges.find(range) != poisoned_ranges.end()) {
+            continue;
+        }
+        // collapseHuge() enforces the real preconditions: all 512
+        // present, physically contiguous, uniform flags.
+        if (space_.collapseHuge(range)) {
+            tlb_.invalidatePage(range);
+            stats_.totalCost += config_.perCollapseCost;
+            ++stats_.collapses;
+            ++collapsed;
+        }
+    }
+    return collapsed;
+}
+
+} // namespace thermostat

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * khugepaged: background huge-page recovery.
+ *
+ * Thermostat's sampler splits huge pages to profile them and
+ * collapses them again at classification time, but split pages can
+ * be left behind: a crash of the pipeline, THP-off phases, or the
+ * Sec 6 spreading extension after its cold subpages were all
+ * promoted back.  Linux recovers such ranges with khugepaged; this
+ * model scans for 2MB-aligned ranges of 512 present, physically
+ * contiguous 4KB mappings in the same tier and collapses them.
+ */
+
+#ifndef THERMOSTAT_SYS_KHUGEPAGED_HH
+#define THERMOSTAT_SYS_KHUGEPAGED_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "tlb/tlb.hh"
+#include "vm/address_space.hh"
+
+namespace thermostat
+{
+
+/** Scan parameters (mirroring khugepaged's pages_to_scan knob). */
+struct KhugepagedConfig
+{
+    /** Time between scan passes. */
+    Ns scanPeriod = 10 * kNsPerSec;
+
+    /** Max collapses per pass (bounds per-pass CPU). */
+    unsigned maxCollapsesPerPass = 64;
+
+    /** Cost charged per candidate range examined. */
+    Ns perRangeCost = 500;
+
+    /** Cost of one collapse (copy-free here: remap + shootdown). */
+    Ns perCollapseCost = 5000;
+};
+
+/** Counters. */
+struct KhugepagedStats
+{
+    Count passes = 0;
+    Count rangesScanned = 0;
+    Count collapses = 0;
+    Ns totalCost = 0;
+};
+
+/**
+ * The daemon.  Call tick() periodically; it runs a pass when due.
+ */
+class Khugepaged
+{
+  public:
+    Khugepaged(AddressSpace &space, TlbHierarchy &tlb,
+               const KhugepagedConfig &config = {});
+
+    /** Advance to @p now; runs scan passes whose time has come. */
+    void tick(Ns now);
+
+    /** Run one pass immediately (tests, manual compaction). */
+    unsigned runPass();
+
+    const KhugepagedStats &stats() const { return stats_; }
+    const KhugepagedConfig &config() const { return config_; }
+
+  private:
+    AddressSpace &space_;
+    TlbHierarchy &tlb_;
+    KhugepagedConfig config_;
+    KhugepagedStats stats_;
+    Ns nextPass_ = 0;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_SYS_KHUGEPAGED_HH

@@ -1,0 +1,142 @@
+#include "sys/kstaled.hh"
+
+#include "common/logging.hh"
+
+namespace thermostat
+{
+
+Kstaled::Kstaled(AddressSpace &space, TlbHierarchy &tlb,
+                 const KstaledConfig &config)
+    : space_(space), tlb_(tlb), config_(config)
+{
+}
+
+void
+Kstaled::visitPage(Addr base, Pte &pte, ScanStats &stats)
+{
+    ++stats.scannedPtes;
+    stats.cost += config_.perPteCost;
+    PageIdleState &state = pageState_[base];
+    if (pte.accessed()) {
+        ++stats.accessedPtes;
+        pte.clearAccessed();
+        tlb_.invalidatePage(base);
+        ++stats.shootdowns;
+        stats.cost += config_.shootdownCost;
+        state.idleScans = 0;
+        ++state.hotStreak;
+        ++state.totalAccessedScans;
+    } else {
+        ++state.idleScans;
+        state.hotStreak = 0;
+    }
+}
+
+ScanStats
+Kstaled::scanAll()
+{
+    ScanStats stats;
+    space_.pageTable().forEachLeaf(
+        [this, &stats](Addr base, Pte &pte, bool) {
+            visitPage(base, pte, stats);
+        });
+    totalCost_ += stats.cost;
+    ++scanCount_;
+    return stats;
+}
+
+ScanStats
+Kstaled::scanPages(const std::vector<Addr> &pages)
+{
+    ScanStats stats;
+    for (const Addr base : pages) {
+        WalkResult wr = space_.pageTable().walk(base);
+        if (!wr.mapped()) {
+            continue;
+        }
+        visitPage(base, *wr.pte, stats);
+    }
+    totalCost_ += stats.cost;
+    ++scanCount_;
+    return stats;
+}
+
+bool
+Kstaled::testAndClearAccessed(Addr page_base)
+{
+    WalkResult wr = space_.pageTable().walk(page_base);
+    TSTAT_ASSERT(wr.mapped(), "testAndClearAccessed: unmapped page");
+    totalCost_ += config_.perPteCost;
+    if (!wr.pte->accessed()) {
+        return false;
+    }
+    wr.pte->clearAccessed();
+    tlb_.invalidatePage(page_base);
+    totalCost_ += config_.shootdownCost;
+    return true;
+}
+
+ScanStats
+Kstaled::clearSubpagesAfterSplit(Addr huge_base)
+{
+    ScanStats stats;
+    for (unsigned i = 0; i < kSubpagesPerHuge; ++i) {
+        const Addr sub = huge_base + i * kPageSize4K;
+        WalkResult wr = space_.pageTable().walk(sub);
+        if (!wr.mapped()) {
+            continue;
+        }
+        ++stats.scannedPtes;
+        stats.cost += config_.perPteCost;
+        if (wr.pte->accessed()) {
+            ++stats.accessedPtes;
+            wr.pte->clearAccessed();
+        }
+    }
+    tlb_.invalidatePage(huge_base);
+    ++stats.shootdowns;
+    stats.cost += config_.shootdownCost;
+    totalCost_ += stats.cost;
+    return stats;
+}
+
+PageIdleState
+Kstaled::idleState(Addr page_base) const
+{
+    const auto it = pageState_.find(page_base);
+    return it == pageState_.end() ? PageIdleState() : it->second;
+}
+
+bool
+Kstaled::isHot(Addr page_base) const
+{
+    return idleState(page_base).hotStreak >= config_.hotConsecutiveScans;
+}
+
+double
+Kstaled::hugeIdleFraction(unsigned min_idle_scans)
+{
+    std::uint64_t huge_total = 0;
+    std::uint64_t huge_idle = 0;
+    space_.pageTable().forEachLeaf(
+        [&](Addr base, Pte &, bool huge) {
+            if (!huge) {
+                return;
+            }
+            ++huge_total;
+            if (idleState(base).idleScans >= min_idle_scans) {
+                ++huge_idle;
+            }
+        });
+    return huge_total == 0 ? 0.0
+                           : static_cast<double>(huge_idle) /
+                                 static_cast<double>(huge_total);
+}
+
+void
+Kstaled::reset()
+{
+    pageState_.clear();
+}
+
+} // namespace thermostat

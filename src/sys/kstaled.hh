@@ -1,0 +1,129 @@
+/**
+ * @file
+ * kstaled-style idle page tracking via hardware Accessed bits
+ * (Lespinasse, LWN 2011; paper Sec 2.1).
+ *
+ * Each scan visits leaf PTEs, records which pages were accessed
+ * since the previous scan, clears the Accessed bit and shoots down
+ * the TLB entry so future accesses set it again.  This is the
+ * baseline mechanism the paper shows to be insufficient: the single
+ * Accessed bit per page cannot estimate access *rates*, and scanning
+ * fast enough to try costs more than the tolerable slowdown.
+ */
+
+#ifndef THERMOSTAT_SYS_KSTALED_HH
+#define THERMOSTAT_SYS_KSTALED_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "tlb/tlb.hh"
+#include "vm/address_space.hh"
+
+namespace thermostat
+{
+
+/** Scanner cost model and hotness definition. */
+struct KstaledConfig
+{
+    /** Cost of reading (and possibly clearing) one PTE. */
+    Ns perPteCost = 20;
+
+    /** Cost of the TLB shootdown issued when an A bit is cleared. */
+    Ns shootdownCost = 2000;
+
+    /**
+     * A page is "hot" when its Accessed bit was set in this many
+     * consecutive scans (Fig. 2 uses three).
+     */
+    unsigned hotConsecutiveScans = 3;
+};
+
+/** Per-page idle-tracking state. */
+struct PageIdleState
+{
+    unsigned idleScans = 0; //!< consecutive scans without an access
+    unsigned hotStreak = 0; //!< consecutive scans with an access
+    Count totalAccessedScans = 0;
+};
+
+/** Result of one scan pass. */
+struct ScanStats
+{
+    Count scannedPtes = 0;
+    Count accessedPtes = 0;
+    Count shootdowns = 0;
+    Ns cost = 0;
+};
+
+/**
+ * The scanner.  Tracks pages at the granularity they are mapped
+ * (2MB leaves as single pages, split pages as 512 4KB entries).
+ */
+class Kstaled
+{
+  public:
+    Kstaled(AddressSpace &space, TlbHierarchy &tlb,
+            const KstaledConfig &config = {});
+
+    /** Scan every leaf in the address space. */
+    ScanStats scanAll();
+
+    /** Scan only the given page base addresses. */
+    ScanStats scanPages(const std::vector<Addr> &pages);
+
+    /**
+     * Read-and-clear one page's Accessed bit (with shootdown when it
+     * was set).  Cost is accumulated into totalCost().
+     * @return whether the bit was set.
+     */
+    bool testAndClearAccessed(Addr page_base);
+
+    /**
+     * Clear the Accessed bits of all 512 subpages of a huge page
+     * that was just split.  The split itself already requires one
+     * shootdown of the old 2MB translation, so the whole operation
+     * costs 512 PTE writes plus a single shootdown -- unlike
+     * steady-state scanning, which pays per live translation.
+     */
+    ScanStats clearSubpagesAfterSplit(Addr huge_base);
+
+    /** Idle state of a page (default state if never scanned). */
+    PageIdleState idleState(Addr page_base) const;
+
+    /** Whether the page met the hot-streak criterion. */
+    bool isHot(Addr page_base) const;
+
+    /**
+     * Fraction of 2MB leaves idle for at least @p min_idle_scans
+     * consecutive scans (Figure 1 uses scans covering 10 seconds).
+     */
+    double hugeIdleFraction(unsigned min_idle_scans);
+
+    /** Total scanner CPU time charged so far. */
+    Ns totalCost() const { return totalCost_; }
+
+    /** Scans completed. */
+    Count scanCount() const { return scanCount_; }
+
+    /** Forget all idle state (e.g. after migration reshuffles). */
+    void reset();
+
+    const KstaledConfig &config() const { return config_; }
+
+  private:
+    void visitPage(Addr base, Pte &pte, ScanStats &stats);
+
+    AddressSpace &space_;
+    TlbHierarchy &tlb_;
+    KstaledConfig config_;
+    std::unordered_map<Addr, PageIdleState> pageState_;
+    Ns totalCost_ = 0;
+    Count scanCount_ = 0;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_SYS_KSTALED_HH

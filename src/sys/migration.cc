@@ -1,0 +1,117 @@
+#include "sys/migration.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace thermostat
+{
+
+PageMigrator::PageMigrator(AddressSpace &space, TlbHierarchy &tlb,
+                           LastLevelCache *llc,
+                           const MigrationConfig &config)
+    : space_(space), tlb_(tlb), llc_(llc), config_(config)
+{
+}
+
+Ns
+PageMigrator::copyCost(std::uint64_t bytes) const
+{
+    const double sec = static_cast<double>(bytes) /
+                       config_.copyBandwidthBytesPerSec;
+    return config_.perPageSwCost +
+           static_cast<Ns>(std::llround(sec * kNsPerSec));
+}
+
+MigrateResult
+PageMigrator::migrate(Addr vaddr, Tier target, Ns now)
+{
+    MigrateResult result;
+    WalkResult wr = space_.pageTable().walk(vaddr);
+    TSTAT_ASSERT(wr.mapped(), "migrate: unmapped page %#lx",
+                 static_cast<unsigned long>(vaddr));
+
+    TieredMemory &memory = space_.memory();
+    const Pfn old_pfn = wr.pte->pfn();
+    const Tier source = memory.tierOf(old_pfn);
+    if (source == target) {
+        return result; // already placed; nothing to do
+    }
+
+    const bool huge = wr.huge;
+    const std::uint64_t bytes = huge ? kPageSize2M : kPageSize4K;
+
+    // Allocate the destination frame(s).
+    Pfn new_pfn = 0;
+    if (huge) {
+        const auto alloc = memory.allocHuge(target);
+        if (!alloc) {
+            ++stats_.failedAllocs;
+            return result;
+        }
+        new_pfn = *alloc;
+    } else {
+        const auto alloc = memory.allocBase(target);
+        if (!alloc) {
+            ++stats_.failedAllocs;
+            return result;
+        }
+        new_pfn = *alloc;
+    }
+
+    // Copy traffic: read from source, write to destination.
+    memory.tier(source).recordMigrationOut(bytes);
+    memory.tier(target).recordMigrationIn(bytes);
+    // Device wear from the copy: 64B line writes per 4KB frame.
+    const Count line_writes_per_frame =
+        static_cast<Count>(kPageSize4K / 64);
+    const unsigned frames =
+        huge ? kSubpagesPerHuge : 1u;
+    for (unsigned i = 0; i < frames; ++i) {
+        memory.tier(target).recordWear(new_pfn + i,
+                                       line_writes_per_frame);
+    }
+
+    // Rewire the translation and invalidate stale cached state.
+    space_.remapLeaf(vaddr, new_pfn);
+    tlb_.invalidatePage(vaddr);
+    if (llc_) {
+        for (unsigned i = 0; i < frames; ++i) {
+            llc_->invalidateFrame(old_pfn + i);
+        }
+    }
+
+    // Release the old frame(s).
+    if (huge) {
+        memory.freeHuge(old_pfn);
+    } else {
+        memory.freeBase(old_pfn);
+    }
+
+    // Accounting.
+    const bool demotion = target == Tier::Slow;
+    if (demotion) {
+        stats_.bytesDemoted += bytes;
+        if (huge) {
+            ++stats_.hugeDemotions;
+        } else {
+            ++stats_.baseDemotions;
+        }
+        demotionMeter_.record(now, bytes);
+    } else {
+        stats_.bytesPromoted += bytes;
+        if (huge) {
+            ++stats_.hugePromotions;
+        } else {
+            ++stats_.basePromotions;
+        }
+        promotionMeter_.record(now, bytes);
+    }
+
+    result.moved = true;
+    result.cost = copyCost(bytes);
+    stats_.totalCost += result.cost;
+    return result;
+}
+
+} // namespace thermostat

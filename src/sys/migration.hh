@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Page migration between memory tiers (NUMA zones).
+ *
+ * The paper moves cold pages into the slow tier through the existing
+ * Linux NUMA migration path exposed to KVM guests (Sec 3.6), and
+ * reports the resulting bandwidth in Table 3, split into demotion
+ * ("Migration") and promotion-after-mis-classification
+ * ("False-classification") traffic.
+ */
+
+#ifndef THERMOSTAT_SYS_MIGRATION_HH
+#define THERMOSTAT_SYS_MIGRATION_HH
+
+#include <cstdint>
+
+#include "cache/llc.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "tlb/tlb.hh"
+#include "vm/address_space.hh"
+
+namespace thermostat
+{
+
+/** Migration cost model. */
+struct MigrationConfig
+{
+    /** Kernel software overhead per migrated page (either size). */
+    Ns perPageSwCost = 3000;
+
+    /** Copy bandwidth between tiers, bytes/sec. */
+    double copyBandwidthBytesPerSec = 4.0e9;
+};
+
+/** Aggregate migration accounting. */
+struct MigrationStats
+{
+    Count hugeDemotions = 0;   //!< fast -> slow, 2MB
+    Count baseDemotions = 0;   //!< fast -> slow, 4KB
+    Count hugePromotions = 0;  //!< slow -> fast, 2MB
+    Count basePromotions = 0;  //!< slow -> fast, 4KB
+    std::uint64_t bytesDemoted = 0;
+    std::uint64_t bytesPromoted = 0;
+    Count failedAllocs = 0;    //!< target tier full
+    Ns totalCost = 0;
+};
+
+/** Outcome of one migration request. */
+struct MigrateResult
+{
+    bool moved = false;
+    Ns cost = 0;
+};
+
+/**
+ * Moves individual pages between tiers, updating the page table,
+ * TLB, LLC and the per-tier traffic meters.
+ */
+class PageMigrator
+{
+  public:
+    PageMigrator(AddressSpace &space, TlbHierarchy &tlb,
+                 LastLevelCache *llc = nullptr,
+                 const MigrationConfig &config = {});
+
+    /**
+     * Migrate the leaf page at @p vaddr to @p target.
+     * No-op (moved=false, cost=0) when already there; moved=false
+     * with failedAllocs incremented when the target tier is full.
+     */
+    MigrateResult migrate(Addr vaddr, Tier target, Ns now);
+
+    const MigrationStats &stats() const { return stats_; }
+    const MigrationConfig &config() const { return config_; }
+
+    /**
+     * Demotion bandwidth (bytes/sec) in the window since the last
+     * call; Table 3's "Migration" column.
+     */
+    double takeDemotionRate(Ns now) { return demotionMeter_.takeWindowRate(now); }
+
+    /**
+     * Promotion bandwidth (bytes/sec) in the window since the last
+     * call; Table 3's "False-classification" column.
+     */
+    double takePromotionRate(Ns now) { return promotionMeter_.takeWindowRate(now); }
+
+    double overallDemotionRate() const { return demotionMeter_.overallRate(); }
+    double overallPromotionRate() const { return promotionMeter_.overallRate(); }
+
+  private:
+    Ns copyCost(std::uint64_t bytes) const;
+
+    AddressSpace &space_;
+    TlbHierarchy &tlb_;
+    LastLevelCache *llc_;
+    MigrationConfig config_;
+    MigrationStats stats_;
+    RateMeter demotionMeter_;  //!< records bytes, not pages
+    RateMeter promotionMeter_;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_SYS_MIGRATION_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Set-associative TLB and the two-level hierarchy of the evaluation
+ * machine (Sec 4.1: 64-entry per-core L1, shared 1024-entry L2).
+ *
+ * Entries are tagged with the mapping size; a lookup probes both the
+ * 4KB and 2MB interpretation of an address, as x86 TLBs effectively
+ * do.  Huge pages increase reach by covering 512x more memory per
+ * entry, which is where Table 1's THP benefit comes from.
+ */
+
+#ifndef THERMOSTAT_TLB_TLB_HH
+#define THERMOSTAT_TLB_TLB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace thermostat
+{
+
+/** One cached translation. */
+struct TlbEntry
+{
+    Vpn vpn = 0;     //!< page number at the entry's granularity
+    Pfn pfn = 0;     //!< frame number at the same granularity
+    bool huge = false;
+    bool valid = false;
+    std::uint64_t lastUse = 0;
+};
+
+/** Static TLB geometry. */
+struct TlbConfig
+{
+    unsigned entryCount = 64;
+    unsigned ways = 4;
+};
+
+/** Hit/miss/maintenance counters. */
+struct TlbStats
+{
+    Count hits = 0;
+    Count misses = 0;
+    Count fills = 0;
+    Count evictions = 0;
+    Count invalidations = 0;
+    Count flushes = 0;
+
+    double
+    missRatio() const
+    {
+        const Count total = hits + misses;
+        return total == 0
+                   ? 0.0
+                   : static_cast<double>(misses) /
+                         static_cast<double>(total);
+    }
+};
+
+/**
+ * One set-associative TLB holding 4KB and 2MB entries side by side.
+ */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &config);
+
+    /**
+     * Probe for a translation of @p vaddr at either granularity.
+     * Updates LRU state and hit/miss counters.
+     */
+    std::optional<TlbEntry> lookup(Addr vaddr);
+
+    /** Probe without updating LRU or counters. */
+    std::optional<TlbEntry> peek(Addr vaddr) const;
+
+    /** Install a translation (after a walk). */
+    void insert(Addr vaddr, Pfn pfn, bool huge);
+
+    /** Invalidate any entry translating @p vaddr (both sizes). */
+    void invalidatePage(Addr vaddr);
+
+    /** Invalidate everything. */
+    void flushAll();
+
+    const TlbConfig &config() const { return config_; }
+    const TlbStats &stats() const { return stats_; }
+    void resetStats() { stats_ = TlbStats(); }
+
+    /** Number of currently valid entries (for tests). */
+    unsigned validCount() const;
+
+  private:
+    unsigned setCount() const { return setCount_; }
+    unsigned setIndex(Vpn vpn) const;
+    TlbEntry *findEntry(Vpn vpn, bool huge);
+    const TlbEntry *findEntry(Vpn vpn, bool huge) const;
+
+    TlbConfig config_;
+    unsigned setCount_;
+    std::vector<TlbEntry> entries_; //!< setCount_ x ways, row-major
+    std::uint64_t useClock_ = 0;
+    TlbStats stats_;
+};
+
+/**
+ * Two-level TLB hierarchy: private L1 backed by a shared L2.
+ * Lookup latency (L1 hit / L2 hit) is accounted by the caller's
+ * machine model; this class reports which level hit.
+ */
+class TlbHierarchy
+{
+  public:
+    enum class HitLevel { L1, L2, Miss };
+
+    TlbHierarchy(const TlbConfig &l1_config, const TlbConfig &l2_config);
+
+    /** Probe L1 then L2; an L2 hit refills L1. */
+    HitLevel lookup(Addr vaddr, TlbEntry *entry_out = nullptr);
+
+    /** Install into both levels (after a walk). */
+    void insert(Addr vaddr, Pfn pfn, bool huge);
+
+    /** Shootdown: invalidate the page in both levels. */
+    void invalidatePage(Addr vaddr);
+
+    void flushAll();
+
+    Tlb &l1() { return l1_; }
+    Tlb &l2() { return l2_; }
+    const Tlb &l1() const { return l1_; }
+    const Tlb &l2() const { return l2_; }
+
+  private:
+    Tlb l1_;
+    Tlb l2_;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_TLB_TLB_HH

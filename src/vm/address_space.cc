@@ -1,0 +1,201 @@
+#include "vm/address_space.hh"
+
+#include "common/logging.hh"
+
+namespace thermostat
+{
+
+namespace
+{
+
+/** Regions are carved from 4GiB upward with a 2MB guard gap. */
+constexpr Addr kFirstRegionBase = Addr{4} << 30;
+
+} // namespace
+
+AddressSpace::AddressSpace(TieredMemory &memory, bool thp_enabled)
+    : memory_(memory), thpEnabled_(thp_enabled),
+      nextBase_(kFirstRegionBase)
+{
+}
+
+AddressSpace::~AddressSpace()
+{
+    // Release all backing frames so the TieredMemory can be reused.
+    pageTable_.forEachLeaf([this](Addr, Pte &pte, bool huge) {
+        if (huge) {
+            memory_.freeHuge(pte.pfn());
+        } else {
+            memory_.freeBase(pte.pfn());
+        }
+    });
+}
+
+Addr
+AddressSpace::mapRegion(const std::string &name, std::uint64_t bytes,
+                        std::uint64_t reserve_bytes, bool thp,
+                        bool file_backed)
+{
+    TSTAT_ASSERT(findRegion(name) == nullptr,
+                 "duplicate region name '%s'", name.c_str());
+    bytes = alignUp4K(bytes);
+    reserve_bytes = alignUp2M(std::max(reserve_bytes, bytes));
+
+    Region region;
+    region.name = name;
+    region.base = nextBase_;
+    region.mappedBytes = 0;
+    region.reservedBytes = reserve_bytes;
+    region.thp = thp;
+    region.fileBacked = file_backed;
+    regions_.push_back(region);
+    nextBase_ += reserve_bytes + kPageSize2M; // guard gap
+
+    populate(regions_.back(), regions_.back().base, bytes);
+    return regions_.back().base;
+}
+
+void
+AddressSpace::growRegion(const std::string &name, std::uint64_t bytes)
+{
+    for (auto &region : regions_) {
+        if (region.name != name) {
+            continue;
+        }
+        bytes = alignUp4K(bytes);
+        if (region.mappedBytes + bytes > region.reservedBytes) {
+            TSTAT_FATAL("region '%s' growth exceeds reservation",
+                        name.c_str());
+        }
+        const Addr start = region.base + region.mappedBytes;
+        populate(region, start, bytes);
+        return;
+    }
+    TSTAT_FATAL("growRegion: unknown region '%s'", name.c_str());
+}
+
+const Region *
+AddressSpace::findRegion(const std::string &name) const
+{
+    for (const auto &region : regions_) {
+        if (region.name == name) {
+            return &region;
+        }
+    }
+    return nullptr;
+}
+
+void
+AddressSpace::populate(Region &region, Addr start, std::uint64_t bytes)
+{
+    Addr addr = start;
+    const Addr end = start + bytes;
+    while (addr < end) {
+        const bool can_huge = thpEnabled_ && region.thp &&
+                              addr % kPageSize2M == 0 &&
+                              end - addr >= kPageSize2M;
+        if (can_huge) {
+            const auto pfn = memory_.allocHuge(Tier::Fast);
+            if (!pfn) {
+                TSTAT_FATAL("fast tier exhausted mapping '%s'",
+                            region.name.c_str());
+            }
+            pageTable_.map2M(addr, *pfn);
+            addr += kPageSize2M;
+        } else {
+            const auto pfn = memory_.allocBase(Tier::Fast);
+            if (!pfn) {
+                TSTAT_FATAL("fast tier exhausted mapping '%s'",
+                            region.name.c_str());
+            }
+            pageTable_.map4K(addr, *pfn);
+            addr += kPageSize4K;
+        }
+    }
+    region.mappedBytes += bytes;
+    rssBytes_ += bytes;
+    if (region.fileBacked) {
+        fileBytes_ += bytes;
+    }
+}
+
+std::vector<Addr>
+AddressSpace::hugePageAddrs()
+{
+    std::vector<Addr> out;
+    out.reserve(pageTable_.hugeLeafCount());
+    pageTable_.forEachLeaf([&out](Addr vaddr, Pte &, bool huge) {
+        if (huge) {
+            out.push_back(vaddr);
+        }
+    });
+    return out;
+}
+
+bool
+AddressSpace::splitHuge(Addr vaddr)
+{
+    WalkResult wr = pageTable_.walk(vaddr);
+    if (!wr.mapped() || !wr.huge) {
+        return false;
+    }
+    const Pfn base = wr.pte->pfn();
+    const bool ok = pageTable_.split(vaddr);
+    TSTAT_ASSERT(ok, "split failed after successful walk");
+    memory_.tier(memory_.tierOf(base))
+        .allocator()
+        .breakAllocatedHuge(base);
+    return true;
+}
+
+bool
+AddressSpace::collapseHuge(Addr vaddr)
+{
+    if (!pageTable_.collapse(vaddr)) {
+        return false;
+    }
+    WalkResult wr = pageTable_.walk(vaddr);
+    TSTAT_ASSERT(wr.mapped() && wr.huge, "collapse left no huge leaf");
+    const Pfn base = wr.pte->pfn();
+    const bool reformed = memory_.tier(memory_.tierOf(base))
+                              .allocator()
+                              .reformAllocatedHuge(base);
+    TSTAT_ASSERT(reformed, "allocator block not reformable");
+    return true;
+}
+
+void
+AddressSpace::remapLeaf(Addr vaddr, Pfn new_pfn)
+{
+    WalkResult wr = pageTable_.walk(vaddr);
+    TSTAT_ASSERT(wr.mapped(), "remapLeaf: unmapped vaddr");
+    if (wr.huge) {
+        TSTAT_ASSERT(new_pfn % kSubpagesPerHuge == 0,
+                     "remapLeaf: unaligned huge frame");
+    }
+    wr.pte->setPfn(new_pfn);
+}
+
+std::optional<Tier>
+AddressSpace::tierOf(Addr vaddr)
+{
+    WalkResult wr = pageTable_.walk(vaddr);
+    if (!wr.mapped()) {
+        return std::nullopt;
+    }
+    return memory_.tierOf(wr.pte->pfn());
+}
+
+std::uint64_t
+AddressSpace::bytesInTier(Tier t)
+{
+    std::uint64_t bytes = 0;
+    pageTable_.forEachLeaf([&](Addr, Pte &pte, bool huge) {
+        if (memory_.tierOf(pte.pfn()) == t) {
+            bytes += huge ? kPageSize2M : kPageSize4K;
+        }
+    });
+    return bytes;
+}
+
+} // namespace thermostat

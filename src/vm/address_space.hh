@@ -1,0 +1,141 @@
+/**
+ * @file
+ * A process virtual address space backed by tiered physical memory.
+ *
+ * Provides mmap-like anonymous/file-backed regions with a THP
+ * allocation policy (2MB mappings whenever a region chunk is
+ * huge-page sized, as Linux THP does), growth for workloads whose
+ * footprint increases over time (Cassandra memtables, Spark heaps),
+ * and the remap primitive that page migration builds on.
+ */
+
+#ifndef THERMOSTAT_VM_ADDRESS_SPACE_HH
+#define THERMOSTAT_VM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/tiered_memory.hh"
+#include "vm/page_table.hh"
+
+namespace thermostat
+{
+
+/** One mapped region (a VMA). */
+struct Region
+{
+    std::string name;
+    Addr base = 0;
+    std::uint64_t mappedBytes = 0;   //!< currently populated
+    std::uint64_t reservedBytes = 0; //!< virtual reservation
+    bool thp = true;                 //!< eligible for 2MB mappings
+    bool fileBacked = false;         //!< page-cache style region
+
+    Addr end() const { return base + mappedBytes; }
+};
+
+/**
+ * The address space: region table + page table + backing frames.
+ * All pages are initially backed by the fast tier, matching the
+ * paper's baseline of an all-DRAM first-touch policy.
+ */
+class AddressSpace
+{
+  public:
+    /**
+     * @param memory Backing physical memory.
+     * @param thp_enabled Global THP switch (like
+     *        /sys/kernel/mm/transparent_hugepage/enabled); when
+     *        false every region is mapped with 4KB pages regardless
+     *        of its own thp flag (the Table 1 baseline).
+     */
+    explicit AddressSpace(TieredMemory &memory, bool thp_enabled = true);
+    ~AddressSpace();
+
+    AddressSpace(const AddressSpace &) = delete;
+    AddressSpace &operator=(const AddressSpace &) = delete;
+
+    /**
+     * Create a region and populate its first @p bytes.
+     * @param name Unique region name ("heap", "page-cache", ...).
+     * @param bytes Initially mapped size (rounded up to 4KB).
+     * @param reserve_bytes Total virtual reservation (>= bytes);
+     *        grow() may extend the mapping up to this limit.
+     * @param thp Use 2MB mappings for huge-aligned chunks.
+     * @param file_backed Marks the region as page-cache-like
+     *        (reported separately, as in Table 2).
+     * @return The region base address.
+     */
+    Addr mapRegion(const std::string &name, std::uint64_t bytes,
+                   std::uint64_t reserve_bytes = 0, bool thp = true,
+                   bool file_backed = false);
+
+    /** Extend a region's populated size by @p bytes. */
+    void growRegion(const std::string &name, std::uint64_t bytes);
+
+    const Region *findRegion(const std::string &name) const;
+    const std::vector<Region> &regions() const { return regions_; }
+
+    PageTable &pageTable() { return pageTable_; }
+    const PageTable &pageTable() const { return pageTable_; }
+    TieredMemory &memory() { return memory_; }
+
+    /** Resident set size: populated anonymous + file bytes. */
+    std::uint64_t rssBytes() const { return rssBytes_; }
+
+    /** Populated bytes in file-backed regions only. */
+    std::uint64_t fileBackedBytes() const { return fileBytes_; }
+
+    /** Collect the virtual base addresses of all 2MB leaves. */
+    std::vector<Addr> hugePageAddrs();
+
+    /**
+     * Split the 2MB mapping at @p vaddr into 512 4KB mappings and
+     * keep the frame allocator's view consistent (the backing block
+     * becomes individually-freeable frames).
+     * @return false when @p vaddr is not mapped by a huge leaf.
+     */
+    bool splitHuge(Addr vaddr);
+
+    /**
+     * Collapse 512 4KB mappings back into a 2MB mapping (khugepaged
+     * style); requires physical contiguity, which holds as long as
+     * no subpage has been migrated away.
+     * @return false when preconditions do not hold.
+     */
+    bool collapseHuge(Addr vaddr);
+
+    /**
+     * Replace the backing frame of the leaf at @p vaddr (either
+     * size).  The caller owns allocation/free of frames; this only
+     * rewrites the PTE.  Accessed/Dirty state is preserved.
+     */
+    void remapLeaf(Addr vaddr, Pfn new_pfn);
+
+    /** The tier currently backing @p vaddr (nullopt if unmapped). */
+    std::optional<Tier> tierOf(Addr vaddr);
+
+    /**
+     * Bytes currently resident in @p t, by walking the page table.
+     * O(leaves); intended for reporting, not per-access paths.
+     */
+    std::uint64_t bytesInTier(Tier t);
+
+  private:
+    void populate(Region &region, Addr start, std::uint64_t bytes);
+
+    TieredMemory &memory_;
+    bool thpEnabled_;
+    PageTable pageTable_;
+    std::vector<Region> regions_;
+    Addr nextBase_;
+    std::uint64_t rssBytes_ = 0;
+    std::uint64_t fileBytes_ = 0;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_VM_ADDRESS_SPACE_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Four-level x86-64 radix page table with transparent-huge-page
+ * support.
+ *
+ * Leaves exist at two levels: PD entries with the PS bit map 2MB
+ * huge pages; PT entries map 4KB base pages.  split() converts a 2MB
+ * leaf into a PT of 512 base-page entries that keep pointing at the
+ * same contiguous physical block, exactly what Linux's THP split
+ * does and what Thermostat's sampler relies on (Sec 3.2: "we split a
+ * random sample of huge pages into 4KB pages").  collapse() is the
+ * khugepaged-style inverse.
+ */
+
+#ifndef THERMOSTAT_VM_PAGE_TABLE_HH
+#define THERMOSTAT_VM_PAGE_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/types.hh"
+#include "vm/pte.hh"
+
+namespace thermostat
+{
+
+/** Result of a page table walk. */
+struct WalkResult
+{
+    Pte *pte = nullptr; //!< leaf entry, or nullptr if unmapped
+    bool huge = false;  //!< leaf maps a 2MB page
+
+    bool mapped() const { return pte != nullptr; }
+};
+
+/**
+ * The 4-level table.  Upper-level (non-leaf) entries are modeled as
+ * child pointers; leaf entries are bit-accurate Pte values.
+ */
+class PageTable
+{
+  public:
+    PageTable();
+    ~PageTable();
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /** Map a 2MB-aligned virtual address to a 2MB-aligned block. */
+    void map2M(Addr vaddr, Pfn pfn);
+
+    /** Map a 4KB-aligned virtual address to a 4KB frame. */
+    void map4K(Addr vaddr, Pfn pfn);
+
+    /** Remove the leaf mapping 2MB page at @p vaddr. */
+    void unmap2M(Addr vaddr);
+
+    /** Remove the 4KB leaf mapping at @p vaddr. */
+    void unmap4K(Addr vaddr);
+
+    /**
+     * Find the leaf entry translating @p vaddr.  Does not touch
+     * Accessed/Dirty bits; the PageWalker does that.
+     */
+    WalkResult walk(Addr vaddr);
+
+    /**
+     * Split the 2MB leaf at @p vaddr into 512 4KB leaves backed by
+     * the same contiguous frames, preserving flags; A/D bits are
+     * propagated to every subpage.
+     * @return false if @p vaddr is not mapped by a 2MB leaf.
+     */
+    bool split(Addr vaddr);
+
+    /**
+     * Collapse 512 4KB leaves back into one 2MB leaf.  Requires all
+     * 512 entries present and physically contiguous starting at a
+     * 2MB-aligned frame.  A/D/poison bits are OR-folded.
+     * @return false when the preconditions do not hold.
+     */
+    bool collapse(Addr vaddr);
+
+    /**
+     * Visit every leaf.  The callback receives the virtual base
+     * address of the page, a mutable entry reference, and whether the
+     * leaf is huge.
+     */
+    void forEachLeaf(
+        const std::function<void(Addr, Pte &, bool)> &visit);
+
+    std::uint64_t hugeLeafCount() const { return hugeLeaves_; }
+    std::uint64_t baseLeafCount() const { return baseLeaves_; }
+
+    /** Number of table nodes currently allocated (all levels). */
+    std::uint64_t nodeCount() const { return nodes_; }
+
+  private:
+    struct Node;
+
+    static unsigned indexAt(Addr vaddr, int level);
+
+    /** Walk down to the PD node covering @p vaddr, creating levels. */
+    Node *pdNodeFor(Addr vaddr, bool create);
+
+    Node *newNode();
+    void visitNode(Node *node, int level, Addr base,
+                   const std::function<void(Addr, Pte &, bool)> &visit);
+
+    std::unique_ptr<Node> root_;
+    std::uint64_t hugeLeaves_ = 0;
+    std::uint64_t baseLeaves_ = 0;
+    std::uint64_t nodes_ = 0;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_VM_PAGE_TABLE_HH

@@ -1,0 +1,168 @@
+#include "workload/workload.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace thermostat
+{
+
+ComposedWorkload::ComposedWorkload(std::string name, double mem_ref_rate,
+                                   double cpu_work_fraction,
+                                   Ns natural_duration)
+    : name_(std::move(name)),
+      memRefRate_(mem_ref_rate),
+      cpuWorkFraction_(cpu_work_fraction),
+      naturalDuration_(natural_duration)
+{
+    TSTAT_ASSERT(mem_ref_rate > 0.0, "workload with zero access rate");
+    TSTAT_ASSERT(cpu_work_fraction >= 0.0 && cpu_work_fraction < 1.0,
+                 "cpu work fraction must be in [0,1)");
+}
+
+void
+ComposedWorkload::addRegion(const RegionSpec &spec)
+{
+    TSTAT_ASSERT(space_ == nullptr, "addRegion after setup");
+    regionSpecs_.push_back(spec);
+}
+
+void
+ComposedWorkload::addGrowth(const GrowthSpec &spec)
+{
+    TSTAT_ASSERT(space_ == nullptr, "addGrowth after setup");
+    growthSpecs_.push_back(spec);
+}
+
+void
+ComposedWorkload::addComponent(TrafficComponent component)
+{
+    TSTAT_ASSERT(space_ == nullptr, "addComponent after setup");
+    TSTAT_ASSERT(component.pattern != nullptr,
+                 "component without pattern");
+    TSTAT_ASSERT(component.weight > 0.0, "component with zero weight");
+    BoundComponent bound;
+    bound.spec = std::move(component);
+    components_.push_back(std::move(bound));
+}
+
+void
+ComposedWorkload::setup(AddressSpace &space)
+{
+    TSTAT_ASSERT(space_ == nullptr, "setup called twice");
+    space_ = &space;
+    for (const RegionSpec &spec : regionSpecs_) {
+        space.mapRegion(spec.name, spec.bytes, spec.reserveBytes,
+                        spec.thp, spec.fileBacked);
+    }
+    totalWeight_ = 0.0;
+    for (BoundComponent &bound : components_) {
+        const Region *region = space.findRegion(bound.spec.region);
+        TSTAT_ASSERT(region != nullptr,
+                     "component targets unknown region '%s'",
+                     bound.spec.region.c_str());
+        bound.regionBase = region->base;
+        bound.regionIndex = static_cast<std::size_t>(
+            region - space.regions().data());
+        totalWeight_ += bound.spec.weight;
+        bound.cumulativeWeight = totalWeight_;
+        if (bound.spec.trackGrowth) {
+            bound.spec.pattern->setSpanBytes(region->mappedBytes);
+        }
+    }
+    TSTAT_ASSERT(totalWeight_ > 0.0, "workload with no traffic");
+    growthCarry_.assign(growthSpecs_.size(), 0.0);
+}
+
+void
+ComposedWorkload::advance(Ns now, AddressSpace &space)
+{
+    TSTAT_ASSERT(space_ == &space, "advance on wrong space");
+    const Ns delta = now > lastAdvance_ ? now - lastAdvance_ : 0;
+    lastAdvance_ = now;
+
+    for (std::size_t i = 0; i < growthSpecs_.size(); ++i) {
+        const GrowthSpec &growth = growthSpecs_[i];
+        const Region *region = space.findRegion(growth.region);
+        TSTAT_ASSERT(region != nullptr, "growth for unknown region");
+        double want = growth.bytesPerSec *
+                          static_cast<double>(delta) /
+                          static_cast<double>(kNsPerSec) +
+                      growthCarry_[i];
+        const std::uint64_t headroom =
+            region->reservedBytes - region->mappedBytes;
+        // THP regions grow in 2MB chunks (khugepaged would collapse
+        // trickled 4KB growth anyway); others grow page by page.
+        const std::uint64_t quantum =
+            region->thp ? kPageSize2M : kPageSize4K;
+        std::uint64_t grow_bytes = std::min(
+            headroom,
+            static_cast<std::uint64_t>(want) / quantum * quantum);
+        if (grow_bytes > 0) {
+            space.growRegion(growth.region, grow_bytes);
+        }
+        growthCarry_[i] = want - static_cast<double>(grow_bytes);
+        if (headroom == 0) {
+            growthCarry_[i] = 0.0;
+        }
+    }
+
+    for (BoundComponent &bound : components_) {
+        bound.spec.pattern->advance(now);
+        if (bound.spec.trackGrowth) {
+            const Region &region =
+                space.regions()[bound.regionIndex];
+            bound.spec.pattern->setSpanBytes(region.mappedBytes);
+        }
+    }
+}
+
+MemRef
+ComposedWorkload::sample(Rng &rng)
+{
+    TSTAT_ASSERT(space_ != nullptr, "sample before setup");
+    const double pick = rng.nextDouble() * totalWeight_;
+    BoundComponent *chosen = &components_.back();
+    for (BoundComponent &bound : components_) {
+        if (pick < bound.cumulativeWeight) {
+            chosen = &bound;
+            break;
+        }
+    }
+    const Region &region = space_->regions()[chosen->regionIndex];
+    std::uint64_t offset = chosen->spec.pattern->next(rng);
+    if (offset >= region.mappedBytes) {
+        offset %= region.mappedBytes;
+    }
+    MemRef ref;
+    ref.addr = (chosen->regionBase + offset) & ~Addr{63};
+    ref.type = rng.nextBool(chosen->spec.writeFraction)
+                   ? AccessType::Write
+                   : AccessType::Read;
+    ref.burstLines = chosen->spec.burstLines;
+    return ref;
+}
+
+std::uint64_t
+ComposedWorkload::initialRssBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const RegionSpec &spec : regionSpecs_) {
+        bytes += alignUp4K(spec.bytes);
+    }
+    return bytes;
+}
+
+std::uint64_t
+ComposedWorkload::initialFileBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const RegionSpec &spec : regionSpecs_) {
+        if (spec.fileBacked) {
+            bytes += alignUp4K(spec.bytes);
+        }
+    }
+    return bytes;
+}
+
+} // namespace thermostat

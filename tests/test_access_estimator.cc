@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for spatial-extrapolation rate estimation (paper Sec 3.2)
+ * and the Accessed-bit de-bias shim.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/access_estimator.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+TEST(Estimator, BasicRate)
+{
+    // 100 faults over 1s on 10 poisoned of 10 accessed: 100/s.
+    EXPECT_NEAR(estimateAccessRate(100, 10, 10, kNsPerSec), 100.0,
+                1e-9);
+}
+
+TEST(Estimator, SpatialExtrapolationScalesUp)
+{
+    // 50 poisoned of 500 accessed: scale x10 (paper Sec 3.2).
+    EXPECT_NEAR(estimateAccessRate(100, 50, 500, kNsPerSec), 1000.0,
+                1e-9);
+}
+
+TEST(Estimator, WindowNormalizes)
+{
+    EXPECT_NEAR(
+        estimateAccessRate(100, 10, 10, 2 * kNsPerSec), 50.0, 1e-9);
+    EXPECT_NEAR(
+        estimateAccessRate(100, 10, 10, kNsPerSec / 2), 200.0, 1e-9);
+}
+
+TEST(Estimator, NoPoisonedPagesGivesZero)
+{
+    EXPECT_DOUBLE_EQ(estimateAccessRate(100, 0, 10, kNsPerSec), 0.0);
+}
+
+TEST(Estimator, ZeroWindowGivesZero)
+{
+    EXPECT_DOUBLE_EQ(estimateAccessRate(100, 10, 10, 0), 0.0);
+}
+
+TEST(Estimator, ScaleNeverBelowOne)
+{
+    // accessed < poisoned can only happen transiently; the rate of
+    // the sample is a lower bound, not scaled down.
+    EXPECT_NEAR(estimateAccessRate(100, 50, 10, kNsPerSec), 100.0,
+                1e-9);
+}
+
+TEST(Estimator, ZeroFaultsIsZeroRate)
+{
+    EXPECT_DOUBLE_EQ(estimateAccessRate(0, 50, 500, kNsPerSec), 0.0);
+}
+
+TEST(Estimator, StructBundlesInputs)
+{
+    RateEstimate est;
+    est.sampledFaults = 300;
+    est.poisonedCount = 50;
+    est.accessedCount = 100;
+    est.window = kNsPerSec;
+    EXPECT_NEAR(est.estimatedRate(), 600.0, 1e-9);
+}
+
+TEST(Debias, IdentityWhenStreamExact)
+{
+    EXPECT_EQ(debiasAccessedCount(24, 512, 1.0), 24u);
+    EXPECT_EQ(debiasAccessedCount(24, 512, 0.5), 24u);
+}
+
+TEST(Debias, ZeroMarkedStaysZero)
+{
+    EXPECT_EQ(debiasAccessedCount(0, 512, 125.0), 0u);
+}
+
+TEST(Debias, FullyMarkedStaysFull)
+{
+    EXPECT_EQ(debiasAccessedCount(512, 512, 125.0), 512u);
+}
+
+TEST(Debias, NeverBelowObserved)
+{
+    for (unsigned k : {1u, 5u, 50u, 200u, 511u}) {
+        EXPECT_GE(debiasAccessedCount(k, 512, 10.0), k);
+    }
+}
+
+TEST(Debias, NeverAboveTotal)
+{
+    for (unsigned k : {1u, 100u, 511u}) {
+        EXPECT_LE(debiasAccessedCount(k, 512, 1e6), 512u);
+    }
+}
+
+TEST(Debias, MonotoneInMarkedCount)
+{
+    unsigned prev = 0;
+    for (unsigned k = 0; k <= 512; k += 16) {
+        const unsigned v = debiasAccessedCount(k, 512, 25.0);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(Debias, MatchesPoissonInversion)
+{
+    // f = 24/512, q = 125: 1 - (1-f)^q ~= 0.9973.
+    const unsigned v = debiasAccessedCount(24, 512, 125.0);
+    EXPECT_NEAR(v, 511.0, 2.0);
+}
+
+TEST(Debias, SmallQuantumNearlyIdentity)
+{
+    // q = 2 roughly doubles small marked fractions.
+    const unsigned v = debiasAccessedCount(10, 512, 2.0);
+    EXPECT_GE(v, 19u);
+    EXPECT_LE(v, 21u);
+}
+
+} // namespace
+} // namespace thermostat

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for AddressSpace: regions, THP policy, growth, split /
+ * collapse with allocator consistency, and tier accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/address_space.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+TieredMemory
+makeMemory()
+{
+    return TieredMemory(TierConfig::dram(256_MiB),
+                        TierConfig::slow(256_MiB));
+}
+
+TEST(AddressSpace, MapRegionPopulatesHugePages)
+{
+    TieredMemory mem = makeMemory();
+    AddressSpace space(mem);
+    const Addr base = space.mapRegion("heap", 8_MiB);
+    EXPECT_EQ(base % kPageSize2M, 0u);
+    EXPECT_EQ(space.pageTable().hugeLeafCount(), 4u);
+    EXPECT_EQ(space.pageTable().baseLeafCount(), 0u);
+    EXPECT_EQ(space.rssBytes(), 8_MiB);
+}
+
+TEST(AddressSpace, NonThpRegionUses4K)
+{
+    TieredMemory mem = makeMemory();
+    AddressSpace space(mem);
+    space.mapRegion("conf", 64_KiB, 0, false);
+    EXPECT_EQ(space.pageTable().hugeLeafCount(), 0u);
+    EXPECT_EQ(space.pageTable().baseLeafCount(), 16u);
+}
+
+TEST(AddressSpace, GlobalThpDisableForcesBasePages)
+{
+    TieredMemory mem = makeMemory();
+    AddressSpace space(mem, false);
+    space.mapRegion("heap", 4_MiB, 0, true);
+    EXPECT_EQ(space.pageTable().hugeLeafCount(), 0u);
+    EXPECT_EQ(space.pageTable().baseLeafCount(),
+              2 * kSubpagesPerHuge);
+}
+
+TEST(AddressSpace, UnalignedTailUses4K)
+{
+    TieredMemory mem = makeMemory();
+    AddressSpace space(mem);
+    space.mapRegion("heap", 2_MiB + 12_KiB);
+    EXPECT_EQ(space.pageTable().hugeLeafCount(), 1u);
+    EXPECT_EQ(space.pageTable().baseLeafCount(), 3u);
+}
+
+TEST(AddressSpace, RegionsDoNotOverlap)
+{
+    TieredMemory mem = makeMemory();
+    AddressSpace space(mem);
+    const Addr a = space.mapRegion("a", 4_MiB);
+    const Addr b = space.mapRegion("b", 4_MiB);
+    EXPECT_GE(b, a + 4_MiB);
+}
+
+TEST(AddressSpace, FindRegion)
+{
+    TieredMemory mem = makeMemory();
+    AddressSpace space(mem);
+    space.mapRegion("heap", 2_MiB);
+    ASSERT_NE(space.findRegion("heap"), nullptr);
+    EXPECT_EQ(space.findRegion("heap")->mappedBytes, 2_MiB);
+    EXPECT_EQ(space.findRegion("nope"), nullptr);
+}
+
+TEST(AddressSpace, GrowRegionExtendsMapping)
+{
+    TieredMemory mem = makeMemory();
+    AddressSpace space(mem);
+    const Addr base = space.mapRegion("heap", 2_MiB, 8_MiB);
+    space.growRegion("heap", 2_MiB);
+    EXPECT_EQ(space.findRegion("heap")->mappedBytes, 4_MiB);
+    EXPECT_TRUE(space.pageTable().walk(base + 3 * kPageSize2M / 2)
+                    .mapped());
+    EXPECT_EQ(space.rssBytes(), 4_MiB);
+}
+
+TEST(AddressSpace, GrowBeyondReservationDies)
+{
+    TieredMemory mem = makeMemory();
+    AddressSpace space(mem);
+    space.mapRegion("heap", 2_MiB, 4_MiB);
+    EXPECT_EXIT(space.growRegion("heap", 4_MiB),
+                ::testing::ExitedWithCode(1), "reservation");
+}
+
+TEST(AddressSpace, FileBackedAccounting)
+{
+    TieredMemory mem = makeMemory();
+    AddressSpace space(mem);
+    space.mapRegion("heap", 4_MiB);
+    space.mapRegion("cache", 2_MiB, 0, true, true);
+    EXPECT_EQ(space.rssBytes(), 6_MiB);
+    EXPECT_EQ(space.fileBackedBytes(), 2_MiB);
+}
+
+TEST(AddressSpace, HugePageAddrsLists2MLeaves)
+{
+    TieredMemory mem = makeMemory();
+    AddressSpace space(mem);
+    space.mapRegion("heap", 6_MiB);
+    space.mapRegion("conf", 8_KiB, 0, false);
+    EXPECT_EQ(space.hugePageAddrs().size(), 3u);
+}
+
+TEST(AddressSpace, SplitHugeKeepsTranslationAndAllocator)
+{
+    TieredMemory mem = makeMemory();
+    AddressSpace space(mem);
+    const Addr base = space.mapRegion("heap", 2_MiB);
+    const Pfn pfn = space.pageTable().walk(base).pte->pfn();
+    ASSERT_TRUE(space.splitHuge(base));
+    const WalkResult wr = space.pageTable().walk(base + 5 * 4096);
+    ASSERT_TRUE(wr.mapped());
+    EXPECT_FALSE(wr.huge);
+    EXPECT_EQ(wr.pte->pfn(), pfn + 5);
+    // Occupancy unchanged.
+    EXPECT_EQ(mem.fast().usedBytes(), 2_MiB);
+}
+
+TEST(AddressSpace, SplitNonHugeFails)
+{
+    TieredMemory mem = makeMemory();
+    AddressSpace space(mem);
+    const Addr base = space.mapRegion("conf", 4_KiB, 0, false);
+    EXPECT_FALSE(space.splitHuge(alignDown2M(base)));
+}
+
+TEST(AddressSpace, CollapseHugeRoundTrip)
+{
+    TieredMemory mem = makeMemory();
+    AddressSpace space(mem);
+    const Addr base = space.mapRegion("heap", 2_MiB);
+    ASSERT_TRUE(space.splitHuge(base));
+    ASSERT_TRUE(space.collapseHuge(base));
+    EXPECT_TRUE(space.pageTable().walk(base).huge);
+    // The reformed block can later be freed as a huge unit
+    // (exercised by the destructor at scope exit).
+}
+
+TEST(AddressSpace, CollapseFailsAfterSubpageMigration)
+{
+    TieredMemory mem = makeMemory();
+    AddressSpace space(mem);
+    const Addr base = space.mapRegion("heap", 2_MiB);
+    ASSERT_TRUE(space.splitHuge(base));
+    // Move one subpage to the slow tier (what the migrator does).
+    const Pfn new_pfn = *mem.allocBase(Tier::Slow);
+    const Pfn old_pfn =
+        space.pageTable().walk(base + 4096).pte->pfn();
+    space.remapLeaf(base + 4096, new_pfn);
+    mem.freeBase(old_pfn);
+    EXPECT_FALSE(space.collapseHuge(base));
+    EXPECT_EQ(space.tierOf(base + 4096), Tier::Slow);
+}
+
+TEST(AddressSpace, RemapLeafChangesBackingFrame)
+{
+    TieredMemory mem = makeMemory();
+    AddressSpace space(mem);
+    const Addr base = space.mapRegion("heap", 2_MiB);
+    const Pfn old_pfn = space.pageTable().walk(base).pte->pfn();
+    const Pfn new_pfn = *mem.allocHuge(Tier::Slow);
+    space.remapLeaf(base, new_pfn);
+    EXPECT_EQ(space.pageTable().walk(base).pte->pfn(), new_pfn);
+    EXPECT_EQ(space.tierOf(base), Tier::Slow);
+    mem.freeHuge(old_pfn);
+}
+
+TEST(AddressSpace, TierOfUnmapped)
+{
+    TieredMemory mem = makeMemory();
+    AddressSpace space(mem);
+    EXPECT_FALSE(space.tierOf(0x1234).has_value());
+}
+
+TEST(AddressSpace, BytesInTier)
+{
+    TieredMemory mem = makeMemory();
+    AddressSpace space(mem);
+    const Addr base = space.mapRegion("heap", 4_MiB);
+    EXPECT_EQ(space.bytesInTier(Tier::Fast), 4_MiB);
+    EXPECT_EQ(space.bytesInTier(Tier::Slow), 0u);
+    const Pfn old_pfn = space.pageTable().walk(base).pte->pfn();
+    const Pfn new_pfn = *mem.allocHuge(Tier::Slow);
+    space.remapLeaf(base, new_pfn);
+    mem.freeHuge(old_pfn);
+    EXPECT_EQ(space.bytesInTier(Tier::Fast), 2_MiB);
+    EXPECT_EQ(space.bytesInTier(Tier::Slow), 2_MiB);
+}
+
+TEST(AddressSpace, DestructorReleasesFrames)
+{
+    TieredMemory mem = makeMemory();
+    {
+        AddressSpace space(mem);
+        space.mapRegion("heap", 32_MiB);
+        space.mapRegion("conf", 64_KiB, 0, false);
+        const Addr heap = space.findRegion("heap")->base;
+        ASSERT_TRUE(space.splitHuge(heap));
+        EXPECT_GT(mem.usedBytes(), 0u);
+    }
+    EXPECT_EQ(mem.usedBytes(), 0u);
+}
+
+TEST(AddressSpaceDeath, DuplicateRegionName)
+{
+    TieredMemory mem = makeMemory();
+    AddressSpace space(mem);
+    space.mapRegion("heap", 2_MiB);
+    EXPECT_DEATH(space.mapRegion("heap", 2_MiB), "duplicate");
+}
+
+TEST(AddressSpaceDeath, ExhaustedTierIsFatal)
+{
+    TieredMemory mem(TierConfig::dram(4_MiB),
+                     TierConfig::slow(4_MiB));
+    AddressSpace space(mem);
+    EXPECT_EXIT(space.mapRegion("big", 64_MiB),
+                ::testing::ExitedWithCode(1), "exhausted");
+}
+
+} // namespace
+} // namespace thermostat

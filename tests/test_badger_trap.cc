@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the BadgerTrap poison-fault mechanism (paper Sec 3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sys/badger_trap.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+class BadgerTrapTest : public ::testing::Test
+{
+  protected:
+    BadgerTrapTest()
+        : memory_(TierConfig::dram(64_MiB), TierConfig::slow(64_MiB)),
+          space_(memory_),
+          tlb_({64, 4}, {1024, 8}),
+          trap_(space_, tlb_)
+    {
+        heap_ = space_.mapRegion("heap", 8_MiB);
+    }
+
+    TieredMemory memory_;
+    AddressSpace space_;
+    TlbHierarchy tlb_;
+    BadgerTrap trap_;
+    Addr heap_ = 0;
+};
+
+TEST_F(BadgerTrapTest, PoisonSetsReservedBit)
+{
+    trap_.poison(heap_);
+    EXPECT_TRUE(space_.pageTable().walk(heap_).pte->poisoned());
+    EXPECT_TRUE(trap_.isPoisoned(heap_));
+}
+
+TEST_F(BadgerTrapTest, PoisonShootsDownTlb)
+{
+    tlb_.insert(heap_, 0, true);
+    trap_.poison(heap_);
+    EXPECT_EQ(tlb_.lookup(heap_), TlbHierarchy::HitLevel::Miss);
+}
+
+TEST_F(BadgerTrapTest, UnpoisonClearsBit)
+{
+    trap_.poison(heap_);
+    trap_.unpoison(heap_);
+    EXPECT_FALSE(trap_.isPoisoned(heap_));
+    EXPECT_FALSE(space_.pageTable().walk(heap_).pte->poisoned());
+}
+
+TEST_F(BadgerTrapTest, PoisonWorksOnSplitSubpages)
+{
+    ASSERT_TRUE(space_.splitHuge(heap_));
+    const Addr sub = heap_ + 17 * kPageSize4K;
+    trap_.poison(sub);
+    EXPECT_TRUE(trap_.isPoisoned(sub));
+    EXPECT_FALSE(trap_.isPoisoned(heap_ + 16 * kPageSize4K));
+}
+
+TEST_F(BadgerTrapTest, FaultChargesHandlerLatency)
+{
+    trap_.poison(heap_);
+    const Ns latency = trap_.onPoisonFault(heap_, 10);
+    EXPECT_EQ(latency, trap_.config().faultLatency);
+    EXPECT_EQ(trap_.stats().faults, 1u);
+    EXPECT_EQ(trap_.stats().weightedFaults, 10u);
+    EXPECT_EQ(trap_.stats().handlerTime,
+              trap_.config().faultLatency);
+}
+
+TEST_F(BadgerTrapTest, RecordAccessAccumulatesCounts)
+{
+    trap_.poison(heap_);
+    trap_.recordAccess(heap_, 5);
+    trap_.recordAccess(heap_, 7);
+    EXPECT_EQ(trap_.faultCount(heap_), 12u);
+}
+
+TEST_F(BadgerTrapTest, PoisonResetsCounter)
+{
+    trap_.poison(heap_);
+    trap_.recordAccess(heap_, 5);
+    trap_.poison(heap_); // re-poison resets
+    EXPECT_EQ(trap_.faultCount(heap_), 0u);
+}
+
+TEST_F(BadgerTrapTest, ResetCountSingleAndAll)
+{
+    trap_.poison(heap_);
+    trap_.recordAccess(heap_, 3);
+    trap_.resetCount(heap_);
+    EXPECT_EQ(trap_.faultCount(heap_), 0u);
+    trap_.recordAccess(heap_, 3);
+    trap_.resetAllCounts();
+    EXPECT_EQ(trap_.faultCount(heap_), 0u);
+}
+
+TEST_F(BadgerTrapTest, UnknownPageCountIsZero)
+{
+    EXPECT_EQ(trap_.faultCount(0xdead000), 0u);
+}
+
+TEST_F(BadgerTrapTest, MaintenanceCostAccounted)
+{
+    const Ns cost = trap_.poison(heap_);
+    EXPECT_EQ(cost, trap_.config().poisonCost);
+    trap_.unpoison(heap_);
+    EXPECT_EQ(trap_.stats().maintenanceTime,
+              2 * trap_.config().poisonCost);
+    EXPECT_EQ(trap_.stats().poisons, 1u);
+    EXPECT_EQ(trap_.stats().unpoisons, 1u);
+}
+
+TEST_F(BadgerTrapTest, TracksDistinctPages)
+{
+    trap_.poison(heap_);
+    trap_.poison(heap_ + kPageSize2M);
+    EXPECT_EQ(trap_.trackedPages(), 2u);
+}
+
+TEST_F(BadgerTrapTest, PoisonUnmappedPagePanics)
+{
+    EXPECT_DEATH(trap_.poison(Addr{1} << 40), "unmapped");
+}
+
+} // namespace
+} // namespace thermostat

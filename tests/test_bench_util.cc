@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the benchmark-harness helpers (correlation math used by
+ * the Figure 2 study, duration scaling, configuration defaults).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_util.hh"
+
+namespace thermostat::bench
+{
+namespace
+{
+
+TEST(Pearson, PerfectPositive)
+{
+    EXPECT_NEAR(pearson({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative)
+{
+    EXPECT_NEAR(pearson({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero)
+{
+    EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(Pearson, UncorrelatedNearZero)
+{
+    Rng rng(1);
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i < 5000; ++i) {
+        x.push_back(rng.nextDouble());
+        y.push_back(rng.nextDouble());
+    }
+    EXPECT_LT(std::abs(pearson(x, y)), 0.05);
+}
+
+TEST(Spearman, MonotoneNonlinearIsOne)
+{
+    // Rank correlation sees through the nonlinearity.
+    std::vector<double> x{1, 2, 3, 4, 5};
+    std::vector<double> y{1, 8, 27, 64, 125};
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+    EXPECT_LT(pearson(x, y), 1.0);
+}
+
+TEST(Spearman, TiesAreAveraged)
+{
+    std::vector<double> x{1, 2, 2, 3};
+    std::vector<double> y{1, 2, 2, 3};
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(ScaledDuration, QuickDividesByFour)
+{
+    EXPECT_EQ(scaledDuration(1200, false), 1200 * kNsPerSec);
+    EXPECT_EQ(scaledDuration(1200, true), 300 * kNsPerSec);
+}
+
+TEST(ScaledDuration, QuickFloorsAt120)
+{
+    EXPECT_EQ(scaledDuration(200, true), 120 * kNsPerSec);
+}
+
+TEST(StandardConfig, UsesTunedMachineAndTarget)
+{
+    const SimConfig config =
+        standardConfig("redis", 6.0, 100 * kNsPerSec);
+    EXPECT_DOUBLE_EQ(config.params.tolerableSlowdownPct, 6.0);
+    EXPECT_EQ(config.duration, 100 * kNsPerSec);
+    // Redis tuning gives a 24GB fast tier.
+    EXPECT_EQ(config.machine.fastTier.capacityBytes, 24ULL << 30);
+}
+
+TEST(BenchWorkloads, DefaultsToAllSix)
+{
+    // THERMOSTAT_ONLY unset in the test environment.
+    unsetenv("THERMOSTAT_ONLY");
+    EXPECT_EQ(benchWorkloadNames().size(), 6u);
+    setenv("THERMOSTAT_ONLY", "redis", 1);
+    const auto only = benchWorkloadNames();
+    ASSERT_EQ(only.size(), 1u);
+    EXPECT_EQ(only[0], "redis");
+    unsetenv("THERMOSTAT_ONLY");
+}
+
+} // namespace
+} // namespace thermostat::bench

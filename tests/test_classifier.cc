@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for slowdown-to-budget translation and cold-page selection
+ * (paper Sec 3.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+TEST(Budget, PaperHeadlineNumber)
+{
+    // 3% tolerable slowdown at ts = 1us -> 30K accesses/sec.
+    EXPECT_NEAR(slowdownToRateBudget(3.0, 1000), 30000.0, 1e-6);
+}
+
+TEST(Budget, ScalesLinearlyWithSlowdown)
+{
+    EXPECT_NEAR(slowdownToRateBudget(6.0, 1000), 60000.0, 1e-6);
+    EXPECT_NEAR(slowdownToRateBudget(10.0, 1000), 100000.0, 1e-6);
+}
+
+TEST(Budget, ScalesInverselyWithLatency)
+{
+    // Slower memory halves the allowed access rate.
+    EXPECT_NEAR(slowdownToRateBudget(3.0, 2000), 15000.0, 1e-6);
+    // 400ns device allows 75K accesses/sec at 3%.
+    EXPECT_NEAR(slowdownToRateBudget(3.0, 400), 75000.0, 1e-6);
+}
+
+TEST(Budget, MatchesThermostatParamsHelper)
+{
+    ThermostatParams params;
+    params.tolerableSlowdownPct = 3.0;
+    params.slowMemLatency = 1000;
+    EXPECT_NEAR(params.targetSlowAccessRate(),
+                slowdownToRateBudget(3.0, 1000), 1e-9);
+}
+
+std::vector<PageRate>
+makeRates(std::initializer_list<double> rates)
+{
+    std::vector<PageRate> out;
+    Addr base = 0;
+    for (const double rate : rates) {
+        out.push_back({base, kPageSize2M, rate});
+        base += kPageSize2M;
+    }
+    return out;
+}
+
+TEST(Classify, SelectsColdestFirst)
+{
+    const Classification c =
+        classifyPages(makeRates({500.0, 10.0, 300.0, 50.0}), 100.0);
+    ASSERT_EQ(c.cold.size(), 2u);
+    EXPECT_DOUBLE_EQ(c.cold[0].rate, 10.0);
+    EXPECT_DOUBLE_EQ(c.cold[1].rate, 50.0);
+    EXPECT_EQ(c.hot.size(), 2u);
+    EXPECT_DOUBLE_EQ(c.coldAggregateRate, 60.0);
+}
+
+TEST(Classify, BudgetBoundaryInclusive)
+{
+    const Classification c =
+        classifyPages(makeRates({60.0, 40.0}), 100.0);
+    EXPECT_EQ(c.cold.size(), 2u);
+    EXPECT_DOUBLE_EQ(c.coldAggregateRate, 100.0);
+}
+
+TEST(Classify, ZeroBudgetTakesOnlyZeroRatePages)
+{
+    const Classification c =
+        classifyPages(makeRates({0.0, 0.0, 1.0}), 0.0);
+    EXPECT_EQ(c.cold.size(), 2u);
+    EXPECT_EQ(c.hot.size(), 1u);
+}
+
+TEST(Classify, EmptyInput)
+{
+    const Classification c = classifyPages({}, 100.0);
+    EXPECT_TRUE(c.cold.empty());
+    EXPECT_TRUE(c.hot.empty());
+    EXPECT_DOUBLE_EQ(c.coldAggregateRate, 0.0);
+}
+
+TEST(Classify, AllFitWhenBudgetLarge)
+{
+    const Classification c =
+        classifyPages(makeRates({10.0, 20.0, 30.0}), 1e9);
+    EXPECT_EQ(c.cold.size(), 3u);
+    EXPECT_TRUE(c.hot.empty());
+}
+
+TEST(Classify, DeterministicTieBreakByAddress)
+{
+    std::vector<PageRate> rates = {
+        {kPageSize2M, kPageSize2M, 5.0},
+        {0, kPageSize2M, 5.0},
+        {2 * kPageSize2M, kPageSize2M, 5.0},
+    };
+    const Classification c = classifyPages(std::move(rates), 12.0);
+    ASSERT_EQ(c.cold.size(), 2u);
+    EXPECT_EQ(c.cold[0].base, 0u);
+    EXPECT_EQ(c.cold[1].base, kPageSize2M);
+}
+
+TEST(Classify, MixedPageSizes)
+{
+    std::vector<PageRate> rates = {
+        {0, kPageSize2M, 10.0},
+        {kPageSize2M, kPageSize4K, 5.0},
+    };
+    const Classification c = classifyPages(std::move(rates), 20.0);
+    EXPECT_EQ(c.cold.size(), 2u);
+    EXPECT_EQ(c.cold[0].bytes, kPageSize4K);
+}
+
+TEST(BudgetDeath, ZeroLatencyPanics)
+{
+    EXPECT_DEATH((void)slowdownToRateBudget(3.0, 0), "latency");
+}
+
+} // namespace
+} // namespace thermostat

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Regression net for the cloud-application calibrations: the zone
+ * structure each model promises (hot heads, warm middles, idle
+ * tails, rate floors) is what actually comes out of the samplers.
+ * If a recalibration breaks a paper-level behaviour (e.g. Redis's
+ * probe floor disappears, or MySQL's history table starts taking
+ * traffic), these tests fail before any benchmark does.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "workload/cloud_apps.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+constexpr int kSamples = 300000;
+
+/** Per-2MB-page empirical burst counts for one workload. */
+struct ZoneProfile
+{
+    TieredMemory memory{TierConfig::dram(32ULL << 30),
+                        TierConfig::slow(8ULL << 30)};
+    std::unique_ptr<AddressSpace> space;
+    std::unique_ptr<ComposedWorkload> workload;
+    std::map<Addr, Count> pageCounts;
+
+    explicit ZoneProfile(std::unique_ptr<ComposedWorkload> w)
+        : space(std::make_unique<AddressSpace>(memory)),
+          workload(std::move(w))
+    {
+        workload->setup(*space);
+        Rng rng(123);
+        for (int i = 0; i < kSamples; ++i) {
+            ++pageCounts[alignDown2M(workload->sample(rng).addr)];
+        }
+    }
+
+    /** Fraction of samples landing in [lo, hi) of a region. */
+    double
+    sliceShare(const std::string &region, double lo, double hi)
+    {
+        const Region *r = space->findRegion(region);
+        if (r == nullptr) {
+            return 0.0;
+        }
+        const Addr lo_addr =
+            r->base + static_cast<Addr>(
+                          static_cast<double>(r->mappedBytes) * lo);
+        const Addr hi_addr =
+            r->base + static_cast<Addr>(
+                          static_cast<double>(r->mappedBytes) * hi);
+        Count hits = 0;
+        for (const auto &[page, count] : pageCounts) {
+            if (page >= lo_addr && page < hi_addr) {
+                hits += count;
+            }
+        }
+        return static_cast<double>(hits) / kSamples;
+    }
+};
+
+TEST(CloudAppZones, AerospikeIdleTailIsUntouched)
+{
+    ZoneProfile p(makeAerospike());
+    // [90%, 100%) of the data region: expired records, truly idle.
+    EXPECT_EQ(p.sliceShare("data", 0.905, 1.0), 0.0);
+    // Hot zone carries the bulk.
+    EXPECT_GT(p.sliceShare("data", 0.0, 0.55), 0.60);
+}
+
+TEST(CloudAppZones, CassandraOldGenIsNearlyIdle)
+{
+    ZoneProfile p(makeCassandra());
+    // Old generation [45%, 100%) of the heap: GC trickle only.
+    EXPECT_LT(p.sliceShare("heap", 0.46, 1.0), 0.002);
+    // SSTables see recency-skewed reads: the head outweighs the
+    // tail by a large factor.
+    const double head = p.sliceShare("sstables", 0.0, 0.1);
+    const double tail = p.sliceShare("sstables", 0.9, 1.0);
+    EXPECT_GT(head, 8.0 * (tail + 1e-9));
+}
+
+TEST(CloudAppZones, MysqlHistoryTableIsCold)
+{
+    ZoneProfile p(makeMysqlTpcc());
+    // History [55%, 100%) of the buffer pool: written once.
+    EXPECT_LT(p.sliceShare("buffer-pool", 0.56, 1.0), 0.001);
+    // Hot tables dominate.
+    EXPECT_GT(p.sliceShare("buffer-pool", 0.0, 0.40), 0.70);
+}
+
+TEST(CloudAppZones, RedisFloorTouchesMostPages)
+{
+    ZoneProfile p(makeRedis());
+    const Region *heap = p.space->findRegion("heap");
+    // Count distinct 2MB pages with at least one sample: the probe
+    // floor plus scattered hotspot should reach most of the heap.
+    Count touched = 0;
+    for (const auto &[page, count] : p.pageCounts) {
+        if (page >= heap->base && page < heap->end()) {
+            ++touched;
+        }
+    }
+    const double frac =
+        static_cast<double>(touched) /
+        static_cast<double>(heap->mappedBytes / kPageSize2M);
+    EXPECT_GT(frac, 0.90)
+        << "the hash-table probe floor should warm nearly every "
+           "page (Sec 5's Redis argument)";
+}
+
+TEST(CloudAppZones, RedisBurstyRotationConcentrates)
+{
+    ZoneProfile p(makeRedisBursty());
+    // The rotating slice [96%, 99%) gets a large share in the
+    // bursty variant -- the Fig 1 trap traffic.
+    EXPECT_GT(p.sliceShare("heap", 0.96, 0.99), 0.05);
+}
+
+TEST(CloudAppZones, AnalyticsScanCoversMiddle)
+{
+    ZoneProfile p(makeInMemAnalytics());
+    // The rating-matrix scan walks [25%, 100%) of the initial heap
+    // cyclically; over 300K samples it reaches deep offsets.
+    EXPECT_GT(p.sliceShare("heap", 0.25, 1.00), 0.10);
+    // The RDD cache is written rarely.
+    EXPECT_LT(p.sliceShare("rdd-cache", 0.0, 1.0), 0.001);
+}
+
+TEST(CloudAppZones, WebSearchTailIsIdle)
+{
+    ZoneProfile p(makeWebSearch());
+    EXPECT_LT(p.sliceShare("index", 0.61, 1.0), 0.001);
+    EXPECT_GT(p.sliceShare("index", 0.0, 0.02), 0.30)
+        << "hot dictionary/query caches";
+}
+
+TEST(CloudAppZones, WriteFractionsFollowMix)
+{
+    TieredMemory memory(TierConfig::dram(32ULL << 30),
+                        TierConfig::slow(8ULL << 30));
+    AddressSpace space(memory);
+    auto w = makeCassandra(YcsbMix::WriteHeavy);
+    w->setup(space);
+    Rng rng(5);
+    Count writes = 0;
+    Count memtable_writes = 0;
+    Count memtable_total = 0;
+    const Region *memtable = space.findRegion("memtable");
+    for (int i = 0; i < 100000; ++i) {
+        const MemRef ref = w->sample(rng);
+        writes += ref.type == AccessType::Write;
+        if (ref.addr >= memtable->base &&
+            ref.addr < memtable->end()) {
+            ++memtable_total;
+            memtable_writes += ref.type == AccessType::Write;
+        }
+    }
+    // Write-heavy memtable traffic is ~95% writes.
+    EXPECT_GT(static_cast<double>(memtable_writes) /
+                  static_cast<double>(memtable_total),
+              0.9);
+    EXPECT_GT(writes, 0u);
+}
+
+} // namespace
+} // namespace thermostat

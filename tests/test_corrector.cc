@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for mis-classification correction planning (paper Sec 3.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/corrector.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+std::vector<PageRate>
+makeRates(std::initializer_list<double> rates)
+{
+    std::vector<PageRate> out;
+    Addr base = 0;
+    for (const double rate : rates) {
+        out.push_back({base, kPageSize2M, rate});
+        base += kPageSize2M;
+    }
+    return out;
+}
+
+TEST(Corrector, NoPromotionUnderBudget)
+{
+    const CorrectionPlan plan =
+        planCorrection(makeRates({10.0, 20.0}), 100.0);
+    EXPECT_TRUE(plan.promote.empty());
+    EXPECT_DOUBLE_EQ(plan.measuredRate, 30.0);
+    EXPECT_DOUBLE_EQ(plan.residualRate, 30.0);
+}
+
+TEST(Corrector, PromotesHottestFirst)
+{
+    const CorrectionPlan plan = planCorrection(
+        makeRates({50.0, 500.0, 10.0, 200.0}), 100.0);
+    ASSERT_GE(plan.promote.size(), 2u);
+    EXPECT_DOUBLE_EQ(plan.promote[0].rate, 500.0);
+    EXPECT_DOUBLE_EQ(plan.promote[1].rate, 200.0);
+}
+
+TEST(Corrector, StopsOnceUnderBudget)
+{
+    const CorrectionPlan plan = planCorrection(
+        makeRates({50.0, 500.0, 10.0, 200.0}), 100.0);
+    // 760 total; promoting 500 and 200 leaves 60 <= 100.
+    EXPECT_EQ(plan.promote.size(), 2u);
+    EXPECT_DOUBLE_EQ(plan.residualRate, 60.0);
+    EXPECT_DOUBLE_EQ(plan.measuredRate, 760.0);
+}
+
+TEST(Corrector, ExactBudgetNeedsNoCorrection)
+{
+    const CorrectionPlan plan =
+        planCorrection(makeRates({60.0, 40.0}), 100.0);
+    EXPECT_TRUE(plan.promote.empty());
+}
+
+TEST(Corrector, SingleHotPageDominates)
+{
+    // One mis-classified hot page: the paper's canonical case.
+    const CorrectionPlan plan = planCorrection(
+        makeRates({1.0, 2.0, 30000.0, 3.0}), 30000.0);
+    ASSERT_EQ(plan.promote.size(), 1u);
+    EXPECT_DOUBLE_EQ(plan.promote[0].rate, 30000.0);
+    EXPECT_DOUBLE_EQ(plan.residualRate, 6.0);
+}
+
+TEST(Corrector, EmptyColdSet)
+{
+    const CorrectionPlan plan = planCorrection({}, 100.0);
+    EXPECT_TRUE(plan.promote.empty());
+    EXPECT_DOUBLE_EQ(plan.measuredRate, 0.0);
+}
+
+TEST(Corrector, PromotesEverythingWhenAllHot)
+{
+    const CorrectionPlan plan =
+        planCorrection(makeRates({200.0, 300.0}), 0.0);
+    EXPECT_EQ(plan.promote.size(), 2u);
+    EXPECT_DOUBLE_EQ(plan.residualRate, 0.0);
+}
+
+TEST(Corrector, DeterministicTieBreak)
+{
+    std::vector<PageRate> rates = {
+        {2 * kPageSize2M, kPageSize2M, 10.0},
+        {0, kPageSize2M, 10.0},
+        {kPageSize2M, kPageSize2M, 10.0},
+    };
+    const CorrectionPlan plan =
+        planCorrection(std::move(rates), 15.0);
+    ASSERT_EQ(plan.promote.size(), 2u);
+    EXPECT_EQ(plan.promote[0].base, 0u);
+    EXPECT_EQ(plan.promote[1].base, kPageSize2M);
+}
+
+} // namespace
+} // namespace thermostat

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for CSV export of simulation results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/csv_export.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+SimResult
+sampleResult()
+{
+    SimResult r;
+    r.workload = "unit";
+    r.duration = 10 * kNsPerSec;
+    r.slowdown = 0.025;
+    r.finalColdFraction = 0.4;
+    r.finalRssBytes = 64_MiB;
+    r.hot2M.append(0, 1.0);
+    r.hot4K.append(0, 2.0);
+    r.cold2M.append(0, 3.0);
+    r.cold4K.append(0, 4.0);
+    r.hot2M.append(5 * kNsPerSec, 5.0);
+    r.hot4K.append(5 * kNsPerSec, 6.0);
+    r.cold2M.append(5 * kNsPerSec, 7.0);
+    r.cold4K.append(5 * kNsPerSec, 8.0);
+    r.engineSlowRate.append(kNsPerSec, 30000.0);
+    r.deviceSlowRate.append(kNsPerSec, 29000.0);
+    return r;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+class CsvExportTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = ::testing::TempDir() + "csv_export_test";
+        std::remove((dir_ + "/footprint.csv").c_str());
+        (void)mkdir(dir_.c_str(), 0755);
+    }
+
+    static int
+    mkdir(const char *path, int mode)
+    {
+        std::string cmd = std::string("mkdir -p ") + path;
+        (void)mode;
+        return std::system(cmd.c_str());
+    }
+
+    std::string dir_;
+};
+
+TEST_F(CsvExportTest, WritesAllFiles)
+{
+    EXPECT_TRUE(writeSimResultCsv(sampleResult(), dir_));
+    for (const char *name : {"footprint.csv", "slow_rate.csv",
+                             "device_rate.csv", "summary.csv"}) {
+        std::ifstream in(dir_ + "/" + name);
+        EXPECT_TRUE(in.good()) << name;
+    }
+}
+
+TEST_F(CsvExportTest, FootprintRowsMatchSeries)
+{
+    ASSERT_TRUE(writeSimResultCsv(sampleResult(), dir_));
+    const std::string csv = slurp(dir_ + "/footprint.csv");
+    EXPECT_NE(csv.find("time_sec,hot_2mb,hot_4kb,cold_2mb,cold_4kb"),
+              std::string::npos);
+    EXPECT_NE(csv.find("0.0,1,2,3,4"), std::string::npos);
+    EXPECT_NE(csv.find("5.0,5,6,7,8"), std::string::npos);
+}
+
+TEST_F(CsvExportTest, SummaryContainsKeyMetrics)
+{
+    ASSERT_TRUE(writeSimResultCsv(sampleResult(), dir_));
+    const std::string csv = slurp(dir_ + "/summary.csv");
+    EXPECT_NE(csv.find("workload,unit"), std::string::npos);
+    EXPECT_NE(csv.find("slowdown,0.02500"), std::string::npos);
+    EXPECT_NE(csv.find("final_cold_fraction,0.40000"),
+              std::string::npos);
+}
+
+TEST_F(CsvExportTest, SlowRateRows)
+{
+    ASSERT_TRUE(writeSimResultCsv(sampleResult(), dir_));
+    const std::string csv = slurp(dir_ + "/slow_rate.csv");
+    EXPECT_NE(csv.find("1.0,30000.0"), std::string::npos);
+}
+
+TEST_F(CsvExportTest, MissingDirectoryFails)
+{
+    EXPECT_FALSE(writeSimResultCsv(
+        sampleResult(), "/nonexistent/definitely/not/here"));
+}
+
+} // namespace
+} // namespace thermostat

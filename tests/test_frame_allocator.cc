@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit and property tests for the per-tier frame allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/frame_allocator.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+constexpr std::uint64_t kFrames = 8 * kSubpagesPerHuge;
+
+TEST(FrameAllocator, HugeAllocationIsAligned)
+{
+    FrameAllocator alloc(0, kFrames);
+    for (int i = 0; i < 8; ++i) {
+        const auto pfn = alloc.allocHuge();
+        ASSERT_TRUE(pfn.has_value());
+        EXPECT_EQ(*pfn % kSubpagesPerHuge, 0u);
+    }
+    EXPECT_FALSE(alloc.allocHuge().has_value());
+}
+
+TEST(FrameAllocator, HugeAllocationsAreDistinct)
+{
+    FrameAllocator alloc(0, kFrames);
+    std::set<Pfn> seen;
+    for (int i = 0; i < 8; ++i) {
+        seen.insert(*alloc.allocHuge());
+    }
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(FrameAllocator, BaseAllocationBreaksOneBlock)
+{
+    FrameAllocator alloc(0, kFrames);
+    std::set<Pfn> seen;
+    for (unsigned i = 0; i < kSubpagesPerHuge; ++i) {
+        const auto pfn = alloc.allocBase();
+        ASSERT_TRUE(pfn.has_value());
+        EXPECT_TRUE(seen.insert(*pfn).second) << "duplicate frame";
+    }
+    // All 512 frames should come from one 2MB block.
+    const Pfn base = *seen.begin() - *seen.begin() % kSubpagesPerHuge;
+    for (const Pfn pfn : seen) {
+        EXPECT_EQ(pfn - pfn % kSubpagesPerHuge, base);
+    }
+    // 7 huge blocks must remain allocatable.
+    for (int i = 0; i < 7; ++i) {
+        EXPECT_TRUE(alloc.allocHuge().has_value());
+    }
+    EXPECT_FALSE(alloc.allocHuge().has_value());
+}
+
+TEST(FrameAllocator, FreeHugeMakesBlockReusable)
+{
+    FrameAllocator alloc(0, kSubpagesPerHuge);
+    const Pfn pfn = *alloc.allocHuge();
+    EXPECT_FALSE(alloc.allocHuge().has_value());
+    alloc.freeHuge(pfn);
+    EXPECT_TRUE(alloc.allocHuge().has_value());
+}
+
+TEST(FrameAllocator, BaseFreeCoalescesBackToHuge)
+{
+    FrameAllocator alloc(0, kSubpagesPerHuge);
+    std::vector<Pfn> frames;
+    for (unsigned i = 0; i < kSubpagesPerHuge; ++i) {
+        frames.push_back(*alloc.allocBase());
+    }
+    EXPECT_FALSE(alloc.allocHuge().has_value());
+    for (const Pfn pfn : frames) {
+        alloc.freeBase(pfn);
+    }
+    EXPECT_EQ(alloc.allocatedFrames(), 0u);
+    EXPECT_TRUE(alloc.allocHuge().has_value());
+}
+
+TEST(FrameAllocator, OccupancyAccounting)
+{
+    FrameAllocator alloc(0, kFrames);
+    EXPECT_EQ(alloc.allocatedFrames(), 0u);
+    EXPECT_EQ(alloc.freeFrames(), kFrames);
+    EXPECT_DOUBLE_EQ(alloc.utilization(), 0.0);
+    const Pfn huge = *alloc.allocHuge();
+    const Pfn base = *alloc.allocBase();
+    EXPECT_EQ(alloc.allocatedFrames(), kSubpagesPerHuge + 1);
+    alloc.freeBase(base);
+    alloc.freeHuge(huge);
+    EXPECT_EQ(alloc.allocatedFrames(), 0u);
+}
+
+TEST(FrameAllocator, OwnsRange)
+{
+    FrameAllocator alloc(1024, kFrames);
+    EXPECT_FALSE(alloc.owns(1023));
+    EXPECT_TRUE(alloc.owns(1024));
+    EXPECT_TRUE(alloc.owns(1024 + kFrames - 1));
+    EXPECT_FALSE(alloc.owns(1024 + kFrames));
+}
+
+TEST(FrameAllocator, NonZeroBasePfn)
+{
+    FrameAllocator alloc(4 * kSubpagesPerHuge, kFrames);
+    const Pfn pfn = *alloc.allocHuge();
+    EXPECT_GE(pfn, 4u * kSubpagesPerHuge);
+    EXPECT_EQ(pfn % kSubpagesPerHuge, 0u);
+}
+
+TEST(FrameAllocator, BreakAllocatedHugeEnablesBaseFrees)
+{
+    FrameAllocator alloc(0, kFrames);
+    const Pfn base = *alloc.allocHuge();
+    alloc.breakAllocatedHuge(base);
+    EXPECT_EQ(alloc.allocatedFrames(), kSubpagesPerHuge);
+    // Every subframe can now be freed individually.
+    for (unsigned i = 0; i < kSubpagesPerHuge; ++i) {
+        alloc.freeBase(base + i);
+    }
+    EXPECT_EQ(alloc.allocatedFrames(), 0u);
+    // The block coalesced: we can allocate 8 huge blocks again.
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_TRUE(alloc.allocHuge().has_value());
+    }
+}
+
+TEST(FrameAllocator, ReformAllocatedHugeRoundTrip)
+{
+    FrameAllocator alloc(0, kFrames);
+    const Pfn base = *alloc.allocHuge();
+    alloc.breakAllocatedHuge(base);
+    EXPECT_TRUE(alloc.reformAllocatedHuge(base));
+    // Now the whole block can be freed as a huge block.
+    alloc.freeHuge(base);
+    EXPECT_EQ(alloc.allocatedFrames(), 0u);
+}
+
+TEST(FrameAllocator, ReformFailsAfterPartialFree)
+{
+    FrameAllocator alloc(0, kFrames);
+    const Pfn base = *alloc.allocHuge();
+    alloc.breakAllocatedHuge(base);
+    alloc.freeBase(base + 3);
+    EXPECT_FALSE(alloc.reformAllocatedHuge(base));
+}
+
+TEST(FrameAllocator, PartiallyFreedBlockServesBaseAllocs)
+{
+    FrameAllocator alloc(0, kSubpagesPerHuge);
+    const Pfn base = *alloc.allocHuge();
+    alloc.breakAllocatedHuge(base);
+    alloc.freeBase(base + 7);
+    const auto pfn = alloc.allocBase();
+    ASSERT_TRUE(pfn.has_value());
+    EXPECT_EQ(*pfn, base + 7);
+}
+
+TEST(FrameAllocatorDeath, DoubleFreeBasePanics)
+{
+    FrameAllocator alloc(0, kFrames);
+    (void)alloc.allocHuge();
+    const Pfn pfn = *alloc.allocBase();
+    alloc.freeBase(pfn);
+    EXPECT_DEATH(alloc.freeBase(pfn), "");
+}
+
+TEST(FrameAllocatorDeath, UnalignedConstructionPanics)
+{
+    EXPECT_DEATH(FrameAllocator(1, kFrames), "aligned");
+    EXPECT_DEATH(FrameAllocator(0, 100), "multiple");
+}
+
+/** Randomized invariant check across seeds. */
+class FrameAllocatorFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FrameAllocatorFuzz, RandomOpsPreserveInvariants)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    FrameAllocator alloc(0, 16 * kSubpagesPerHuge);
+    std::vector<Pfn> huge_allocs;
+    std::vector<Pfn> base_allocs;
+    std::set<Pfn> live;
+
+    for (int step = 0; step < 4000; ++step) {
+        switch (rng.nextBounded(4)) {
+          case 0:
+            if (const auto pfn = alloc.allocHuge()) {
+                huge_allocs.push_back(*pfn);
+                for (unsigned i = 0; i < kSubpagesPerHuge; ++i) {
+                    ASSERT_TRUE(live.insert(*pfn + i).second)
+                        << "frame handed out twice";
+                }
+            }
+            break;
+          case 1:
+            if (const auto pfn = alloc.allocBase()) {
+                base_allocs.push_back(*pfn);
+                ASSERT_TRUE(live.insert(*pfn).second)
+                    << "frame handed out twice";
+            }
+            break;
+          case 2:
+            if (!huge_allocs.empty()) {
+                const std::size_t idx = static_cast<std::size_t>(
+                    rng.nextBounded(huge_allocs.size()));
+                const Pfn pfn = huge_allocs[idx];
+                huge_allocs.erase(huge_allocs.begin() +
+                                  static_cast<long>(idx));
+                alloc.freeHuge(pfn);
+                for (unsigned i = 0; i < kSubpagesPerHuge; ++i) {
+                    live.erase(pfn + i);
+                }
+            }
+            break;
+          default:
+            if (!base_allocs.empty()) {
+                const std::size_t idx = static_cast<std::size_t>(
+                    rng.nextBounded(base_allocs.size()));
+                const Pfn pfn = base_allocs[idx];
+                base_allocs.erase(base_allocs.begin() +
+                                  static_cast<long>(idx));
+                alloc.freeBase(pfn);
+                live.erase(pfn);
+            }
+            break;
+        }
+        ASSERT_EQ(alloc.allocatedFrames(), live.size());
+        ASSERT_EQ(alloc.freeFrames(),
+                  16 * kSubpagesPerHuge - live.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameAllocatorFuzz,
+                         ::testing::Range(1, 6));
+
+} // namespace
+} // namespace thermostat

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the khugepaged huge-page recovery daemon.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sys/khugepaged.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+class KhugepagedTest : public ::testing::Test
+{
+  protected:
+    KhugepagedTest()
+        : memory_(TierConfig::dram(128_MiB),
+                  TierConfig::slow(128_MiB)),
+          space_(memory_),
+          tlb_({64, 4}, {1024, 8}),
+          daemon_(space_, tlb_)
+    {
+        heap_ = space_.mapRegion("heap", 16_MiB); // 8 huge pages
+    }
+
+    TieredMemory memory_;
+    AddressSpace space_;
+    TlbHierarchy tlb_;
+    Khugepaged daemon_;
+    Addr heap_ = 0;
+};
+
+TEST_F(KhugepagedTest, CollapsesLeftoverSplitPages)
+{
+    ASSERT_TRUE(space_.splitHuge(heap_));
+    ASSERT_TRUE(space_.splitHuge(heap_ + kPageSize2M));
+    EXPECT_EQ(space_.pageTable().hugeLeafCount(), 6u);
+    EXPECT_EQ(daemon_.runPass(), 2u);
+    EXPECT_EQ(space_.pageTable().hugeLeafCount(), 8u);
+    EXPECT_EQ(space_.pageTable().baseLeafCount(), 0u);
+    EXPECT_EQ(daemon_.stats().collapses, 2u);
+}
+
+TEST_F(KhugepagedTest, SkipsPoisonedRanges)
+{
+    ASSERT_TRUE(space_.splitHuge(heap_));
+    space_.pageTable()
+        .walk(heap_ + 7 * kPageSize4K)
+        .pte->poison();
+    EXPECT_EQ(daemon_.runPass(), 0u);
+    EXPECT_FALSE(space_.pageTable().walk(heap_).huge);
+}
+
+TEST_F(KhugepagedTest, SkipsNonContiguousRanges)
+{
+    ASSERT_TRUE(space_.splitHuge(heap_));
+    // Migrate one subpage away: physical contiguity broken.
+    const Addr sub = heap_ + 4096;
+    const Pfn old_pfn = space_.pageTable().walk(sub).pte->pfn();
+    const Pfn new_pfn = *memory_.allocBase(Tier::Slow);
+    space_.remapLeaf(sub, new_pfn);
+    memory_.freeBase(old_pfn);
+    EXPECT_EQ(daemon_.runPass(), 0u);
+}
+
+TEST_F(KhugepagedTest, HonorsPerPassBudget)
+{
+    KhugepagedConfig config;
+    config.maxCollapsesPerPass = 1;
+    Khugepaged limited(space_, tlb_, config);
+    ASSERT_TRUE(space_.splitHuge(heap_));
+    ASSERT_TRUE(space_.splitHuge(heap_ + kPageSize2M));
+    EXPECT_EQ(limited.runPass(), 1u);
+    EXPECT_EQ(limited.runPass(), 1u);
+    EXPECT_EQ(space_.pageTable().hugeLeafCount(), 8u);
+}
+
+TEST_F(KhugepagedTest, TickRunsOnSchedule)
+{
+    ASSERT_TRUE(space_.splitHuge(heap_));
+    daemon_.tick(0);
+    EXPECT_EQ(daemon_.stats().passes, 1u);
+    daemon_.tick(5 * kNsPerSec); // before the next period
+    EXPECT_EQ(daemon_.stats().passes, 1u);
+    daemon_.tick(daemon_.config().scanPeriod);
+    EXPECT_EQ(daemon_.stats().passes, 2u);
+}
+
+TEST_F(KhugepagedTest, InvalidatesTlbOnCollapse)
+{
+    ASSERT_TRUE(space_.splitHuge(heap_));
+    tlb_.insert(heap_, space_.pageTable().walk(heap_).pte->pfn(),
+                false);
+    (void)daemon_.runPass();
+    EXPECT_EQ(tlb_.lookup(heap_), TlbHierarchy::HitLevel::Miss);
+}
+
+TEST_F(KhugepagedTest, CostAccounting)
+{
+    ASSERT_TRUE(space_.splitHuge(heap_));
+    (void)daemon_.runPass();
+    EXPECT_EQ(daemon_.stats().totalCost,
+              daemon_.config().perRangeCost +
+                  daemon_.config().perCollapseCost);
+}
+
+TEST_F(KhugepagedTest, NothingToDoIsCheap)
+{
+    EXPECT_EQ(daemon_.runPass(), 0u);
+    EXPECT_EQ(daemon_.stats().rangesScanned, 0u);
+}
+
+} // namespace
+} // namespace thermostat

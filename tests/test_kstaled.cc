@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for kstaled-style Accessed-bit idle tracking (paper
+ * Sec 2.1, Fig 1 baseline).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sys/kstaled.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+class KstaledTest : public ::testing::Test
+{
+  protected:
+    KstaledTest()
+        : memory_(TierConfig::dram(64_MiB), TierConfig::slow(64_MiB)),
+          space_(memory_),
+          tlb_({64, 4}, {1024, 8}),
+          kstaled_(space_, tlb_)
+    {
+        heap_ = space_.mapRegion("heap", 8_MiB); // 4 huge pages
+    }
+
+    void
+    touch(Addr page)
+    {
+        space_.pageTable().walk(page).pte->setAccessed();
+    }
+
+    TieredMemory memory_;
+    AddressSpace space_;
+    TlbHierarchy tlb_;
+    Kstaled kstaled_;
+    Addr heap_ = 0;
+};
+
+TEST_F(KstaledTest, ScanClearsAccessedBits)
+{
+    touch(heap_);
+    const ScanStats stats = kstaled_.scanAll();
+    EXPECT_EQ(stats.scannedPtes, 4u);
+    EXPECT_EQ(stats.accessedPtes, 1u);
+    EXPECT_EQ(stats.shootdowns, 1u);
+    EXPECT_FALSE(space_.pageTable().walk(heap_).pte->accessed());
+}
+
+TEST_F(KstaledTest, ScanShootsDownAccessedPages)
+{
+    tlb_.insert(heap_, 0, true);
+    touch(heap_);
+    kstaled_.scanAll();
+    EXPECT_EQ(tlb_.lookup(heap_), TlbHierarchy::HitLevel::Miss);
+}
+
+TEST_F(KstaledTest, IdleScansAccumulateForUntouchedPages)
+{
+    for (int i = 0; i < 5; ++i) {
+        kstaled_.scanAll();
+    }
+    EXPECT_EQ(kstaled_.idleState(heap_).idleScans, 5u);
+    EXPECT_EQ(kstaled_.idleState(heap_).hotStreak, 0u);
+}
+
+TEST_F(KstaledTest, AccessResetsIdleCount)
+{
+    kstaled_.scanAll();
+    kstaled_.scanAll();
+    touch(heap_);
+    kstaled_.scanAll();
+    EXPECT_EQ(kstaled_.idleState(heap_).idleScans, 0u);
+    EXPECT_EQ(kstaled_.idleState(heap_).hotStreak, 1u);
+}
+
+TEST_F(KstaledTest, HotStreakCriterion)
+{
+    for (int i = 0; i < 3; ++i) {
+        touch(heap_);
+        kstaled_.scanAll();
+    }
+    EXPECT_TRUE(kstaled_.isHot(heap_));
+    kstaled_.scanAll(); // one idle scan breaks the streak
+    EXPECT_FALSE(kstaled_.isHot(heap_));
+}
+
+TEST_F(KstaledTest, HugeIdleFraction)
+{
+    // Touch one of the four huge pages on every scan.
+    for (int i = 0; i < 4; ++i) {
+        touch(heap_);
+        kstaled_.scanAll();
+    }
+    // 3 of 4 huge pages idle for >= 3 scans.
+    EXPECT_NEAR(kstaled_.hugeIdleFraction(3), 0.75, 1e-12);
+    EXPECT_NEAR(kstaled_.hugeIdleFraction(5), 0.0, 1e-12);
+}
+
+TEST_F(KstaledTest, ScanPagesSubset)
+{
+    ASSERT_TRUE(space_.splitHuge(heap_));
+    touch(heap_ + 3 * kPageSize4K);
+    const std::vector<Addr> pages = {heap_, heap_ + 3 * kPageSize4K};
+    const ScanStats stats = kstaled_.scanPages(pages);
+    EXPECT_EQ(stats.scannedPtes, 2u);
+    EXPECT_EQ(stats.accessedPtes, 1u);
+}
+
+TEST_F(KstaledTest, ScanPagesSkipsUnmapped)
+{
+    const std::vector<Addr> pages = {Addr{1} << 40};
+    const ScanStats stats = kstaled_.scanPages(pages);
+    EXPECT_EQ(stats.scannedPtes, 0u);
+}
+
+TEST_F(KstaledTest, TestAndClearAccessed)
+{
+    touch(heap_);
+    EXPECT_TRUE(kstaled_.testAndClearAccessed(heap_));
+    EXPECT_FALSE(kstaled_.testAndClearAccessed(heap_));
+}
+
+TEST_F(KstaledTest, CostModelChargesPerPteAndShootdown)
+{
+    touch(heap_);
+    const ScanStats stats = kstaled_.scanAll();
+    const KstaledConfig &config = kstaled_.config();
+    EXPECT_EQ(stats.cost, 4 * config.perPteCost +
+                              1 * config.shootdownCost);
+    EXPECT_EQ(kstaled_.totalCost(), stats.cost);
+}
+
+TEST_F(KstaledTest, ScanCountIncrements)
+{
+    kstaled_.scanAll();
+    kstaled_.scanPages({heap_});
+    EXPECT_EQ(kstaled_.scanCount(), 2u);
+}
+
+TEST_F(KstaledTest, ResetForgetsState)
+{
+    kstaled_.scanAll();
+    kstaled_.reset();
+    EXPECT_EQ(kstaled_.idleState(heap_).idleScans, 0u);
+}
+
+} // namespace
+} // namespace thermostat

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the last-level cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/llc.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+LlcConfig
+tinyConfig()
+{
+    LlcConfig config;
+    config.sizeBytes = 64 * 1024; // 1024 lines
+    config.lineSize = 64;
+    config.ways = 4;
+    return config;
+}
+
+TEST(Llc, MissThenHit)
+{
+    LastLevelCache llc(tinyConfig());
+    EXPECT_FALSE(llc.access(0x1000, AccessType::Read));
+    EXPECT_TRUE(llc.access(0x1000, AccessType::Read));
+    EXPECT_EQ(llc.stats().hits, 1u);
+    EXPECT_EQ(llc.stats().misses, 1u);
+}
+
+TEST(Llc, SameLineDifferentBytesHit)
+{
+    LastLevelCache llc(tinyConfig());
+    (void)llc.access(0x1000, AccessType::Read);
+    EXPECT_TRUE(llc.access(0x1030, AccessType::Read));
+}
+
+TEST(Llc, DifferentLinesMissIndependently)
+{
+    LastLevelCache llc(tinyConfig());
+    (void)llc.access(0x1000, AccessType::Read);
+    EXPECT_FALSE(llc.access(0x1040, AccessType::Read));
+}
+
+TEST(Llc, LruEvictionWithinSet)
+{
+    LlcConfig config = tinyConfig();
+    LastLevelCache llc(config);
+    const unsigned sets = static_cast<unsigned>(
+        config.sizeBytes / config.lineSize / config.ways);
+    const Addr stride = static_cast<Addr>(sets) * config.lineSize;
+    // Fill one set (4 ways), then touch line 0 and insert a fifth.
+    for (Addr i = 0; i < 4; ++i) {
+        (void)llc.access(i * stride, AccessType::Read);
+    }
+    EXPECT_TRUE(llc.access(0, AccessType::Read));
+    (void)llc.access(4 * stride, AccessType::Read);
+    EXPECT_TRUE(llc.access(0, AccessType::Read));
+    EXPECT_FALSE(llc.access(stride, AccessType::Read))
+        << "LRU line should have been evicted";
+}
+
+TEST(Llc, DirtyEvictionCountsWriteback)
+{
+    LlcConfig config = tinyConfig();
+    LastLevelCache llc(config);
+    const unsigned sets = static_cast<unsigned>(
+        config.sizeBytes / config.lineSize / config.ways);
+    const Addr stride = static_cast<Addr>(sets) * config.lineSize;
+    (void)llc.access(0, AccessType::Write);
+    for (Addr i = 1; i <= 4; ++i) {
+        (void)llc.access(i * stride, AccessType::Read);
+    }
+    EXPECT_EQ(llc.stats().writebacks, 1u);
+}
+
+TEST(Llc, FlushAllEmptiesCache)
+{
+    LastLevelCache llc(tinyConfig());
+    (void)llc.access(0x2000, AccessType::Read);
+    llc.flushAll();
+    EXPECT_FALSE(llc.contains(0x2000));
+    EXPECT_FALSE(llc.access(0x2000, AccessType::Read));
+}
+
+TEST(Llc, InvalidateFrameDropsOnlyThatFrame)
+{
+    LastLevelCache llc(tinyConfig());
+    (void)llc.access(5 * kPageSize4K, AccessType::Read);
+    (void)llc.access(6 * kPageSize4K, AccessType::Read);
+    llc.invalidateFrame(5);
+    EXPECT_FALSE(llc.contains(5 * kPageSize4K));
+    EXPECT_TRUE(llc.contains(6 * kPageSize4K));
+}
+
+TEST(Llc, ContainsDoesNotPerturb)
+{
+    LastLevelCache llc(tinyConfig());
+    (void)llc.access(0x3000, AccessType::Read);
+    const auto hits = llc.stats().hits;
+    EXPECT_TRUE(llc.contains(0x3000));
+    EXPECT_FALSE(llc.contains(0x4000));
+    EXPECT_EQ(llc.stats().hits, hits);
+}
+
+TEST(Llc, FrameMissTrackingWhenEnabled)
+{
+    LlcConfig config = tinyConfig();
+    config.trackFrameMisses = true;
+    LastLevelCache llc(config);
+    // Two misses within the first 2MB region.
+    (void)llc.access(0x0, AccessType::Read);
+    (void)llc.access(kPageSize4K, AccessType::Read);
+    // One miss in the second 2MB region.
+    (void)llc.access(kPageSize2M, AccessType::Read);
+    EXPECT_EQ(llc.frameMisses(0), 2u);
+    EXPECT_EQ(llc.frameMisses(kSubpagesPerHuge), 1u);
+    llc.clearFrameMisses();
+    EXPECT_EQ(llc.frameMisses(0), 0u);
+}
+
+TEST(Llc, FrameMissTrackingDisabledByDefault)
+{
+    LastLevelCache llc(tinyConfig());
+    (void)llc.access(0x0, AccessType::Read);
+    EXPECT_EQ(llc.frameMisses(0), 0u);
+}
+
+TEST(Llc, ResetStats)
+{
+    LastLevelCache llc(tinyConfig());
+    (void)llc.access(0x0, AccessType::Read);
+    llc.resetStats();
+    EXPECT_EQ(llc.stats().misses, 0u);
+}
+
+TEST(Llc, MissRatio)
+{
+    LastLevelCache llc(tinyConfig());
+    (void)llc.access(0, AccessType::Read);
+    (void)llc.access(0, AccessType::Read);
+    (void)llc.access(0, AccessType::Read);
+    EXPECT_NEAR(llc.stats().missRatio(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(LlcDeath, BadGeometryPanics)
+{
+    LlcConfig config;
+    config.sizeBytes = 1000;
+    config.lineSize = 64;
+    config.ways = 7;
+    EXPECT_DEATH(LastLevelCache{config}, "");
+}
+
+} // namespace
+} // namespace thermostat

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the machine access path: TLB fill, walk costs, poison
+ * faults, bursts, tiers and the counterfactual baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/machine.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+MachineConfig
+tinyConfig()
+{
+    MachineConfig config;
+    config.fastTier = TierConfig::dram(128_MiB);
+    config.slowTier = TierConfig::slow(128_MiB);
+    config.llc.sizeBytes = 256 * 1024;
+    config.llc.ways = 4;
+    return config;
+}
+
+class MachineTest : public ::testing::Test
+{
+  protected:
+    MachineTest() : machine_(tinyConfig())
+    {
+        heap_ = machine_.space().mapRegion("heap", 16_MiB);
+    }
+
+    Machine machine_;
+    Addr heap_ = 0;
+};
+
+TEST_F(MachineTest, FirstAccessMissesTlbThenHits)
+{
+    const AccessOutcome first =
+        machine_.access(heap_, AccessType::Read);
+    EXPECT_TRUE(first.tlbMiss);
+    const AccessOutcome second =
+        machine_.access(heap_ + 64, AccessType::Read);
+    EXPECT_FALSE(second.tlbMiss);
+    EXPECT_LT(second.actualLatency, first.actualLatency);
+}
+
+TEST_F(MachineTest, HugeEntryCoversWholePage)
+{
+    (void)machine_.access(heap_, AccessType::Read);
+    const AccessOutcome out =
+        machine_.access(heap_ + kPageSize2M - 64, AccessType::Read);
+    EXPECT_FALSE(out.tlbMiss);
+}
+
+TEST_F(MachineTest, LlcMissChargesMemory)
+{
+    const AccessOutcome first =
+        machine_.access(heap_, AccessType::Read);
+    EXPECT_TRUE(first.llcMiss);
+    EXPECT_EQ(first.tier, Tier::Fast);
+    const AccessOutcome second =
+        machine_.access(heap_, AccessType::Read);
+    EXPECT_FALSE(second.llcMiss);
+}
+
+TEST_F(MachineTest, PoisonFaultChargedOnTlbMissOnly)
+{
+    machine_.trap().poison(heap_);
+    const AccessOutcome faulted =
+        machine_.access(heap_, AccessType::Read);
+    EXPECT_TRUE(faulted.poisonFault);
+    EXPECT_GE(faulted.actualLatency,
+              machine_.config().trap.faultLatency);
+    // BadgerTrap installed a TLB translation: next access sails.
+    const AccessOutcome cached =
+        machine_.access(heap_ + 128, AccessType::Read);
+    EXPECT_FALSE(cached.poisonFault);
+    // The PTE stays poisoned (repoisoned by the handler).
+    EXPECT_TRUE(machine_.trap().isPoisoned(heap_));
+}
+
+TEST_F(MachineTest, FaultRecursAfterShootdown)
+{
+    machine_.trap().poison(heap_);
+    (void)machine_.access(heap_, AccessType::Read);
+    machine_.tlb().invalidatePage(heap_);
+    const AccessOutcome out =
+        machine_.access(heap_, AccessType::Read);
+    EXPECT_TRUE(out.poisonFault);
+    EXPECT_EQ(machine_.trap().stats().faults, 2u);
+}
+
+TEST_F(MachineTest, BaselineExcludesFaultAndSlowCosts)
+{
+    machine_.trap().poison(heap_);
+    const AccessOutcome out =
+        machine_.access(heap_, AccessType::Read);
+    EXPECT_GE(out.actualLatency - out.baselineLatency,
+              machine_.config().trap.faultLatency);
+}
+
+TEST_F(MachineTest, BurstTouchesMultipleLines)
+{
+    const AccessOutcome out =
+        machine_.access(heap_, AccessType::Read, 1, 8);
+    (void)out;
+    EXPECT_EQ(machine_.stats().accesses, 1u);
+    EXPECT_EQ(machine_.stats().lineAccesses, 8u);
+    // All 8 lines are now cached.
+    for (unsigned i = 0; i < 8; ++i) {
+        EXPECT_TRUE(machine_.llc().contains(
+            machine_.space().pageTable().walk(heap_).pte->pfn() *
+                kPageSize4K +
+            i * 64));
+    }
+}
+
+TEST_F(MachineTest, BurstCostsMoreThanSingleLine)
+{
+    const AccessOutcome single =
+        machine_.access(heap_, AccessType::Read, 1, 1);
+    machine_.llc().flushAll();
+    machine_.tlb().flushAll();
+    const AccessOutcome burst =
+        machine_.access(heap_, AccessType::Read, 1, 8);
+    EXPECT_GT(burst.actualLatency, single.actualLatency);
+}
+
+TEST_F(MachineTest, WeightedStatsScale)
+{
+    (void)machine_.access(heap_, AccessType::Read, 100);
+    EXPECT_EQ(machine_.stats().weightedAccesses, 100u);
+    EXPECT_EQ(machine_.stats().accesses, 1u);
+}
+
+TEST_F(MachineTest, SlowTierAccessCountedInEmuMode)
+{
+    // Move the page into the slow zone manually.
+    const Pfn old_pfn =
+        machine_.space().pageTable().walk(heap_).pte->pfn();
+    const Pfn new_pfn =
+        *machine_.memory().allocHuge(Tier::Slow);
+    machine_.space().remapLeaf(heap_, new_pfn);
+    machine_.memory().freeHuge(old_pfn);
+    machine_.tlb().flushAll();
+    const AccessOutcome out =
+        machine_.access(heap_, AccessType::Read, 7);
+    EXPECT_EQ(out.tier, Tier::Slow);
+    EXPECT_EQ(machine_.stats().weightedSlowAccesses, 7u);
+    EXPECT_EQ(machine_.takeSlowAccessCount(), 7u);
+    EXPECT_EQ(machine_.takeSlowAccessCount(), 0u);
+}
+
+TEST_F(MachineTest, ThpDisabledMapsBasePages)
+{
+    MachineConfig config = tinyConfig();
+    config.thpEnabled = false;
+    Machine machine(config);
+    machine.space().mapRegion("heap", 4_MiB);
+    EXPECT_EQ(machine.space().pageTable().hugeLeafCount(), 0u);
+}
+
+TEST(MachineModes, DeviceModeChargesSlowLatency)
+{
+    MachineConfig emu = tinyConfig();
+    emu.slowMode = SlowEmuMode::BadgerTrapEmu;
+    MachineConfig dev = tinyConfig();
+    dev.slowMode = SlowEmuMode::Device;
+
+    auto run = [](Machine &machine) {
+        const Addr heap = machine.space().mapRegion("heap", 2_MiB);
+        const Pfn old_pfn =
+            machine.space().pageTable().walk(heap).pte->pfn();
+        const Pfn new_pfn =
+            *machine.memory().allocHuge(Tier::Slow);
+        machine.space().remapLeaf(heap, new_pfn);
+        machine.memory().freeHuge(old_pfn);
+        machine.tlb().flushAll();
+        machine.llc().flushAll();
+        // TLB entry present (second access) so no walk, no fault.
+        (void)machine.access(heap, AccessType::Read);
+        machine.llc().flushAll();
+        return machine.access(heap + 64, AccessType::Read);
+    };
+    Machine emu_machine(emu);
+    Machine dev_machine(dev);
+    const AccessOutcome emu_out = run(emu_machine);
+    const AccessOutcome dev_out = run(dev_machine);
+    EXPECT_GT(dev_out.actualLatency, emu_out.actualLatency)
+        << "Device mode must charge the slow-device latency";
+}
+
+TEST(CountingModes, CmBitFaultsOnLlcMissOnly)
+{
+    MachineConfig config = tinyConfig();
+    config.countingMode = CountingMode::CmBit;
+    Machine machine(config);
+    const Addr heap = machine.space().mapRegion("heap", 2_MiB);
+    machine.trap().poison(heap);
+    // First access: TLB miss but NO 1us fault; LLC miss raises a
+    // cheap overlapped CM fault instead.
+    const AccessOutcome out =
+        machine.access(heap, AccessType::Read);
+    EXPECT_TRUE(out.poisonFault);
+    EXPECT_LT(out.actualLatency,
+              machine.config().trap.faultLatency);
+    EXPECT_EQ(machine.stats().cmFaults, 1u);
+    EXPECT_EQ(machine.trap().stats().faults, 0u);
+    // Second access hits the LLC: no CM fault.
+    const AccessOutcome hit =
+        machine.access(heap, AccessType::Read);
+    EXPECT_FALSE(hit.poisonFault);
+}
+
+TEST(CountingModes, PebsModeNeverFaults)
+{
+    MachineConfig config = tinyConfig();
+    config.countingMode = CountingMode::Pebs;
+    Machine machine(config);
+    const Addr heap = machine.space().mapRegion("heap", 2_MiB);
+    machine.trap().poison(heap);
+    const AccessOutcome out =
+        machine.access(heap, AccessType::Read);
+    EXPECT_FALSE(out.poisonFault);
+    EXPECT_EQ(machine.trap().stats().faults, 0u);
+    EXPECT_EQ(machine.stats().cmFaults, 0u);
+}
+
+TEST_F(MachineTest, EffectiveWalkLatencyHonorsOverlap)
+{
+    EXPECT_EQ(machine_.effectiveWalkLatency(true),
+              static_cast<Ns>(std::llround(
+                  static_cast<double>(
+                      machine_.walker().walkLatency(true)) /
+                  machine_.config().overlapFactor)));
+}
+
+TEST_F(MachineTest, UnmappedAccessPanics)
+{
+    EXPECT_DEATH((void)machine_.access(Addr{1} << 40,
+                                       AccessType::Read),
+                 "unmapped");
+}
+
+} // namespace
+} // namespace thermostat

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for tier-to-tier page migration (paper Sec 3.6, Table 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sys/migration.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+class MigrationTest : public ::testing::Test
+{
+  protected:
+    MigrationTest()
+        : memory_(TierConfig::dram(64_MiB), TierConfig::slow(64_MiB)),
+          space_(memory_),
+          tlb_({64, 4}, {1024, 8}),
+          llc_({64 * 1024, 64, 4, 30, false}),
+          migrator_(space_, tlb_, &llc_)
+    {
+        heap_ = space_.mapRegion("heap", 8_MiB);
+        conf_ = space_.mapRegion("conf", 16_KiB, 0, false);
+    }
+
+    TieredMemory memory_;
+    AddressSpace space_;
+    TlbHierarchy tlb_;
+    LastLevelCache llc_;
+    PageMigrator migrator_;
+    Addr heap_ = 0;
+    Addr conf_ = 0;
+};
+
+TEST_F(MigrationTest, DemoteHugePage)
+{
+    const MigrateResult res =
+        migrator_.migrate(heap_, Tier::Slow, kNsPerSec);
+    EXPECT_TRUE(res.moved);
+    EXPECT_GT(res.cost, 0u);
+    EXPECT_EQ(space_.tierOf(heap_), Tier::Slow);
+    EXPECT_EQ(migrator_.stats().hugeDemotions, 1u);
+    EXPECT_EQ(migrator_.stats().bytesDemoted, kPageSize2M);
+    EXPECT_EQ(memory_.slow().usedBytes(), kPageSize2M);
+    // The old fast frames were released.
+    EXPECT_EQ(memory_.fast().usedBytes(), 8_MiB - kPageSize2M +
+                                              16_KiB);
+}
+
+TEST_F(MigrationTest, PromoteBack)
+{
+    migrator_.migrate(heap_, Tier::Slow, 0);
+    const MigrateResult res =
+        migrator_.migrate(heap_, Tier::Fast, kNsPerSec);
+    EXPECT_TRUE(res.moved);
+    EXPECT_EQ(space_.tierOf(heap_), Tier::Fast);
+    EXPECT_EQ(migrator_.stats().hugePromotions, 1u);
+    EXPECT_EQ(migrator_.stats().bytesPromoted, kPageSize2M);
+    EXPECT_EQ(memory_.slow().usedBytes(), 0u);
+}
+
+TEST_F(MigrationTest, MigrateBasePage)
+{
+    const MigrateResult res =
+        migrator_.migrate(conf_, Tier::Slow, 0);
+    EXPECT_TRUE(res.moved);
+    EXPECT_EQ(migrator_.stats().baseDemotions, 1u);
+    EXPECT_EQ(migrator_.stats().bytesDemoted, kPageSize4K);
+    EXPECT_EQ(space_.tierOf(conf_), Tier::Slow);
+}
+
+TEST_F(MigrationTest, NoOpWhenAlreadyPlaced)
+{
+    const MigrateResult res =
+        migrator_.migrate(heap_, Tier::Fast, 0);
+    EXPECT_FALSE(res.moved);
+    EXPECT_EQ(res.cost, 0u);
+    EXPECT_EQ(migrator_.stats().bytesDemoted, 0u);
+}
+
+TEST_F(MigrationTest, PoisonSurvivesMigration)
+{
+    space_.pageTable().walk(heap_).pte->poison();
+    migrator_.migrate(heap_, Tier::Slow, 0);
+    EXPECT_TRUE(space_.pageTable().walk(heap_).pte->poisoned());
+}
+
+TEST_F(MigrationTest, TlbShootdownOnMigration)
+{
+    tlb_.insert(heap_, space_.pageTable().walk(heap_).pte->pfn(),
+                true);
+    migrator_.migrate(heap_, Tier::Slow, 0);
+    EXPECT_EQ(tlb_.lookup(heap_), TlbHierarchy::HitLevel::Miss);
+}
+
+TEST_F(MigrationTest, LlcInvalidatedOnMigration)
+{
+    const Pfn pfn = space_.pageTable().walk(heap_).pte->pfn();
+    (void)llc_.access(pfn * kPageSize4K, AccessType::Read);
+    EXPECT_TRUE(llc_.contains(pfn * kPageSize4K));
+    migrator_.migrate(heap_, Tier::Slow, 0);
+    EXPECT_FALSE(llc_.contains(pfn * kPageSize4K));
+}
+
+TEST_F(MigrationTest, FailsWhenTargetFull)
+{
+    // Fill the slow tier completely.
+    while (memory_.allocHuge(Tier::Slow).has_value()) {
+    }
+    const MigrateResult res =
+        migrator_.migrate(heap_, Tier::Slow, 0);
+    EXPECT_FALSE(res.moved);
+    EXPECT_EQ(migrator_.stats().failedAllocs, 1u);
+    EXPECT_EQ(space_.tierOf(heap_), Tier::Fast);
+}
+
+TEST_F(MigrationTest, CopyCostScalesWithSize)
+{
+    const MigrateResult huge =
+        migrator_.migrate(heap_, Tier::Slow, 0);
+    const MigrateResult base =
+        migrator_.migrate(conf_, Tier::Slow, 0);
+    EXPECT_GT(huge.cost, base.cost);
+}
+
+TEST_F(MigrationTest, BandwidthMetersSeparateDirections)
+{
+    migrator_.migrate(heap_, Tier::Slow, 0);
+    migrator_.migrate(heap_ + kPageSize2M, Tier::Slow,
+                      kNsPerSec / 2);
+    migrator_.migrate(heap_, Tier::Fast, kNsPerSec / 2);
+    const double demote = migrator_.takeDemotionRate(kNsPerSec);
+    const double promote = migrator_.takePromotionRate(kNsPerSec);
+    EXPECT_GT(demote, 0.0);
+    EXPECT_GT(promote, 0.0);
+    EXPECT_EQ(migrator_.stats().bytesDemoted, 2 * kPageSize2M);
+    EXPECT_EQ(migrator_.stats().bytesPromoted, kPageSize2M);
+}
+
+TEST_F(MigrationTest, WearChargedOnSlowTierFill)
+{
+    migrator_.migrate(heap_, Tier::Slow, 0);
+    // 2MB copied in 64B lines.
+    EXPECT_EQ(memory_.slow().totalWear(), kPageSize2M / 64);
+}
+
+TEST_F(MigrationTest, MigrateUnmappedPanics)
+{
+    EXPECT_DEATH(migrator_.migrate(Addr{1} << 40, Tier::Slow, 0),
+                 "unmapped");
+}
+
+} // namespace
+} // namespace thermostat

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the 4-level page table: mapping at both granularities,
+ * THP split/collapse, and leaf enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "vm/page_table.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+constexpr Addr kBase = Addr{4} << 30;
+
+TEST(PageTable, WalkUnmappedReturnsNothing)
+{
+    PageTable pt;
+    EXPECT_FALSE(pt.walk(kBase).mapped());
+}
+
+TEST(PageTable, Map4KAndWalk)
+{
+    PageTable pt;
+    pt.map4K(kBase, 77);
+    const WalkResult wr = pt.walk(kBase + 123);
+    ASSERT_TRUE(wr.mapped());
+    EXPECT_FALSE(wr.huge);
+    EXPECT_EQ(wr.pte->pfn(), 77u);
+    EXPECT_EQ(pt.baseLeafCount(), 1u);
+    EXPECT_EQ(pt.hugeLeafCount(), 0u);
+}
+
+TEST(PageTable, Map2MAndWalkAnywhereInside)
+{
+    PageTable pt;
+    pt.map2M(kBase, 512);
+    for (const Addr off : {Addr{0}, Addr{4096}, kPageSize2M - 1}) {
+        const WalkResult wr = pt.walk(kBase + off);
+        ASSERT_TRUE(wr.mapped());
+        EXPECT_TRUE(wr.huge);
+        EXPECT_EQ(wr.pte->pfn(), 512u);
+    }
+    EXPECT_EQ(pt.hugeLeafCount(), 1u);
+}
+
+TEST(PageTable, NeighbouringPagesIndependent)
+{
+    PageTable pt;
+    pt.map4K(kBase, 1);
+    pt.map4K(kBase + kPageSize4K, 2);
+    EXPECT_EQ(pt.walk(kBase).pte->pfn(), 1u);
+    EXPECT_EQ(pt.walk(kBase + kPageSize4K).pte->pfn(), 2u);
+}
+
+TEST(PageTable, UnmapRemovesLeaf)
+{
+    PageTable pt;
+    pt.map4K(kBase, 1);
+    pt.unmap4K(kBase);
+    EXPECT_FALSE(pt.walk(kBase).mapped());
+    EXPECT_EQ(pt.baseLeafCount(), 0u);
+
+    pt.map2M(kBase, 0);
+    pt.unmap2M(kBase);
+    EXPECT_FALSE(pt.walk(kBase).mapped());
+    EXPECT_EQ(pt.hugeLeafCount(), 0u);
+}
+
+TEST(PageTable, SplitCreatesContiguousSubpages)
+{
+    PageTable pt;
+    pt.map2M(kBase, 1024);
+    ASSERT_TRUE(pt.split(kBase));
+    EXPECT_EQ(pt.hugeLeafCount(), 0u);
+    EXPECT_EQ(pt.baseLeafCount(), kSubpagesPerHuge);
+    for (unsigned i = 0; i < kSubpagesPerHuge; ++i) {
+        const WalkResult wr = pt.walk(kBase + i * kPageSize4K);
+        ASSERT_TRUE(wr.mapped());
+        EXPECT_FALSE(wr.huge);
+        EXPECT_EQ(wr.pte->pfn(), 1024u + i);
+    }
+}
+
+TEST(PageTable, SplitPropagatesFlags)
+{
+    PageTable pt;
+    pt.map2M(kBase, 1024);
+    WalkResult wr = pt.walk(kBase);
+    wr.pte->setAccessed();
+    wr.pte->setDirty();
+    wr.pte->poison();
+    ASSERT_TRUE(pt.split(kBase));
+    const WalkResult sub = pt.walk(kBase + 5 * kPageSize4K);
+    EXPECT_TRUE(sub.pte->accessed());
+    EXPECT_TRUE(sub.pte->dirty());
+    EXPECT_TRUE(sub.pte->poisoned());
+}
+
+TEST(PageTable, SplitFailsOnNonHuge)
+{
+    PageTable pt;
+    pt.map4K(kBase, 3);
+    EXPECT_FALSE(pt.split(kBase));
+    EXPECT_FALSE(pt.split(kBase + kPageSize2M)); // unmapped
+}
+
+TEST(PageTable, CollapseRoundTrip)
+{
+    PageTable pt;
+    pt.map2M(kBase, 1024);
+    ASSERT_TRUE(pt.split(kBase));
+    ASSERT_TRUE(pt.collapse(kBase));
+    const WalkResult wr = pt.walk(kBase + 17);
+    ASSERT_TRUE(wr.mapped());
+    EXPECT_TRUE(wr.huge);
+    EXPECT_EQ(wr.pte->pfn(), 1024u);
+    EXPECT_EQ(pt.hugeLeafCount(), 1u);
+    EXPECT_EQ(pt.baseLeafCount(), 0u);
+}
+
+TEST(PageTable, CollapseFoldsAccessedDirtyPoison)
+{
+    PageTable pt;
+    pt.map2M(kBase, 1024);
+    ASSERT_TRUE(pt.split(kBase));
+    pt.walk(kBase + 3 * kPageSize4K).pte->setAccessed();
+    pt.walk(kBase + 9 * kPageSize4K).pte->setDirty();
+    pt.walk(kBase + 100 * kPageSize4K).pte->poison();
+    ASSERT_TRUE(pt.collapse(kBase));
+    const WalkResult wr = pt.walk(kBase);
+    EXPECT_TRUE(wr.pte->accessed());
+    EXPECT_TRUE(wr.pte->dirty());
+    EXPECT_TRUE(wr.pte->poisoned());
+}
+
+TEST(PageTable, CollapseFailsWhenSubpageRemapped)
+{
+    PageTable pt;
+    pt.map2M(kBase, 1024);
+    ASSERT_TRUE(pt.split(kBase));
+    // Simulate migration of one subpage to a different frame.
+    pt.walk(kBase + 8 * kPageSize4K).pte->setPfn(9999);
+    EXPECT_FALSE(pt.collapse(kBase));
+}
+
+TEST(PageTable, CollapseFailsWhenBaseUnaligned)
+{
+    PageTable pt;
+    // 512 contiguous 4KB mappings whose first frame is NOT 2MB
+    // aligned cannot collapse.
+    for (unsigned i = 0; i < kSubpagesPerHuge; ++i) {
+        pt.map4K(kBase + i * kPageSize4K, 100 + i);
+    }
+    EXPECT_FALSE(pt.collapse(kBase));
+}
+
+TEST(PageTable, CollapseFailsWhenIncomplete)
+{
+    PageTable pt;
+    pt.map2M(kBase, 1024);
+    ASSERT_TRUE(pt.split(kBase));
+    pt.unmap4K(kBase + 44 * kPageSize4K);
+    EXPECT_FALSE(pt.collapse(kBase));
+}
+
+TEST(PageTable, ForEachLeafEnumeratesEverything)
+{
+    PageTable pt;
+    pt.map2M(kBase, 512);
+    pt.map4K(kBase + 4 * kPageSize2M, 7);
+    pt.map2M(kBase + 8 * kPageSize2M, 1536);
+    std::map<Addr, bool> seen; // addr -> huge
+    pt.forEachLeaf([&seen](Addr addr, Pte &, bool huge) {
+        seen[addr] = huge;
+    });
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_TRUE(seen.at(kBase));
+    EXPECT_FALSE(seen.at(kBase + 4 * kPageSize2M));
+    EXPECT_TRUE(seen.at(kBase + 8 * kPageSize2M));
+}
+
+TEST(PageTable, ForEachLeafMutationsStick)
+{
+    PageTable pt;
+    pt.map2M(kBase, 512);
+    pt.forEachLeaf([](Addr, Pte &pte, bool) { pte.setAccessed(); });
+    EXPECT_TRUE(pt.walk(kBase).pte->accessed());
+}
+
+TEST(PageTable, SparseHighAndLowAddresses)
+{
+    PageTable pt;
+    const Addr high = Addr{200} << 30; // different PML4/PDPT paths
+    pt.map4K(kBase, 1);
+    pt.map4K(high, 2);
+    EXPECT_EQ(pt.walk(kBase).pte->pfn(), 1u);
+    EXPECT_EQ(pt.walk(high).pte->pfn(), 2u);
+    EXPECT_FALSE(pt.walk((kBase + high) / 2).mapped());
+}
+
+TEST(PageTable, NodeCountGrowsAndShrinks)
+{
+    PageTable pt;
+    const std::uint64_t start = pt.nodeCount();
+    pt.map2M(kBase, 512);
+    const std::uint64_t after_map = pt.nodeCount();
+    EXPECT_GT(after_map, start);
+    ASSERT_TRUE(pt.split(kBase));
+    EXPECT_EQ(pt.nodeCount(), after_map + 1); // one PT node
+    ASSERT_TRUE(pt.collapse(kBase));
+    EXPECT_EQ(pt.nodeCount(), after_map);
+}
+
+TEST(PageTableDeath, DoubleMapPanics)
+{
+    PageTable pt;
+    pt.map2M(kBase, 512);
+    EXPECT_DEATH(pt.map2M(kBase, 1024), "existing");
+    EXPECT_DEATH(pt.map4K(kBase, 7), "2MB leaf");
+}
+
+TEST(PageTableDeath, UnalignedMapPanics)
+{
+    PageTable pt;
+    EXPECT_DEATH(pt.map2M(kBase + 4096, 512), "unaligned");
+    EXPECT_DEATH(pt.map2M(kBase, 17), "unaligned");
+    EXPECT_DEATH(pt.map4K(kBase + 1, 1), "unaligned");
+}
+
+} // namespace
+} // namespace thermostat

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Randomized differential test of the page table against a simple
+ * shadow model: random map/unmap/split/collapse sequences must keep
+ * walk results, leaf counts and flag folding consistent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "vm/page_table.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+/** Shadow leaf: what the model thinks a 2MB slot holds. */
+struct ShadowSlot
+{
+    enum class State { Unmapped, Huge, Split } state =
+        State::Unmapped;
+    Pfn basePfn = 0;
+};
+
+class PageTableFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PageTableFuzz, MatchesShadowModel)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+    PageTable pt;
+    constexpr Addr kBase = Addr{16} << 30;
+    constexpr unsigned kSlots = 24;
+    std::map<unsigned, ShadowSlot> shadow;
+    for (unsigned i = 0; i < kSlots; ++i) {
+        shadow[i] = ShadowSlot();
+    }
+    Pfn next_block = 0;
+
+    for (int step = 0; step < 3000; ++step) {
+        const unsigned slot =
+            static_cast<unsigned>(rng.nextBounded(kSlots));
+        const Addr vaddr = kBase + slot * kPageSize2M;
+        ShadowSlot &s = shadow[slot];
+        switch (rng.nextBounded(5)) {
+          case 0: // map2M
+            if (s.state == ShadowSlot::State::Unmapped) {
+                s.basePfn = next_block;
+                next_block += kSubpagesPerHuge;
+                pt.map2M(vaddr, s.basePfn);
+                s.state = ShadowSlot::State::Huge;
+            }
+            break;
+          case 1: // unmap
+            if (s.state == ShadowSlot::State::Huge) {
+                pt.unmap2M(vaddr);
+                s.state = ShadowSlot::State::Unmapped;
+            } else if (s.state == ShadowSlot::State::Split) {
+                for (unsigned i = 0; i < kSubpagesPerHuge; ++i) {
+                    pt.unmap4K(vaddr + i * kPageSize4K);
+                }
+                s.state = ShadowSlot::State::Unmapped;
+            }
+            break;
+          case 2: // split
+            if (s.state == ShadowSlot::State::Huge) {
+                ASSERT_TRUE(pt.split(vaddr));
+                s.state = ShadowSlot::State::Split;
+            } else {
+                ASSERT_FALSE(pt.split(vaddr));
+            }
+            break;
+          case 3: // collapse
+            if (s.state == ShadowSlot::State::Split) {
+                ASSERT_TRUE(pt.collapse(vaddr));
+                s.state = ShadowSlot::State::Huge;
+            } else {
+                ASSERT_FALSE(pt.collapse(vaddr));
+            }
+            break;
+          default: { // probe a random address in the slot
+            const Addr probe =
+                vaddr + rng.nextBounded(kPageSize2M);
+            const WalkResult wr = pt.walk(probe);
+            switch (s.state) {
+              case ShadowSlot::State::Unmapped:
+                ASSERT_FALSE(wr.mapped());
+                break;
+              case ShadowSlot::State::Huge:
+                ASSERT_TRUE(wr.mapped());
+                ASSERT_TRUE(wr.huge);
+                ASSERT_EQ(wr.pte->pfn(), s.basePfn);
+                break;
+              case ShadowSlot::State::Split:
+                ASSERT_TRUE(wr.mapped());
+                ASSERT_FALSE(wr.huge);
+                ASSERT_EQ(wr.pte->pfn(),
+                          s.basePfn + subpageIndex(probe));
+                break;
+            }
+            break;
+          }
+        }
+
+        // Leaf-count invariants hold after every operation.
+        std::uint64_t huge = 0;
+        std::uint64_t split = 0;
+        for (const auto &[idx, slot_state] : shadow) {
+            huge += slot_state.state == ShadowSlot::State::Huge;
+            split += slot_state.state == ShadowSlot::State::Split;
+        }
+        ASSERT_EQ(pt.hugeLeafCount(), huge);
+        ASSERT_EQ(pt.baseLeafCount(), split * kSubpagesPerHuge);
+    }
+
+    // Final enumeration agrees with the shadow model.
+    std::uint64_t visited = 0;
+    pt.forEachLeaf([&](Addr addr, Pte &, bool huge) {
+        ++visited;
+        const unsigned slot = static_cast<unsigned>(
+            (alignDown2M(addr) - kBase) / kPageSize2M);
+        ASSERT_LT(slot, kSlots);
+        if (huge) {
+            ASSERT_EQ(shadow[slot].state, ShadowSlot::State::Huge);
+        } else {
+            ASSERT_EQ(shadow[slot].state, ShadowSlot::State::Split);
+        }
+    });
+    std::uint64_t expected = 0;
+    for (const auto &[idx, s] : shadow) {
+        if (s.state == ShadowSlot::State::Huge) {
+            ++expected;
+        } else if (s.state == ShadowSlot::State::Split) {
+            expected += kSubpagesPerHuge;
+        }
+    }
+    ASSERT_EQ(visited, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageTableFuzz,
+                         ::testing::Range(1, 7));
+
+TEST(PageTableFuzzFlags, SplitCollapseFoldsRandomFlags)
+{
+    Rng rng(4242);
+    for (int round = 0; round < 200; ++round) {
+        PageTable pt;
+        const Addr vaddr = Addr{4} << 30;
+        pt.map2M(vaddr, 512);
+        ASSERT_TRUE(pt.split(vaddr));
+        bool any_accessed = false;
+        bool any_dirty = false;
+        bool any_poison = false;
+        for (unsigned i = 0; i < kSubpagesPerHuge; ++i) {
+            Pte *pte = pt.walk(vaddr + i * kPageSize4K).pte;
+            if (rng.nextBool(0.05)) {
+                pte->setAccessed();
+                any_accessed = true;
+            }
+            if (rng.nextBool(0.03)) {
+                pte->setDirty();
+                any_dirty = true;
+            }
+            if (rng.nextBool(0.01)) {
+                pte->poison();
+                any_poison = true;
+            }
+        }
+        ASSERT_TRUE(pt.collapse(vaddr));
+        const Pte *huge = pt.walk(vaddr).pte;
+        ASSERT_EQ(huge->accessed(), any_accessed);
+        ASSERT_EQ(huge->dirty(), any_dirty);
+        ASSERT_EQ(huge->poisoned(), any_poison);
+    }
+}
+
+} // namespace
+} // namespace thermostat

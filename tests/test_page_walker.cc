@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the page-walk cost model (paper Sec 2.2 arithmetic) and
+ * the walker's Accessed/Dirty maintenance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/page_walker.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+constexpr Addr kBase = Addr{4} << 30;
+
+TEST(PageWalker, NestedWalkAccessCounts)
+{
+    WalkerConfig config;
+    config.mode = PagingMode::Nested;
+    PageWalker walker(config);
+    // Paper Sec 2.2: up to 24 accesses for nested 4KB walks, 15
+    // when guest and host both use 2MB pages.
+    EXPECT_EQ(walker.walkAccesses(false), 24u);
+    EXPECT_EQ(walker.walkAccesses(true), 15u);
+}
+
+TEST(PageWalker, NativeWalkAccessCounts)
+{
+    WalkerConfig config;
+    config.mode = PagingMode::Native;
+    PageWalker walker(config);
+    EXPECT_EQ(walker.walkAccesses(false), 4u);
+    EXPECT_EQ(walker.walkAccesses(true), 3u);
+}
+
+TEST(PageWalker, HugeWalksAreCheaper)
+{
+    PageWalker walker;
+    EXPECT_LT(walker.walkLatency(true), walker.walkLatency(false));
+}
+
+TEST(PageWalker, LatencyScalesWithCacheFactor)
+{
+    WalkerConfig cheap;
+    cheap.walkCacheFactor4K = 0.1;
+    WalkerConfig expensive;
+    expensive.walkCacheFactor4K = 0.9;
+    EXPECT_LT(PageWalker(cheap).walkLatency(false),
+              PageWalker(expensive).walkLatency(false));
+}
+
+TEST(PageWalker, WalkSetsAccessedBit)
+{
+    PageTable pt;
+    pt.map2M(kBase, 512);
+    PageWalker walker;
+    EXPECT_FALSE(pt.walk(kBase).pte->accessed());
+    walker.walk(pt, kBase, AccessType::Read);
+    EXPECT_TRUE(pt.walk(kBase).pte->accessed());
+    EXPECT_FALSE(pt.walk(kBase).pte->dirty());
+}
+
+TEST(PageWalker, WriteWalkSetsDirty)
+{
+    PageTable pt;
+    pt.map4K(kBase, 5);
+    PageWalker walker;
+    walker.walk(pt, kBase, AccessType::Write);
+    EXPECT_TRUE(pt.walk(kBase).pte->accessed());
+    EXPECT_TRUE(pt.walk(kBase).pte->dirty());
+}
+
+TEST(PageWalker, WalkDoesNotInterpretPoison)
+{
+    // Hardware raises the fault; the walker just resolves.
+    PageTable pt;
+    pt.map4K(kBase, 5);
+    pt.walk(kBase).pte->poison();
+    PageWalker walker;
+    const WalkOutcome out = walker.walk(pt, kBase, AccessType::Read);
+    ASSERT_TRUE(out.result.mapped());
+    EXPECT_TRUE(out.result.pte->poisoned());
+}
+
+TEST(PageWalker, StatsAccumulate)
+{
+    PageTable pt;
+    pt.map2M(kBase, 512);
+    pt.map4K(kBase + kPageSize2M, 1);
+    PageWalker walker;
+    walker.walk(pt, kBase, AccessType::Read);
+    walker.walk(pt, kBase + kPageSize2M, AccessType::Read);
+    EXPECT_EQ(walker.stats().walks2M, 1u);
+    EXPECT_EQ(walker.stats().walks4K, 1u);
+    EXPECT_EQ(walker.stats().tableAccesses,
+              walker.walkAccesses(true) + walker.walkAccesses(false));
+    EXPECT_GT(walker.stats().totalWalkTime, 0u);
+    walker.resetStats();
+    EXPECT_EQ(walker.stats().walks2M, 0u);
+}
+
+TEST(PageWalker, UnmappedWalkReturnsUnmapped)
+{
+    PageTable pt;
+    PageWalker walker;
+    const WalkOutcome out = walker.walk(pt, kBase, AccessType::Read);
+    EXPECT_FALSE(out.result.mapped());
+    EXPECT_GT(out.latency, 0u);
+}
+
+TEST(PageWalker, OutcomeLatencyMatchesModel)
+{
+    PageTable pt;
+    pt.map2M(kBase, 512);
+    PageWalker walker;
+    const WalkOutcome out = walker.walk(pt, kBase, AccessType::Read);
+    EXPECT_EQ(out.latency, walker.walkLatency(true));
+    EXPECT_EQ(out.accesses, walker.walkAccesses(true));
+}
+
+} // namespace
+} // namespace thermostat

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Property tests for the Feistel-based fixed permutation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/permutation.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+/** Bijection property across a sweep of domain sizes. */
+class PermutationSizeTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PermutationSizeTest, IsBijection)
+{
+    const std::uint64_t n = GetParam();
+    FixedPermutation perm(n, 1234);
+    std::set<std::uint64_t> images;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t image = perm.map(i);
+        EXPECT_LT(image, n);
+        images.insert(image);
+    }
+    EXPECT_EQ(images.size(), n);
+}
+
+TEST_P(PermutationSizeTest, Deterministic)
+{
+    const std::uint64_t n = GetParam();
+    FixedPermutation a(n, 77);
+    FixedPermutation b(n, 77);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(a.map(i), b.map(i));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 16, 100,
+                                           257, 1000, 4096, 10007));
+
+TEST(Permutation, DifferentSeedsGiveDifferentMaps)
+{
+    FixedPermutation a(1000, 1);
+    FixedPermutation b(1000, 2);
+    int same = 0;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        same += a.map(i) == b.map(i) ? 1 : 0;
+    }
+    EXPECT_LT(same, 30);
+}
+
+TEST(Permutation, ScattersNeighbours)
+{
+    // Adjacent inputs should usually land far apart: the property
+    // the Redis hash-table layout model relies on.
+    FixedPermutation perm(1 << 16, 99);
+    int adjacent = 0;
+    for (std::uint64_t i = 0; i + 1 < 1000; ++i) {
+        const std::uint64_t a = perm.map(i);
+        const std::uint64_t b = perm.map(i + 1);
+        const std::uint64_t dist = a > b ? a - b : b - a;
+        adjacent += dist < 16 ? 1 : 0;
+    }
+    EXPECT_LT(adjacent, 10);
+}
+
+TEST(Permutation, LargeDomainSpotChecks)
+{
+    const std::uint64_t n = 1ULL << 34;
+    FixedPermutation perm(n, 5);
+    std::set<std::uint64_t> images;
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        const std::uint64_t image = perm.map(i * 1000003 % n);
+        EXPECT_LT(image, n);
+        images.insert(image);
+    }
+    // Distinct inputs -> distinct outputs (injective spot check).
+    EXPECT_EQ(images.size(), 10000u);
+}
+
+TEST(IdentityPermutation, IsIdentity)
+{
+    IdentityPermutation perm(100);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(perm.map(i), i);
+    }
+    EXPECT_EQ(perm.size(), 100u);
+}
+
+} // namespace
+} // namespace thermostat

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Bit-level tests for the x86-64 PTE model, including the reserved
+ * bit 51 Thermostat uses for poisoning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/pte.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+TEST(Pte, DefaultIsNotPresent)
+{
+    Pte pte;
+    EXPECT_EQ(pte.raw(), 0u);
+    EXPECT_FALSE(pte.present());
+}
+
+TEST(Pte, BitPositionsMatchX86)
+{
+    EXPECT_EQ(Pte::kPresent, 1ULL << 0);
+    EXPECT_EQ(Pte::kWritable, 1ULL << 1);
+    EXPECT_EQ(Pte::kUser, 1ULL << 2);
+    EXPECT_EQ(Pte::kAccessed, 1ULL << 5);
+    EXPECT_EQ(Pte::kDirty, 1ULL << 6);
+    EXPECT_EQ(Pte::kPageSize, 1ULL << 7);
+    EXPECT_EQ(Pte::kPoison, 1ULL << 51);
+}
+
+TEST(Pte, MakeLeafBase)
+{
+    const Pte pte = Pte::makeLeaf(0x1234, false);
+    EXPECT_TRUE(pte.present());
+    EXPECT_TRUE(pte.writable());
+    EXPECT_FALSE(pte.huge());
+    EXPECT_FALSE(pte.accessed());
+    EXPECT_FALSE(pte.dirty());
+    EXPECT_FALSE(pte.poisoned());
+    EXPECT_EQ(pte.pfn(), 0x1234u);
+}
+
+TEST(Pte, MakeLeafHugeSetsPageSizeBit)
+{
+    const Pte pte = Pte::makeLeaf(512, true);
+    EXPECT_TRUE(pte.huge());
+    EXPECT_TRUE(pte.raw() & Pte::kPageSize);
+}
+
+TEST(Pte, MakeLeafReadOnly)
+{
+    const Pte pte = Pte::makeLeaf(1, false, false);
+    EXPECT_FALSE(pte.writable());
+}
+
+TEST(Pte, PfnRoundTripsThroughRawBits)
+{
+    Pte pte = Pte::makeLeaf(0, false);
+    const Pfn max_pfn = (1ULL << 39) - 1; // bits 12..50
+    pte.setPfn(max_pfn);
+    EXPECT_EQ(pte.pfn(), max_pfn);
+    EXPECT_TRUE(pte.present()) << "setPfn must not clobber flags";
+    pte.setPfn(42);
+    EXPECT_EQ(pte.pfn(), 42u);
+}
+
+TEST(Pte, PoisonDoesNotDisturbPfnOrFlags)
+{
+    Pte pte = Pte::makeLeaf(0xabcd, true);
+    pte.setAccessed();
+    pte.poison();
+    EXPECT_TRUE(pte.poisoned());
+    EXPECT_EQ(pte.pfn(), 0xabcdu);
+    EXPECT_TRUE(pte.present());
+    EXPECT_TRUE(pte.accessed());
+    EXPECT_TRUE(pte.huge());
+    pte.unpoison();
+    EXPECT_FALSE(pte.poisoned());
+    EXPECT_EQ(pte.pfn(), 0xabcdu);
+}
+
+TEST(Pte, PoisonIsExactlyBit51)
+{
+    Pte pte;
+    pte.poison();
+    EXPECT_EQ(pte.raw(), 1ULL << 51);
+}
+
+TEST(Pte, AccessedDirtyLifecycle)
+{
+    Pte pte = Pte::makeLeaf(1, false);
+    pte.setAccessed();
+    pte.setDirty();
+    EXPECT_TRUE(pte.accessed());
+    EXPECT_TRUE(pte.dirty());
+    pte.clearAccessed();
+    EXPECT_FALSE(pte.accessed());
+    EXPECT_TRUE(pte.dirty());
+    pte.clearDirty();
+    EXPECT_FALSE(pte.dirty());
+}
+
+TEST(Pte, SetPresentToggles)
+{
+    Pte pte = Pte::makeLeaf(9, false);
+    pte.setPresent(false);
+    EXPECT_FALSE(pte.present());
+    EXPECT_EQ(pte.pfn(), 9u);
+    pte.setPresent(true);
+    EXPECT_TRUE(pte.present());
+}
+
+TEST(Pte, EqualityComparesRawBits)
+{
+    const Pte a = Pte::makeLeaf(7, false);
+    Pte b = Pte::makeLeaf(7, false);
+    EXPECT_EQ(a, b);
+    b.poison();
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace thermostat

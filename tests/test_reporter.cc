@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the console reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/reporter.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter table({"a", "bee", "c"});
+    table.addRow({"xxxx", "y", "z"});
+    table.addRow({"1", "22", "333"});
+    const std::string out = table.toString();
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    // Every line is equally long (aligned columns).
+    std::size_t first_len = out.find('\n');
+    std::size_t pos = first_len + 1;
+    while (pos < out.size()) {
+        const std::size_t next = out.find('\n', pos);
+        EXPECT_EQ(next - pos, first_len);
+        pos = next + 1;
+    }
+}
+
+TEST(TablePrinter, ContainsCells)
+{
+    TablePrinter table({"name", "value"});
+    table.addRow({"redis", "17.2GB"});
+    const std::string out = table.toString();
+    EXPECT_NE(out.find("redis"), std::string::npos);
+    EXPECT_NE(out.find("17.2GB"), std::string::npos);
+}
+
+TEST(TablePrinterDeath, MismatchedRowWidth)
+{
+    TablePrinter table({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "row width");
+}
+
+TEST(Format, Bytes)
+{
+    EXPECT_EQ(formatBytes(512), "512B");
+    EXPECT_EQ(formatBytes(2048), "2KB");
+    EXPECT_EQ(formatBytes(3 * 1024 * 1024), "3MB");
+    EXPECT_EQ(formatBytes(17'600ULL << 20), "17.2GB");
+    EXPECT_EQ(formatBytes(2'335ULL << 20), "2.28GB");
+}
+
+TEST(Format, Pct)
+{
+    EXPECT_EQ(formatPct(0.031), "3.1%");
+    EXPECT_EQ(formatPct(0.5, 0), "50%");
+    EXPECT_EQ(formatPct(0.12345, 2), "12.35%");
+}
+
+TEST(Format, Number)
+{
+    EXPECT_EQ(formatNumber(12.0, 0), "12");
+    EXPECT_EQ(formatNumber(30000.0), "30.0K");
+    EXPECT_EQ(formatNumber(2.5e6), "2.50M");
+}
+
+TEST(Format, RateMBps)
+{
+    EXPECT_EQ(formatRateMBps(13.3e6), "13.3 MB/s");
+    EXPECT_EQ(formatRateMBps(0.0), "0.0 MB/s");
+}
+
+} // namespace
+} // namespace thermostat

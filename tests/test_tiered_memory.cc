@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the two-tier physical memory system and wear tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/tiered_memory.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+TieredMemory
+makeMemory(std::uint64_t fast_mb = 64, std::uint64_t slow_mb = 64)
+{
+    return TieredMemory(TierConfig::dram(fast_mb << 20),
+                        TierConfig::slow(slow_mb << 20));
+}
+
+TEST(TierConfig, DramDefaults)
+{
+    const TierConfig dram = TierConfig::dram(1_GiB);
+    EXPECT_EQ(dram.capacityBytes, 1_GiB);
+    EXPECT_EQ(dram.writeEndurance, 0u);
+    EXPECT_DOUBLE_EQ(dram.relativeCostPerByte, 1.0);
+    EXPECT_LT(dram.readLatency, 200u);
+}
+
+TEST(TierConfig, SlowDefaults)
+{
+    const TierConfig slow = TierConfig::slow(1_GiB);
+    EXPECT_GT(slow.readLatency, TierConfig::dram(1_GiB).readLatency);
+    EXPECT_GT(slow.writeLatency, slow.readLatency - 1);
+    EXPECT_LT(slow.relativeCostPerByte, 1.0);
+    EXPECT_GT(slow.writeEndurance, 0u);
+}
+
+TEST(TieredMemory, TierOfResolvesByPfnRange)
+{
+    TieredMemory mem = makeMemory(64, 64);
+    const std::uint64_t fast_frames = (64_MiB) / kPageSize4K;
+    EXPECT_EQ(mem.tierOf(0), Tier::Fast);
+    EXPECT_EQ(mem.tierOf(fast_frames - 1), Tier::Fast);
+    EXPECT_EQ(mem.tierOf(fast_frames), Tier::Slow);
+}
+
+TEST(TieredMemory, AllocationsLandInRequestedTier)
+{
+    TieredMemory mem = makeMemory();
+    const Pfn fast = *mem.allocHuge(Tier::Fast);
+    const Pfn slow = *mem.allocHuge(Tier::Slow);
+    EXPECT_EQ(mem.tierOf(fast), Tier::Fast);
+    EXPECT_EQ(mem.tierOf(slow), Tier::Slow);
+    const Pfn fast4k = *mem.allocBase(Tier::Fast);
+    const Pfn slow4k = *mem.allocBase(Tier::Slow);
+    EXPECT_EQ(mem.tierOf(fast4k), Tier::Fast);
+    EXPECT_EQ(mem.tierOf(slow4k), Tier::Slow);
+}
+
+TEST(TieredMemory, FreeRoutesToOwningTier)
+{
+    TieredMemory mem = makeMemory();
+    const Pfn slow = *mem.allocHuge(Tier::Slow);
+    EXPECT_EQ(mem.slow().usedBytes(), kPageSize2M);
+    mem.freeHuge(slow);
+    EXPECT_EQ(mem.slow().usedBytes(), 0u);
+}
+
+TEST(TieredMemory, AccessLatencyByTier)
+{
+    TieredMemory mem = makeMemory();
+    const Pfn fast = *mem.allocBase(Tier::Fast);
+    const Pfn slow = *mem.allocBase(Tier::Slow);
+    const Ns fast_read = mem.access(fast, AccessType::Read);
+    const Ns slow_read = mem.access(slow, AccessType::Read);
+    EXPECT_LT(fast_read, slow_read);
+    EXPECT_EQ(mem.fast().stats().reads, 1u);
+    EXPECT_EQ(mem.slow().stats().reads, 1u);
+}
+
+TEST(TieredMemory, WriteTrafficAndWear)
+{
+    TieredMemory mem = makeMemory();
+    const Pfn slow = *mem.allocBase(Tier::Slow);
+    for (int i = 0; i < 10; ++i) {
+        mem.access(slow, AccessType::Write);
+    }
+    EXPECT_EQ(mem.slow().stats().writes, 10u);
+    EXPECT_EQ(mem.slow().totalWear(), 10u);
+    EXPECT_EQ(mem.slow().maxFrameWear(), 10u);
+    EXPECT_FALSE(mem.slow().wornOut());
+}
+
+TEST(TieredMemory, DramDoesNotTrackWear)
+{
+    TieredMemory mem = makeMemory();
+    const Pfn fast = *mem.allocBase(Tier::Fast);
+    mem.access(fast, AccessType::Write);
+    EXPECT_EQ(mem.fast().totalWear(), 0u);
+}
+
+TEST(TieredMemory, WearOutDetection)
+{
+    TierConfig slow = TierConfig::slow(64_MiB);
+    slow.writeEndurance = 5;
+    TieredMemory mem(TierConfig::dram(64_MiB), slow);
+    const Pfn pfn = *mem.allocBase(Tier::Slow);
+    for (int i = 0; i < 6; ++i) {
+        mem.access(pfn, AccessType::Write);
+    }
+    EXPECT_TRUE(mem.slow().wornOut());
+}
+
+TEST(TieredMemory, MigrationTrafficMeters)
+{
+    TieredMemory mem = makeMemory();
+    mem.fast().recordMigrationOut(kPageSize2M);
+    mem.slow().recordMigrationIn(kPageSize2M);
+    EXPECT_EQ(mem.fast().stats().migrationsOut, 1u);
+    EXPECT_EQ(mem.fast().stats().migrationBytesOut, kPageSize2M);
+    EXPECT_EQ(mem.slow().stats().migrationBytesIn, kPageSize2M);
+}
+
+TEST(TieredMemory, CostModelAllFastIsOne)
+{
+    TieredMemory mem = makeMemory();
+    (void)*mem.allocHuge(Tier::Fast);
+    EXPECT_NEAR(mem.costRelativeToAllFast(), 1.0, 1e-12);
+}
+
+TEST(TieredMemory, CostModelBlendsByTier)
+{
+    TieredMemory mem = makeMemory();
+    (void)*mem.allocHuge(Tier::Fast);
+    (void)*mem.allocHuge(Tier::Slow);
+    // Half fast (cost 1) and half slow (cost 1/3): blended 2/3.
+    EXPECT_NEAR(mem.costRelativeToAllFast(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(TieredMemory, CostModelEmptyIsOne)
+{
+    TieredMemory mem = makeMemory();
+    EXPECT_DOUBLE_EQ(mem.costRelativeToAllFast(), 1.0);
+}
+
+TEST(TieredMemory, UsedBytesAggregates)
+{
+    TieredMemory mem = makeMemory();
+    (void)*mem.allocHuge(Tier::Fast);
+    (void)*mem.allocBase(Tier::Slow);
+    EXPECT_EQ(mem.usedBytes(), kPageSize2M + kPageSize4K);
+}
+
+TEST(TieredMemory, ExhaustionReturnsNullopt)
+{
+    TieredMemory mem = makeMemory(2, 2);
+    EXPECT_TRUE(mem.allocHuge(Tier::Fast).has_value());
+    EXPECT_FALSE(mem.allocHuge(Tier::Fast).has_value());
+    EXPECT_TRUE(mem.allocHuge(Tier::Slow).has_value());
+    EXPECT_FALSE(mem.allocHuge(Tier::Slow).has_value());
+}
+
+} // namespace
+} // namespace thermostat

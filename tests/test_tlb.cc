@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the set-associative TLB and the two-level hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/tlb.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+constexpr Addr kBase = Addr{8} << 30;
+
+TEST(Tlb, MissThenHitAfterInsert)
+{
+    Tlb tlb({16, 4});
+    EXPECT_FALSE(tlb.lookup(kBase).has_value());
+    tlb.insert(kBase, 42, false);
+    const auto entry = tlb.lookup(kBase);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->pfn, 42u);
+    EXPECT_FALSE(entry->huge);
+    EXPECT_EQ(tlb.stats().hits, 1u);
+    EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(Tlb, HugeEntryCoversWholePage)
+{
+    Tlb tlb({16, 4});
+    tlb.insert(kBase, 512, true);
+    for (const Addr off : {Addr{0}, Addr{4096}, kPageSize2M - 64}) {
+        const auto entry = tlb.lookup(kBase + off);
+        ASSERT_TRUE(entry.has_value());
+        EXPECT_TRUE(entry->huge);
+        EXPECT_EQ(entry->pfn, 512u);
+    }
+}
+
+TEST(Tlb, BaseEntryDoesNotCoverNeighbour)
+{
+    Tlb tlb({16, 4});
+    tlb.insert(kBase, 1, false);
+    EXPECT_FALSE(tlb.lookup(kBase + kPageSize4K).has_value());
+}
+
+TEST(Tlb, MixedSizesCoexist)
+{
+    Tlb tlb({16, 4});
+    tlb.insert(kBase, 512, true);
+    tlb.insert(kBase + 16 * kPageSize2M, 7, false);
+    EXPECT_TRUE(tlb.lookup(kBase).has_value());
+    EXPECT_TRUE(tlb.lookup(kBase + 16 * kPageSize2M).has_value());
+}
+
+TEST(Tlb, LruEvictionWithinSet)
+{
+    // Direct-mapped-ish: 4 entries, 4 ways = one set.
+    Tlb tlb({4, 4});
+    for (Addr i = 0; i < 4; ++i) {
+        tlb.insert(kBase + i * kPageSize4K, i, false);
+    }
+    // Touch page 0 so page 1 is LRU.
+    EXPECT_TRUE(tlb.lookup(kBase).has_value());
+    tlb.insert(kBase + 100 * kPageSize4K, 100, false);
+    EXPECT_TRUE(tlb.lookup(kBase).has_value());
+    EXPECT_FALSE(tlb.lookup(kBase + kPageSize4K).has_value())
+        << "LRU entry should have been evicted";
+    EXPECT_EQ(tlb.stats().evictions, 1u);
+}
+
+TEST(Tlb, InsertRefreshesExistingEntry)
+{
+    Tlb tlb({4, 4});
+    tlb.insert(kBase, 1, false);
+    tlb.insert(kBase, 2, false);
+    EXPECT_EQ(tlb.validCount(), 1u);
+    EXPECT_EQ(tlb.lookup(kBase)->pfn, 2u);
+}
+
+TEST(Tlb, InvalidatePageBothSizes)
+{
+    Tlb tlb({16, 4});
+    tlb.insert(kBase, 512, true);
+    tlb.insert(kBase, 42, false); // same vaddr, 4KB entry
+    tlb.invalidatePage(kBase);
+    EXPECT_FALSE(tlb.lookup(kBase).has_value());
+    EXPECT_EQ(tlb.stats().invalidations, 2u);
+}
+
+TEST(Tlb, FlushAllClearsEverything)
+{
+    Tlb tlb({16, 4});
+    for (Addr i = 0; i < 8; ++i) {
+        tlb.insert(kBase + i * kPageSize4K, i, false);
+    }
+    tlb.flushAll();
+    EXPECT_EQ(tlb.validCount(), 0u);
+    EXPECT_EQ(tlb.stats().flushes, 1u);
+}
+
+TEST(Tlb, PeekDoesNotTouchStats)
+{
+    Tlb tlb({16, 4});
+    tlb.insert(kBase, 1, false);
+    const auto before = tlb.stats().hits;
+    EXPECT_TRUE(tlb.peek(kBase).has_value());
+    EXPECT_FALSE(tlb.peek(kBase + kPageSize2M).has_value());
+    EXPECT_EQ(tlb.stats().hits, before);
+}
+
+TEST(Tlb, MissRatio)
+{
+    Tlb tlb({16, 4});
+    tlb.insert(kBase, 1, false);
+    (void)tlb.lookup(kBase);
+    (void)tlb.lookup(kBase);
+    (void)tlb.lookup(kBase + kPageSize2M);
+    EXPECT_NEAR(tlb.stats().missRatio(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(TlbDeath, BadGeometryPanics)
+{
+    EXPECT_DEATH(Tlb({0, 4}), "empty");
+    EXPECT_DEATH(Tlb({10, 4}), "divisible");
+}
+
+TEST(TlbHierarchy, L2HitRefillsL1)
+{
+    TlbHierarchy tlb({4, 4}, {64, 8});
+    tlb.insert(kBase, 1, false);
+    // Evict from tiny L1 by filling the set.
+    for (Addr i = 1; i <= 4; ++i) {
+        tlb.l1().insert(kBase + i * kPageSize4K, i, false);
+    }
+    TlbEntry entry;
+    const auto level = tlb.lookup(kBase, &entry);
+    EXPECT_EQ(level, TlbHierarchy::HitLevel::L2);
+    EXPECT_EQ(entry.pfn, 1u);
+    // Refilled into L1 now.
+    EXPECT_EQ(tlb.lookup(kBase, &entry), TlbHierarchy::HitLevel::L1);
+}
+
+TEST(TlbHierarchy, MissWhenNeitherHolds)
+{
+    TlbHierarchy tlb({4, 4}, {64, 8});
+    EXPECT_EQ(tlb.lookup(kBase), TlbHierarchy::HitLevel::Miss);
+}
+
+TEST(TlbHierarchy, InvalidateBothLevels)
+{
+    TlbHierarchy tlb({4, 4}, {64, 8});
+    tlb.insert(kBase, 9, true);
+    tlb.invalidatePage(kBase);
+    EXPECT_EQ(tlb.lookup(kBase), TlbHierarchy::HitLevel::Miss);
+}
+
+TEST(TlbHierarchy, HugeRefillTranslatesBaseAddress)
+{
+    TlbHierarchy tlb({4, 4}, {64, 8});
+    tlb.insert(kBase + kPageSize2M, 512, true);
+    tlb.l1().flushAll();
+    TlbEntry entry;
+    // Hit via an offset address; refill must use the page base.
+    EXPECT_EQ(tlb.lookup(kBase + kPageSize2M + 777, &entry),
+              TlbHierarchy::HitLevel::L2);
+    EXPECT_EQ(tlb.lookup(kBase + kPageSize2M + 4096, &entry),
+              TlbHierarchy::HitLevel::L1);
+}
+
+} // namespace
+} // namespace thermostat

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for reference-trace capture and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/simulation.hh"
+#include "workload/trace.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+std::unique_ptr<ComposedWorkload>
+smallWorkload()
+{
+    auto w = std::make_unique<ComposedWorkload>("small", 100.0e3,
+                                                0.6,
+                                                120 * kNsPerSec);
+    w->addRegion({"heap", 8_MiB, 0, true, false});
+    w->addRegion({"cache", 2_MiB, 0, false, true});
+    TrafficComponent c;
+    c.region = "heap";
+    c.weight = 0.8;
+    c.writeFraction = 0.25;
+    c.burstLines = 4;
+    c.pattern = std::make_unique<UniformPattern>(8_MiB);
+    w->addComponent(std::move(c));
+    TrafficComponent d;
+    d.region = "cache";
+    d.weight = 0.2;
+    d.writeFraction = 0.0;
+    d.burstLines = 2;
+    d.pattern = std::make_unique<UniformPattern>(2_MiB);
+    w->addComponent(std::move(d));
+    return w;
+}
+
+std::string
+tracePath(const char *name)
+{
+    return ::testing::TempDir() + name;
+}
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    TraceTest()
+        : memory_(TierConfig::dram(64_MiB),
+                  TierConfig::slow(64_MiB)),
+          space_(memory_)
+    {
+    }
+
+    TieredMemory memory_;
+    AddressSpace space_;
+};
+
+TEST_F(TraceTest, RecordPassesThroughUnchanged)
+{
+    RecordingWorkload recorder(smallWorkload());
+    auto reference = smallWorkload();
+    TieredMemory mem2(TierConfig::dram(64_MiB),
+                      TierConfig::slow(64_MiB));
+    AddressSpace space2(mem2);
+    recorder.setup(space_);
+    reference->setup(space2);
+    Rng a(5);
+    Rng b(5);
+    for (int i = 0; i < 500; ++i) {
+        const MemRef x = recorder.sample(a);
+        const MemRef y = reference->sample(b);
+        ASSERT_EQ(x.addr, y.addr);
+        ASSERT_EQ(x.type, y.type);
+        ASSERT_EQ(x.burstLines, y.burstLines);
+    }
+    EXPECT_EQ(recorder.recordedCount(), 500u);
+    EXPECT_EQ(recorder.name(), "small");
+    EXPECT_DOUBLE_EQ(recorder.memRefRate(), 100.0e3);
+}
+
+TEST_F(TraceTest, SaveLoadRoundTrip)
+{
+    RecordingWorkload recorder(smallWorkload());
+    recorder.setup(space_);
+    Rng rng(7);
+    std::vector<MemRef> originals;
+    for (int i = 0; i < 300; ++i) {
+        originals.push_back(recorder.sample(rng));
+    }
+    const std::string path = tracePath("roundtrip.trace");
+    ASSERT_TRUE(recorder.save(path));
+
+    auto replay = TraceWorkload::load(path);
+    ASSERT_NE(replay, nullptr);
+    EXPECT_EQ(replay->name(), "small");
+    EXPECT_EQ(replay->entryCount(), 300u);
+    EXPECT_DOUBLE_EQ(replay->memRefRate(), 100.0e3);
+    EXPECT_DOUBLE_EQ(replay->cpuWorkFraction(), 0.6);
+    EXPECT_EQ(replay->naturalDuration(), 120 * kNsPerSec);
+    ASSERT_EQ(replay->regions().size(), 2u);
+    EXPECT_EQ(replay->regions()[0].name, "heap");
+    EXPECT_EQ(replay->regions()[1].fileBacked, true);
+
+    // Replay in a fresh address space: identical layout, identical
+    // reference stream.
+    TieredMemory mem2(TierConfig::dram(64_MiB),
+                      TierConfig::slow(64_MiB));
+    AddressSpace space2(mem2);
+    replay->setup(space2);
+    EXPECT_EQ(space2.rssBytes(), space_.rssBytes());
+    Rng unused(1);
+    for (int i = 0; i < 300; ++i) {
+        const MemRef ref = replay->sample(unused);
+        EXPECT_EQ(ref.addr, originals[static_cast<std::size_t>(i)]
+                                .addr);
+        EXPECT_EQ(ref.type, originals[static_cast<std::size_t>(i)]
+                                .type);
+    }
+}
+
+TEST_F(TraceTest, ReplayWrapsAround)
+{
+    RecordingWorkload recorder(smallWorkload());
+    recorder.setup(space_);
+    Rng rng(9);
+    const MemRef first = recorder.sample(rng);
+    (void)recorder.sample(rng);
+    const std::string path = tracePath("wrap.trace");
+    ASSERT_TRUE(recorder.save(path));
+    auto replay = TraceWorkload::load(path);
+    ASSERT_NE(replay, nullptr);
+    Rng unused(1);
+    (void)replay->sample(unused);
+    (void)replay->sample(unused);
+    EXPECT_EQ(replay->sample(unused).addr, first.addr);
+}
+
+TEST_F(TraceTest, ReplayedAddressesAreMapped)
+{
+    RecordingWorkload recorder(smallWorkload());
+    recorder.setup(space_);
+    Rng rng(11);
+    for (int i = 0; i < 200; ++i) {
+        (void)recorder.sample(rng);
+    }
+    const std::string path = tracePath("mapped.trace");
+    ASSERT_TRUE(recorder.save(path));
+    auto replay = TraceWorkload::load(path);
+    ASSERT_NE(replay, nullptr);
+    TieredMemory mem2(TierConfig::dram(64_MiB),
+                      TierConfig::slow(64_MiB));
+    AddressSpace space2(mem2);
+    replay->setup(space2);
+    Rng unused(1);
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_TRUE(
+            space2.pageTable().walk(replay->sample(unused).addr)
+                .mapped());
+    }
+}
+
+TEST(TraceSimulation, ReplayDrivesThermostat)
+{
+    // Record a half-cold stream, then run Thermostat over the
+    // replay: the cold half must still be found.
+    auto w = std::make_unique<ComposedWorkload>(
+        "half-cold-trace", 150.0e3, 0.7, 200 * kNsPerSec);
+    w->addRegion({"data", 32_MiB, 0, true, false});
+    TrafficComponent hot;
+    hot.region = "data";
+    hot.weight = 1.0;
+    hot.burstLines = 4;
+    hot.pattern = std::make_unique<UniformPattern>(16_MiB);
+    w->addComponent(std::move(hot));
+
+    TieredMemory mem(TierConfig::dram(128_MiB),
+                     TierConfig::slow(128_MiB));
+    AddressSpace space(mem);
+    RecordingWorkload recorder(std::move(w));
+    recorder.setup(space);
+    Rng rng(3);
+    for (int i = 0; i < 50000; ++i) {
+        (void)recorder.sample(rng);
+    }
+    const std::string path =
+        ::testing::TempDir() + "halfcold.trace";
+    ASSERT_TRUE(recorder.save(path));
+
+    auto replay = TraceWorkload::load(path);
+    ASSERT_NE(replay, nullptr);
+    SimConfig config;
+    config.samplesPerEpoch = 2000;
+    config.profileWeight = 5;
+    config.machine.fastTier = TierConfig::dram(128_MiB);
+    config.machine.slowTier = TierConfig::slow(128_MiB);
+    config.machine.llc.sizeBytes = 1_MiB;
+    config.params.sampleFraction = 0.25;
+    config.duration = 150 * kNsPerSec;
+    Simulation sim(std::move(replay), config);
+    const SimResult r = sim.run();
+    EXPECT_GT(r.finalColdFraction, 0.3);
+    EXPECT_LT(r.slowdown, 0.02);
+}
+
+TEST(TraceIo, LoadMissingFileFails)
+{
+    EXPECT_EQ(TraceWorkload::load("/nonexistent.trace"), nullptr);
+}
+
+TEST(TraceIo, LoadGarbageFails)
+{
+    const std::string path =
+        ::testing::TempDir() + "garbage.trace";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a trace", f);
+    std::fclose(f);
+    EXPECT_EQ(TraceWorkload::load(path), nullptr);
+}
+
+} // namespace
+} // namespace thermostat

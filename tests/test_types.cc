@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for fundamental types and address arithmetic helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+TEST(Types, PageGeometry)
+{
+    EXPECT_EQ(kPageSize4K, 4096u);
+    EXPECT_EQ(kPageSize2M, 2u * 1024 * 1024);
+    EXPECT_EQ(kSubpagesPerHuge, 512u);
+}
+
+TEST(Types, SizeLiterals)
+{
+    EXPECT_EQ(1_KiB, 1024u);
+    EXPECT_EQ(1_MiB, 1024u * 1024);
+    EXPECT_EQ(1_GiB, 1024u * 1024 * 1024);
+    EXPECT_EQ(2_MiB, kPageSize2M);
+}
+
+TEST(Types, AlignDown)
+{
+    EXPECT_EQ(alignDown4K(0), 0u);
+    EXPECT_EQ(alignDown4K(4095), 0u);
+    EXPECT_EQ(alignDown4K(4096), 4096u);
+    EXPECT_EQ(alignDown4K(4097), 4096u);
+    EXPECT_EQ(alignDown2M(kPageSize2M - 1), 0u);
+    EXPECT_EQ(alignDown2M(kPageSize2M + 5), kPageSize2M);
+}
+
+TEST(Types, AlignUp)
+{
+    EXPECT_EQ(alignUp4K(0), 0u);
+    EXPECT_EQ(alignUp4K(1), 4096u);
+    EXPECT_EQ(alignUp4K(4096), 4096u);
+    EXPECT_EQ(alignUp2M(1), kPageSize2M);
+    EXPECT_EQ(alignUp2M(kPageSize2M), kPageSize2M);
+}
+
+TEST(Types, VpnExtraction)
+{
+    EXPECT_EQ(vpn4K(0x1234567), 0x1234u);
+    EXPECT_EQ(vpn2M(kPageSize2M * 3 + 17), 3u);
+}
+
+TEST(Types, SubpageIndex)
+{
+    EXPECT_EQ(subpageIndex(0), 0u);
+    EXPECT_EQ(subpageIndex(kPageSize4K), 1u);
+    EXPECT_EQ(subpageIndex(kPageSize2M - 1), 511u);
+    EXPECT_EQ(subpageIndex(kPageSize2M), 0u);
+    EXPECT_EQ(subpageIndex(kPageSize2M + 5 * kPageSize4K), 5u);
+}
+
+TEST(Types, TierNames)
+{
+    EXPECT_STREQ(tierName(Tier::Fast), "fast");
+    EXPECT_STREQ(tierName(Tier::Slow), "slow");
+}
+
+TEST(Types, TimeUnits)
+{
+    EXPECT_EQ(kNsPerUs, 1000u);
+    EXPECT_EQ(kNsPerMs, 1000u * 1000);
+    EXPECT_EQ(kNsPerSec, 1000u * 1000 * 1000);
+}
+
+} // namespace
+} // namespace thermostat

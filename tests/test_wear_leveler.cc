@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for Start-Gap wear leveling (paper Sec 6 device-wear
+ * discussion; Qureshi et al. MICRO'09).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "mem/wear_leveler.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+TEST(StartGap, RemapIsInjectiveInitially)
+{
+    StartGapWearLeveler wl(64, 100, 1);
+    std::set<std::uint64_t> images;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        const std::uint64_t p = wl.remap(i);
+        EXPECT_LE(p, 64u); // physical domain has one extra line
+        images.insert(p);
+    }
+    EXPECT_EQ(images.size(), 64u);
+}
+
+/** The injection must hold after any number of gap moves. */
+class StartGapMoveTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StartGapMoveTest, RemapStaysInjectiveAfterMoves)
+{
+    StartGapWearLeveler wl(32, 1, 7); // gap moves on every write
+    for (int moves = 0; moves < GetParam(); ++moves) {
+        wl.recordWrite();
+    }
+    std::set<std::uint64_t> images;
+    for (std::uint64_t i = 0; i < 32; ++i) {
+        const std::uint64_t p = wl.remap(i);
+        EXPECT_LE(p, 32u);
+        EXPECT_NE(p, wl.gapPosition()) << "mapped onto the gap";
+        images.insert(p);
+    }
+    EXPECT_EQ(images.size(), 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Moves, StartGapMoveTest,
+                         ::testing::Values(0, 1, 5, 31, 32, 33, 100,
+                                           1000));
+
+TEST(StartGap, GapMovesEveryPeriodWrites)
+{
+    StartGapWearLeveler wl(16, 10, 0);
+    EXPECT_EQ(wl.gapMoves(), 0u);
+    for (int i = 0; i < 9; ++i) {
+        wl.recordWrite();
+    }
+    EXPECT_EQ(wl.gapMoves(), 0u);
+    wl.recordWrite();
+    EXPECT_EQ(wl.gapMoves(), 1u);
+    for (int i = 0; i < 10; ++i) {
+        wl.recordWrite();
+    }
+    EXPECT_EQ(wl.gapMoves(), 2u);
+}
+
+TEST(StartGap, RotationAdvancesStart)
+{
+    StartGapWearLeveler wl(8, 1, 0);
+    const std::uint64_t start0 = wl.startPosition();
+    // 9 gap moves = one full rotation through 8+1 positions.
+    for (int i = 0; i < 9; ++i) {
+        wl.recordWrite();
+    }
+    EXPECT_EQ(wl.rotations(), 1u);
+    EXPECT_NE(wl.startPosition(), start0);
+}
+
+TEST(StartGap, MappingChangesOverRotation)
+{
+    StartGapWearLeveler wl(8, 1, 3);
+    std::vector<std::uint64_t> before;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        before.push_back(wl.remap(i));
+    }
+    for (int i = 0; i < 9; ++i) {
+        wl.recordWrite();
+    }
+    int moved = 0;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        moved += wl.remap(i) != before[i] ? 1 : 0;
+    }
+    EXPECT_GT(moved, 0);
+}
+
+TEST(StartGap, HotLineWearSpreadsOverRotations)
+{
+    // Write the same logical line forever; Start-Gap must spread
+    // the physical wear across many lines.
+    StartGapWearLeveler wl(16, 4, 9);
+    std::set<std::uint64_t> touched;
+    for (int i = 0; i < 4 * 17 * 16; ++i) {
+        touched.insert(wl.remap(0));
+        wl.recordWrite();
+    }
+    // After several full rotations the hot line visited many
+    // distinct physical lines.
+    EXPECT_GE(touched.size(), 8u);
+}
+
+TEST(StartGap, SeedChangesStaticRandomization)
+{
+    StartGapWearLeveler a(64, 100, 1);
+    StartGapWearLeveler b(64, 100, 2);
+    int same = 0;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        same += a.remap(i) == b.remap(i) ? 1 : 0;
+    }
+    EXPECT_LT(same, 16);
+}
+
+TEST(StartGapDeath, OutOfRangePanics)
+{
+    StartGapWearLeveler wl(8, 1, 0);
+    EXPECT_DEATH((void)wl.remap(8), "out of range");
+}
+
+} // namespace
+} // namespace thermostat

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * thermostat_sim: the command-line driver for single experiments.
+ *
+ *   thermostat_sim --workload redis --target 3 --duration 600 \
+ *                  [--warmup 300] [--seed 42] [--mode emu|device] \
+ *                  [--counting badgertrap|cmbit|pebs] \
+ *                  [--thp on|off] [--spread] [--no-thermostat] \
+ *                  [--csv DIR]
+ *
+ * Prints the run summary and, with --csv, writes the plot series
+ * (footprint.csv, slow_rate.csv, device_rate.csv, summary.csv).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/app_tuning.hh"
+#include "sim/csv_export.hh"
+#include "sim/reporter.hh"
+#include "sim/simulation.hh"
+#include "workload/cloud_apps.hh"
+
+using namespace thermostat;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --workload NAME [options]\n"
+        "  --workload NAME    aerospike | cassandra | mysql-tpcc |"
+        " redis |\n"
+        "                     in-memory-analytics | web-search |"
+        " redis-bursty\n"
+        "  --target PCT       tolerable slowdown %% (default 3)\n"
+        "  --duration SEC     measured seconds (default: natural)\n"
+        "  --warmup SEC       warmup seconds (default 0)\n"
+        "  --seed N           RNG seed (default 42)\n"
+        "  --mode emu|device  slow-memory model (default emu)\n"
+        "  --counting M       badgertrap | cmbit | pebs\n"
+        "  --thp on|off       transparent huge pages (default on)\n"
+        "  --spread           enable Sec 6 page spreading\n"
+        "  --khugepaged       run the khugepaged recovery daemon\n"
+        "  --no-thermostat    baseline run, engine disabled\n"
+        "  --csv DIR          write plot series into DIR\n",
+        argv0);
+    std::exit(2);
+}
+
+const char *
+nextArg(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        usage(argv[0]);
+    }
+    return argv[++i];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    std::string csv_dir;
+    SimConfig config;
+    double target = 3.0;
+    long duration_sec = 0;
+    long warmup_sec = 0;
+    bool spread = false;
+    bool enabled = true;
+    std::string mode = "emu";
+    std::string counting = "badgertrap";
+    std::string thp = "on";
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--workload")) {
+            workload = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--target")) {
+            target = std::atof(nextArg(argc, argv, i));
+        } else if (!std::strcmp(arg, "--duration")) {
+            duration_sec = std::atol(nextArg(argc, argv, i));
+        } else if (!std::strcmp(arg, "--warmup")) {
+            warmup_sec = std::atol(nextArg(argc, argv, i));
+        } else if (!std::strcmp(arg, "--seed")) {
+            config.seed = static_cast<std::uint64_t>(
+                std::atoll(nextArg(argc, argv, i)));
+        } else if (!std::strcmp(arg, "--mode")) {
+            mode = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--counting")) {
+            counting = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--thp")) {
+            thp = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--spread")) {
+            spread = true;
+        } else if (!std::strcmp(arg, "--khugepaged")) {
+            config.khugepagedEnabled = true;
+        } else if (!std::strcmp(arg, "--no-thermostat")) {
+            enabled = false;
+        } else if (!std::strcmp(arg, "--csv")) {
+            csv_dir = nextArg(argc, argv, i);
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (workload.empty()) {
+        usage(argv[0]);
+    }
+
+    const bool bursty = workload == "redis-bursty";
+    const std::string tuned_name = bursty ? "redis" : workload;
+    config.machine = tunedMachineConfig(tuned_name);
+    config.params.tolerableSlowdownPct = target;
+    config.params.spreadHugePages = spread;
+    config.thermostatEnabled = enabled;
+    if (duration_sec > 0) {
+        config.duration = static_cast<Ns>(duration_sec) * kNsPerSec;
+    }
+    config.warmup = static_cast<Ns>(warmup_sec) * kNsPerSec;
+
+    if (mode == "device") {
+        config.machine.slowMode = SlowEmuMode::Device;
+        config.machine.trap.faultLatency = 300;
+    } else if (mode != "emu") {
+        usage(argv[0]);
+    }
+    if (counting == "cmbit") {
+        config.machine.countingMode = CountingMode::CmBit;
+    } else if (counting == "pebs") {
+        config.machine.countingMode = CountingMode::Pebs;
+    } else if (counting != "badgertrap") {
+        usage(argv[0]);
+    }
+    if (thp == "off") {
+        config.machine.thpEnabled = false;
+    } else if (thp != "on") {
+        usage(argv[0]);
+    }
+
+    auto w = bursty ? makeRedisBursty(config.seed)
+                    : makeWorkload(workload, config.seed);
+    Simulation sim(std::move(w), config);
+    const SimResult r = sim.run();
+
+    TablePrinter table({"metric", "value"});
+    table.addRow({"workload", r.workload});
+    table.addRow({"measured seconds",
+                  formatNumber(static_cast<double>(r.duration) /
+                                   kNsPerSec,
+                               0)});
+    table.addRow({"RSS", formatBytes(r.finalRssBytes)});
+    table.addRow({"cold fraction",
+                  formatPct(r.finalColdFraction)});
+    table.addRow({"slowdown", formatPct(r.slowdown, 2)});
+    table.addRow({"target", formatPct(target / 100.0, 1)});
+    table.addRow({"monitoring overhead",
+                  formatPct(r.monitorOverheadFraction, 2)});
+    table.addRow({"demotion bandwidth",
+                  formatRateMBps(r.demotionBytesPerSec)});
+    table.addRow({"promotion bandwidth",
+                  formatRateMBps(r.promotionBytesPerSec)});
+    table.addRow({"promotions",
+                  std::to_string(r.engine.promotions)});
+    table.addRow({"pages spread",
+                  std::to_string(r.engine.pagesSpread)});
+    table.print();
+
+    if (!csv_dir.empty()) {
+        if (writeSimResultCsv(r, csv_dir)) {
+            std::printf("\nseries written to %s/\n",
+                        csv_dir.c_str());
+        } else {
+            return 1;
+        }
+    }
+    return 0;
+}
