@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_correction.dir/abl_correction.cc.o"
+  "CMakeFiles/abl_correction.dir/abl_correction.cc.o.d"
+  "abl_correction"
+  "abl_correction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

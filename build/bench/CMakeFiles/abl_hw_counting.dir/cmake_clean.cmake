@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hw_counting.dir/abl_hw_counting.cc.o"
+  "CMakeFiles/abl_hw_counting.dir/abl_hw_counting.cc.o.d"
+  "abl_hw_counting"
+  "abl_hw_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hw_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

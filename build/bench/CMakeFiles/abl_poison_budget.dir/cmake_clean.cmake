@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_poison_budget.dir/abl_poison_budget.cc.o"
+  "CMakeFiles/abl_poison_budget.dir/abl_poison_budget.cc.o.d"
+  "abl_poison_budget"
+  "abl_poison_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_poison_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sample_fraction.dir/abl_sample_fraction.cc.o"
+  "CMakeFiles/abl_sample_fraction.dir/abl_sample_fraction.cc.o.d"
+  "abl_sample_fraction"
+  "abl_sample_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sample_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

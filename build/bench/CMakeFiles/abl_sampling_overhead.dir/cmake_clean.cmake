@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sampling_overhead.dir/abl_sampling_overhead.cc.o"
+  "CMakeFiles/abl_sampling_overhead.dir/abl_sampling_overhead.cc.o.d"
+  "abl_sampling_overhead"
+  "abl_sampling_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sampling_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_slow_emu_mode.dir/abl_slow_emu_mode.cc.o"
+  "CMakeFiles/abl_slow_emu_mode.dir/abl_slow_emu_mode.cc.o.d"
+  "abl_slow_emu_mode"
+  "abl_slow_emu_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_slow_emu_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_spread_pages.dir/abl_spread_pages.cc.o"
+  "CMakeFiles/abl_spread_pages.dir/abl_spread_pages.cc.o.d"
+  "abl_spread_pages"
+  "abl_spread_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_spread_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

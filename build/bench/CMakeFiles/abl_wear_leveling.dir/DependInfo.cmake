@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_wear_leveling.cc" "bench/CMakeFiles/abl_wear_leveling.dir/abl_wear_leveling.cc.o" "gcc" "bench/CMakeFiles/abl_wear_leveling.dir/abl_wear_leveling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/tstat_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

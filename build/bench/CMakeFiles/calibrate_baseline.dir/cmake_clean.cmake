@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_baseline.dir/calibrate_baseline.cc.o"
+  "CMakeFiles/calibrate_baseline.dir/calibrate_baseline.cc.o.d"
+  "calibrate_baseline"
+  "calibrate_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

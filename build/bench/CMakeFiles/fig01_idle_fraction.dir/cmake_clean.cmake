@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_idle_fraction.dir/fig01_idle_fraction.cc.o"
+  "CMakeFiles/fig01_idle_fraction.dir/fig01_idle_fraction.cc.o.d"
+  "fig01_idle_fraction"
+  "fig01_idle_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_idle_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_accessbit_scatter.dir/fig02_accessbit_scatter.cc.o"
+  "CMakeFiles/fig02_accessbit_scatter.dir/fig02_accessbit_scatter.cc.o.d"
+  "fig02_accessbit_scatter"
+  "fig02_accessbit_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_accessbit_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

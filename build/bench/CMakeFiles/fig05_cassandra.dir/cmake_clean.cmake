@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_cassandra.dir/fig05_cassandra.cc.o"
+  "CMakeFiles/fig05_cassandra.dir/fig05_cassandra.cc.o.d"
+  "fig05_cassandra"
+  "fig05_cassandra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_cassandra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

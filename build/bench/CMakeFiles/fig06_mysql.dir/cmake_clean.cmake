@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_mysql.dir/fig06_mysql.cc.o"
+  "CMakeFiles/fig06_mysql.dir/fig06_mysql.cc.o.d"
+  "fig06_mysql"
+  "fig06_mysql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_mysql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

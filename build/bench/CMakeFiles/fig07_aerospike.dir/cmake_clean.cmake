@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_aerospike.dir/fig07_aerospike.cc.o"
+  "CMakeFiles/fig07_aerospike.dir/fig07_aerospike.cc.o.d"
+  "fig07_aerospike"
+  "fig07_aerospike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_aerospike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_aerospike.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_redis.dir/fig08_redis.cc.o"
+  "CMakeFiles/fig08_redis.dir/fig08_redis.cc.o.d"
+  "fig08_redis"
+  "fig08_redis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_redis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_analytics.dir/fig09_analytics.cc.o"
+  "CMakeFiles/fig09_analytics.dir/fig09_analytics.cc.o.d"
+  "fig09_analytics"
+  "fig09_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_websearch.dir/fig10_websearch.cc.o"
+  "CMakeFiles/fig10_websearch.dir/fig10_websearch.cc.o.d"
+  "fig10_websearch"
+  "fig10_websearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_websearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

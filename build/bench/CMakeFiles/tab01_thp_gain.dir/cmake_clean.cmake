@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_thp_gain.dir/tab01_thp_gain.cc.o"
+  "CMakeFiles/tab01_thp_gain.dir/tab01_thp_gain.cc.o.d"
+  "tab01_thp_gain"
+  "tab01_thp_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_thp_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_footprints.dir/tab02_footprints.cc.o"
+  "CMakeFiles/tab02_footprints.dir/tab02_footprints.cc.o.d"
+  "tab02_footprints"
+  "tab02_footprints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_footprints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

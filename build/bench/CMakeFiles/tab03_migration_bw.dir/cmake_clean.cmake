@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_migration_bw.dir/tab03_migration_bw.cc.o"
+  "CMakeFiles/tab03_migration_bw.dir/tab03_migration_bw.cc.o.d"
+  "tab03_migration_bw"
+  "tab03_migration_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_migration_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

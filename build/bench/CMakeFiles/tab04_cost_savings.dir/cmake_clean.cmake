@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_cost_savings.dir/tab04_cost_savings.cc.o"
+  "CMakeFiles/tab04_cost_savings.dir/tab04_cost_savings.cc.o.d"
+  "tab04_cost_savings"
+  "tab04_cost_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_cost_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tstat_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/tstat_bench_util.dir/bench_util.cc.o.d"
+  "libtstat_bench_util.a"
+  "libtstat_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tstat_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

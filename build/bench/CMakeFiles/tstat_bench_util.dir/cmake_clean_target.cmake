@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtstat_bench_util.a"
+)

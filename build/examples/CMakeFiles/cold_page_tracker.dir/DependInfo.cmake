@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cold_page_tracker.cpp" "examples/CMakeFiles/cold_page_tracker.dir/cold_page_tracker.cpp.o" "gcc" "examples/CMakeFiles/cold_page_tracker.dir/cold_page_tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tstat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_page_tracker.dir/cold_page_tracker.cpp.o"
+  "CMakeFiles/cold_page_tracker.dir/cold_page_tracker.cpp.o.d"
+  "cold_page_tracker"
+  "cold_page_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_page_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tstat_cache.dir/cache/llc.cc.o"
+  "CMakeFiles/tstat_cache.dir/cache/llc.cc.o.d"
+  "libtstat_cache.a"
+  "libtstat_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tstat_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

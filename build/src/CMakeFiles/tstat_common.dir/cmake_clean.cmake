@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tstat_common.dir/common/logging.cc.o"
+  "CMakeFiles/tstat_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/tstat_common.dir/common/permutation.cc.o"
+  "CMakeFiles/tstat_common.dir/common/permutation.cc.o.d"
+  "CMakeFiles/tstat_common.dir/common/rng.cc.o"
+  "CMakeFiles/tstat_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/tstat_common.dir/common/stats.cc.o"
+  "CMakeFiles/tstat_common.dir/common/stats.cc.o.d"
+  "libtstat_common.a"
+  "libtstat_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tstat_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_estimator.cc" "src/CMakeFiles/tstat_core.dir/core/access_estimator.cc.o" "gcc" "src/CMakeFiles/tstat_core.dir/core/access_estimator.cc.o.d"
+  "/root/repo/src/core/classifier.cc" "src/CMakeFiles/tstat_core.dir/core/classifier.cc.o" "gcc" "src/CMakeFiles/tstat_core.dir/core/classifier.cc.o.d"
+  "/root/repo/src/core/corrector.cc" "src/CMakeFiles/tstat_core.dir/core/corrector.cc.o" "gcc" "src/CMakeFiles/tstat_core.dir/core/corrector.cc.o.d"
+  "/root/repo/src/core/idle_policy.cc" "src/CMakeFiles/tstat_core.dir/core/idle_policy.cc.o" "gcc" "src/CMakeFiles/tstat_core.dir/core/idle_policy.cc.o.d"
+  "/root/repo/src/core/sampler.cc" "src/CMakeFiles/tstat_core.dir/core/sampler.cc.o" "gcc" "src/CMakeFiles/tstat_core.dir/core/sampler.cc.o.d"
+  "/root/repo/src/core/thermostat.cc" "src/CMakeFiles/tstat_core.dir/core/thermostat.cc.o" "gcc" "src/CMakeFiles/tstat_core.dir/core/thermostat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tstat_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tstat_core.dir/core/access_estimator.cc.o"
+  "CMakeFiles/tstat_core.dir/core/access_estimator.cc.o.d"
+  "CMakeFiles/tstat_core.dir/core/classifier.cc.o"
+  "CMakeFiles/tstat_core.dir/core/classifier.cc.o.d"
+  "CMakeFiles/tstat_core.dir/core/corrector.cc.o"
+  "CMakeFiles/tstat_core.dir/core/corrector.cc.o.d"
+  "CMakeFiles/tstat_core.dir/core/idle_policy.cc.o"
+  "CMakeFiles/tstat_core.dir/core/idle_policy.cc.o.d"
+  "CMakeFiles/tstat_core.dir/core/sampler.cc.o"
+  "CMakeFiles/tstat_core.dir/core/sampler.cc.o.d"
+  "CMakeFiles/tstat_core.dir/core/thermostat.cc.o"
+  "CMakeFiles/tstat_core.dir/core/thermostat.cc.o.d"
+  "libtstat_core.a"
+  "libtstat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tstat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tstat_mem.dir/mem/frame_allocator.cc.o"
+  "CMakeFiles/tstat_mem.dir/mem/frame_allocator.cc.o.d"
+  "CMakeFiles/tstat_mem.dir/mem/tiered_memory.cc.o"
+  "CMakeFiles/tstat_mem.dir/mem/tiered_memory.cc.o.d"
+  "CMakeFiles/tstat_mem.dir/mem/wear_leveler.cc.o"
+  "CMakeFiles/tstat_mem.dir/mem/wear_leveler.cc.o.d"
+  "libtstat_mem.a"
+  "libtstat_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tstat_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtstat_mem.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tstat_sim.dir/sim/app_tuning.cc.o"
+  "CMakeFiles/tstat_sim.dir/sim/app_tuning.cc.o.d"
+  "CMakeFiles/tstat_sim.dir/sim/csv_export.cc.o"
+  "CMakeFiles/tstat_sim.dir/sim/csv_export.cc.o.d"
+  "CMakeFiles/tstat_sim.dir/sim/machine.cc.o"
+  "CMakeFiles/tstat_sim.dir/sim/machine.cc.o.d"
+  "CMakeFiles/tstat_sim.dir/sim/reporter.cc.o"
+  "CMakeFiles/tstat_sim.dir/sim/reporter.cc.o.d"
+  "CMakeFiles/tstat_sim.dir/sim/simulation.cc.o"
+  "CMakeFiles/tstat_sim.dir/sim/simulation.cc.o.d"
+  "libtstat_sim.a"
+  "libtstat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tstat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sys/badger_trap.cc" "src/CMakeFiles/tstat_sys.dir/sys/badger_trap.cc.o" "gcc" "src/CMakeFiles/tstat_sys.dir/sys/badger_trap.cc.o.d"
+  "/root/repo/src/sys/khugepaged.cc" "src/CMakeFiles/tstat_sys.dir/sys/khugepaged.cc.o" "gcc" "src/CMakeFiles/tstat_sys.dir/sys/khugepaged.cc.o.d"
+  "/root/repo/src/sys/kstaled.cc" "src/CMakeFiles/tstat_sys.dir/sys/kstaled.cc.o" "gcc" "src/CMakeFiles/tstat_sys.dir/sys/kstaled.cc.o.d"
+  "/root/repo/src/sys/migration.cc" "src/CMakeFiles/tstat_sys.dir/sys/migration.cc.o" "gcc" "src/CMakeFiles/tstat_sys.dir/sys/migration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tstat_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

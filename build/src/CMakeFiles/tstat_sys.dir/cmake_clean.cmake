@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tstat_sys.dir/sys/badger_trap.cc.o"
+  "CMakeFiles/tstat_sys.dir/sys/badger_trap.cc.o.d"
+  "CMakeFiles/tstat_sys.dir/sys/khugepaged.cc.o"
+  "CMakeFiles/tstat_sys.dir/sys/khugepaged.cc.o.d"
+  "CMakeFiles/tstat_sys.dir/sys/kstaled.cc.o"
+  "CMakeFiles/tstat_sys.dir/sys/kstaled.cc.o.d"
+  "CMakeFiles/tstat_sys.dir/sys/migration.cc.o"
+  "CMakeFiles/tstat_sys.dir/sys/migration.cc.o.d"
+  "libtstat_sys.a"
+  "libtstat_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tstat_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tstat_tlb.dir/tlb/tlb.cc.o"
+  "CMakeFiles/tstat_tlb.dir/tlb/tlb.cc.o.d"
+  "libtstat_tlb.a"
+  "libtstat_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tstat_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

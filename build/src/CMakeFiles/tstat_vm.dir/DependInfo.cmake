@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/address_space.cc" "src/CMakeFiles/tstat_vm.dir/vm/address_space.cc.o" "gcc" "src/CMakeFiles/tstat_vm.dir/vm/address_space.cc.o.d"
+  "/root/repo/src/vm/page_table.cc" "src/CMakeFiles/tstat_vm.dir/vm/page_table.cc.o" "gcc" "src/CMakeFiles/tstat_vm.dir/vm/page_table.cc.o.d"
+  "/root/repo/src/vm/page_walker.cc" "src/CMakeFiles/tstat_vm.dir/vm/page_walker.cc.o" "gcc" "src/CMakeFiles/tstat_vm.dir/vm/page_walker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tstat_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tstat_vm.dir/vm/address_space.cc.o"
+  "CMakeFiles/tstat_vm.dir/vm/address_space.cc.o.d"
+  "CMakeFiles/tstat_vm.dir/vm/page_table.cc.o"
+  "CMakeFiles/tstat_vm.dir/vm/page_table.cc.o.d"
+  "CMakeFiles/tstat_vm.dir/vm/page_walker.cc.o"
+  "CMakeFiles/tstat_vm.dir/vm/page_walker.cc.o.d"
+  "libtstat_vm.a"
+  "libtstat_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tstat_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/access_pattern.cc" "src/CMakeFiles/tstat_workload.dir/workload/access_pattern.cc.o" "gcc" "src/CMakeFiles/tstat_workload.dir/workload/access_pattern.cc.o.d"
+  "/root/repo/src/workload/cloud_apps.cc" "src/CMakeFiles/tstat_workload.dir/workload/cloud_apps.cc.o" "gcc" "src/CMakeFiles/tstat_workload.dir/workload/cloud_apps.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/tstat_workload.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/tstat_workload.dir/workload/trace.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/tstat_workload.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/tstat_workload.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tstat_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tstat_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tstat_workload.dir/workload/access_pattern.cc.o"
+  "CMakeFiles/tstat_workload.dir/workload/access_pattern.cc.o.d"
+  "CMakeFiles/tstat_workload.dir/workload/cloud_apps.cc.o"
+  "CMakeFiles/tstat_workload.dir/workload/cloud_apps.cc.o.d"
+  "CMakeFiles/tstat_workload.dir/workload/trace.cc.o"
+  "CMakeFiles/tstat_workload.dir/workload/trace.cc.o.d"
+  "CMakeFiles/tstat_workload.dir/workload/workload.cc.o"
+  "CMakeFiles/tstat_workload.dir/workload/workload.cc.o.d"
+  "libtstat_workload.a"
+  "libtstat_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tstat_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_access_estimator.dir/test_access_estimator.cc.o"
+  "CMakeFiles/test_access_estimator.dir/test_access_estimator.cc.o.d"
+  "test_access_estimator"
+  "test_access_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_access_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

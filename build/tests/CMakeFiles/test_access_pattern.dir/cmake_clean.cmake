@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_access_pattern.dir/test_access_pattern.cc.o"
+  "CMakeFiles/test_access_pattern.dir/test_access_pattern.cc.o.d"
+  "test_access_pattern"
+  "test_access_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_access_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

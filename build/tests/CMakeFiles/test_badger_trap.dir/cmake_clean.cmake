@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_badger_trap.dir/test_badger_trap.cc.o"
+  "CMakeFiles/test_badger_trap.dir/test_badger_trap.cc.o.d"
+  "test_badger_trap"
+  "test_badger_trap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_badger_trap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classifier.dir/test_classifier.cc.o"
+  "CMakeFiles/test_classifier.dir/test_classifier.cc.o.d"
+  "test_classifier"
+  "test_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

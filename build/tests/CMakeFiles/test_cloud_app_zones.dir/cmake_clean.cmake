@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud_app_zones.dir/test_cloud_app_zones.cc.o"
+  "CMakeFiles/test_cloud_app_zones.dir/test_cloud_app_zones.cc.o.d"
+  "test_cloud_app_zones"
+  "test_cloud_app_zones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud_app_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csv_export.dir/test_csv_export.cc.o"
+  "CMakeFiles/test_csv_export.dir/test_csv_export.cc.o.d"
+  "test_csv_export"
+  "test_csv_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csv_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

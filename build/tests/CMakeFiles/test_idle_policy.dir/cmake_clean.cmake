@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idle_policy.dir/test_idle_policy.cc.o"
+  "CMakeFiles/test_idle_policy.dir/test_idle_policy.cc.o.d"
+  "test_idle_policy"
+  "test_idle_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idle_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_khugepaged.dir/test_khugepaged.cc.o"
+  "CMakeFiles/test_khugepaged.dir/test_khugepaged.cc.o.d"
+  "test_khugepaged"
+  "test_khugepaged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_khugepaged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kstaled.dir/test_kstaled.cc.o"
+  "CMakeFiles/test_kstaled.dir/test_kstaled.cc.o.d"
+  "test_kstaled"
+  "test_kstaled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kstaled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

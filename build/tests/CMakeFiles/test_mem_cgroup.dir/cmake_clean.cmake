@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_cgroup.dir/test_mem_cgroup.cc.o"
+  "CMakeFiles/test_mem_cgroup.dir/test_mem_cgroup.cc.o.d"
+  "test_mem_cgroup"
+  "test_mem_cgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_cgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

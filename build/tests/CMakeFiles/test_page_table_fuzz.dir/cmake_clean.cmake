@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_page_table_fuzz.dir/test_page_table_fuzz.cc.o"
+  "CMakeFiles/test_page_table_fuzz.dir/test_page_table_fuzz.cc.o.d"
+  "test_page_table_fuzz"
+  "test_page_table_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_page_table_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

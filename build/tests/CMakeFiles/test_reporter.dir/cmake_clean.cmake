@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reporter.dir/test_reporter.cc.o"
+  "CMakeFiles/test_reporter.dir/test_reporter.cc.o.d"
+  "test_reporter"
+  "test_reporter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reporter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spread_pages.dir/test_spread_pages.cc.o"
+  "CMakeFiles/test_spread_pages.dir/test_spread_pages.cc.o.d"
+  "test_spread_pages"
+  "test_spread_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spread_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thermostat_engine.dir/test_thermostat_engine.cc.o"
+  "CMakeFiles/test_thermostat_engine.dir/test_thermostat_engine.cc.o.d"
+  "test_thermostat_engine"
+  "test_thermostat_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thermostat_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

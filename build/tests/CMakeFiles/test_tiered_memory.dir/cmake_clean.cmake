@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiered_memory.dir/test_tiered_memory.cc.o"
+  "CMakeFiles/test_tiered_memory.dir/test_tiered_memory.cc.o.d"
+  "test_tiered_memory"
+  "test_tiered_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiered_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

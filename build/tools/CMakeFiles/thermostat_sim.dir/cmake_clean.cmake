@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermostat_sim.dir/thermostat_sim.cc.o"
+  "CMakeFiles/thermostat_sim.dir/thermostat_sim.cc.o.d"
+  "thermostat_sim"
+  "thermostat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermostat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermostat_trace.dir/thermostat_trace.cc.o"
+  "CMakeFiles/thermostat_trace.dir/thermostat_trace.cc.o.d"
+  "thermostat_trace"
+  "thermostat_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermostat_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
