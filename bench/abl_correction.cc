@@ -27,7 +27,7 @@ main(int argc, char **argv)
     TablePrinter table({"Workload", "correction", "slowdown",
                         "cold frac", "peak slow rate",
                         "promotions"});
-    for (const std::string name :
+    for (const std::string &name :
          {std::string("redis"), std::string("aerospike")}) {
         for (const bool corr : {true, false}) {
             SimConfig config = standardConfig(name, 3.0, duration);

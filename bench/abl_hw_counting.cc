@@ -49,7 +49,7 @@ main(int argc, char **argv)
         {"pebs@100KHz", CountingMode::Pebs, 100000.0},
     };
 
-    for (const std::string name :
+    for (const std::string &name :
          {std::string("cassandra"), std::string("redis")}) {
         std::printf("%s:\n", name.c_str());
         TablePrinter table({"mode", "slowdown", "cold frac",

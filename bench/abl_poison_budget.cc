@@ -25,7 +25,7 @@ main(int argc, char **argv)
     const Ns duration = scaledDuration(600, quick);
     const unsigned budgets[] = {5, 25, 50, 200, 512};
 
-    for (const std::string name :
+    for (const std::string &name :
          {std::string("redis"), std::string("cassandra")}) {
         std::printf("%s:\n", name.c_str());
         TablePrinter table({"K", "cold frac", "slowdown",

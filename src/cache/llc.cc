@@ -1,6 +1,7 @@
 #include "cache/llc.hh"
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace thermostat
 {
@@ -127,6 +128,23 @@ LastLevelCache::frameMisses(Pfn huge_frame_base) const
 {
     const auto it = frameMisses_.find(huge_frame_base);
     return it == frameMisses_.end() ? 0 : it->second;
+}
+
+void
+LastLevelCache::registerMetrics(MetricRegistry &registry,
+                                const std::string &prefix) const
+{
+    registry.addCallback(prefix + ".hits", [this] {
+        return static_cast<double>(stats_.hits);
+    });
+    registry.addCallback(prefix + ".misses", [this] {
+        return static_cast<double>(stats_.misses);
+    });
+    registry.addCallback(prefix + ".writebacks", [this] {
+        return static_cast<double>(stats_.writebacks);
+    });
+    registry.addCallback(prefix + ".miss_ratio",
+                         [this] { return stats_.missRatio(); });
 }
 
 } // namespace thermostat

@@ -13,6 +13,7 @@
 #define THERMOSTAT_CACHE_LLC_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -20,6 +21,8 @@
 
 namespace thermostat
 {
+
+class MetricRegistry;
 
 /** LLC geometry and timing. */
 struct LlcConfig
@@ -77,6 +80,10 @@ class LastLevelCache
     const LlcConfig &config() const { return config_; }
     const LlcStats &stats() const { return stats_; }
     void resetStats();
+
+    /** Expose the counters under "<prefix>." in @p registry. */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
 
     /**
      * Ground-truth misses charged to the 2MB-aligned frame

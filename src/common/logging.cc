@@ -10,6 +10,8 @@ namespace
 {
 
 LogLevel g_level = LogLevel::Normal;
+LogSink g_sink = nullptr;
+void *g_sinkCtx = nullptr;
 
 } // namespace
 
@@ -23,6 +25,66 @@ void
 setLogLevel(LogLevel level)
 {
     g_level = level;
+}
+
+bool
+parseLogLevel(const std::string &name, LogLevel *level_out)
+{
+    if (name == "quiet" || name == "0") {
+        *level_out = LogLevel::Quiet;
+    } else if (name == "normal" || name == "1") {
+        *level_out = LogLevel::Normal;
+    } else if (name == "verbose" || name == "2") {
+        *level_out = LogLevel::Verbose;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+void
+setLogSink(LogSink sink, void *ctx)
+{
+    g_sink = sink;
+    g_sinkCtx = ctx;
+}
+
+ScopedLogCapture::ScopedLogCapture()
+{
+    setLogSink(&ScopedLogCapture::hook, this);
+}
+
+ScopedLogCapture::~ScopedLogCapture()
+{
+    setLogSink(nullptr);
+}
+
+void
+ScopedLogCapture::hook(LogKind kind, const std::string &msg, void *ctx)
+{
+    static_cast<ScopedLogCapture *>(ctx)->entries_.push_back(
+        {kind, msg});
+}
+
+std::size_t
+ScopedLogCapture::count(LogKind kind) const
+{
+    std::size_t n = 0;
+    for (const Entry &e : entries_) {
+        n += e.kind == kind ? 1 : 0;
+    }
+    return n;
+}
+
+bool
+ScopedLogCapture::contains(const std::string &needle) const
+{
+    for (const Entry &e : entries_) {
+        if (e.message.find(needle) != std::string::npos) {
+            return true;
+        }
+    }
+    return false;
 }
 
 namespace detail
@@ -64,15 +126,26 @@ fatalImpl(const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    if (g_sink) {
+        g_sink(LogKind::Warn, msg, g_sinkCtx);
+        return;
+    }
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg, LogLevel level)
 {
-    if (static_cast<int>(g_level) >= static_cast<int>(level)) {
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (static_cast<int>(g_level) < static_cast<int>(level)) {
+        return;
     }
+    if (g_sink) {
+        g_sink(level == LogLevel::Verbose ? LogKind::Verbose
+                                          : LogKind::Inform,
+               msg, g_sinkCtx);
+        return;
+    }
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 } // namespace detail

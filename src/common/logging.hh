@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace thermostat
 {
@@ -30,6 +31,57 @@ LogLevel logLevel();
 
 /** Set the process-wide log verbosity. */
 void setLogLevel(LogLevel level);
+
+/** Parse "quiet"/"normal"/"verbose" (or 0/1/2); false if unknown. */
+bool parseLogLevel(const std::string &name, LogLevel *level_out);
+
+/** Message severity as seen by a log sink. */
+enum class LogKind : int { Warn = 0, Inform = 1, Verbose = 2 };
+
+/**
+ * Receiver of warn()/inform()/verbose() messages; panic and fatal
+ * always go to stderr regardless.  The sink replaces the default
+ * stderr output entirely while installed.
+ */
+using LogSink = void (*)(LogKind kind, const std::string &msg,
+                         void *ctx);
+
+/** Install (or with nullptr remove) the process-wide log sink. */
+void setLogSink(LogSink sink, void *ctx = nullptr);
+
+/**
+ * RAII log capture for tests: while alive, warn/inform messages are
+ * collected into the instance instead of stderr.  Not reentrant --
+ * only one capture may be alive at a time.
+ */
+class ScopedLogCapture
+{
+  public:
+    ScopedLogCapture();
+    ~ScopedLogCapture();
+
+    ScopedLogCapture(const ScopedLogCapture &) = delete;
+    ScopedLogCapture &operator=(const ScopedLogCapture &) = delete;
+
+    struct Entry
+    {
+        LogKind kind;
+        std::string message;
+    };
+
+    const std::vector<Entry> &entries() const { return entries_; }
+
+    /** Number of captured messages of @p kind. */
+    std::size_t count(LogKind kind) const;
+
+    /** True if any captured message contains @p needle. */
+    bool contains(const std::string &needle) const;
+
+  private:
+    static void hook(LogKind kind, const std::string &msg, void *ctx);
+
+    std::vector<Entry> entries_;
+};
 
 namespace detail
 {

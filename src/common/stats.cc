@@ -167,8 +167,18 @@ TimeSeries::lastValue() const
 TimeSeries
 TimeSeries::windowAverage(Ns window) const
 {
-    TSTAT_ASSERT(window > 0, "windowAverage: zero window");
     TimeSeries out(name_ + ".avg");
+    if (samples_.empty()) {
+        return out;
+    }
+    if (window == 0) {
+        // Degenerate window: every sample is its own bucket, so the
+        // average is the series itself (just renamed).
+        for (const auto &s : samples_) {
+            out.append(s.time, s.value);
+        }
+        return out;
+    }
     std::size_t i = 0;
     while (i < samples_.size()) {
         const Ns win_start = samples_[i].time / window * window;
@@ -202,7 +212,11 @@ void
 RateMeter::record(Ns now, Count events)
 {
     if (!started_) {
-        firstTime_ = windowStart_ = now;
+        firstTime_ = now;
+        if (!windowAnchored_) {
+            windowStart_ = now;
+            windowAnchored_ = true;
+        }
         started_ = true;
     }
     lastTime_ = now;
@@ -229,7 +243,17 @@ RateMeter::overallRate()const
 double
 RateMeter::takeWindowRate(Ns now)
 {
-    if (!started_ || now <= windowStart_) {
+    if (!started_) {
+        // No events yet: anchor the checkpoint here so the first
+        // real window spans [now, next take] instead of starting at
+        // the first event, which would overstate the rate.
+        windowStart_ = now;
+        windowAnchored_ = true;
+        return 0.0;
+    }
+    if (now <= windowStart_) {
+        // Zero-length (or backwards) window: no time has passed.
+        // Keep pending events for the next real window.
         return 0.0;
     }
     const double rate = static_cast<double>(windowEvents_) * kNsPerSec /

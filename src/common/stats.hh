@@ -150,6 +150,7 @@ class RateMeter
     Ns lastTime_ = 0;
     Ns windowStart_ = 0;
     bool started_ = false;
+    bool windowAnchored_ = false; //!< takeWindowRate checkpointed
 };
 
 } // namespace thermostat

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "core/access_estimator.hh"
 #include "core/corrector.hh"
+#include "obs/metrics.hh"
 
 namespace thermostat
 {
@@ -72,6 +73,9 @@ ThermostatEngine::tick(Ns now)
     if (!cgroup_.params().enabled) {
         return;
     }
+    if (tracer_) {
+        tracer_->setSimTime(now);
+    }
     while (now >= nextStageTime_) {
         switch (nextStage_) {
           case Stage::Split:
@@ -93,8 +97,20 @@ ThermostatEngine::runSplitStage(Ns now)
     const ThermostatParams &params = cgroup_.params();
     splitBases_ =
         sampler_.selectAndSplit(params.sampleFraction, coldHuge_);
+    profilingRanges_.clear();
+    profilingRanges_.insert(splitBases_.begin(), splitBases_.end());
     sampledBase_ = sampler_.selectBasePages(params.sampleFraction,
                                             coldBase_, splitBases_);
+    if (tracer_) {
+        for (const Addr base : splitBases_) {
+            tracer_->record(EventKind::PageSampled, now, base, true);
+            tracer_->record(EventKind::PageSplit, now, base, true);
+        }
+        for (const Addr base : sampledBase_) {
+            tracer_->record(EventKind::PageSampled, now, base,
+                            false);
+        }
+    }
     accrueOverhead();
     nextStage_ = Stage::Poison;
     nextStageTime_ = now + stageLength();
@@ -191,6 +207,7 @@ ThermostatEngine::runClassifyStage(Ns now)
     profiled_.clear();
     splitBases_.clear();
     sampledBase_.clear();
+    profilingRanges_.clear();
     ++stats_.periods;
     lastClassify_ = now;
     nextStage_ = Stage::Split;
@@ -204,10 +221,22 @@ ThermostatEngine::applyClassification(const Classification &classes,
                                       Ns now)
 {
     for (const PageRate &page : classes.cold) {
+        if (tracer_) {
+            tracer_->record(EventKind::ClassifiedCold, now,
+                            page.base, page.bytes == kPageSize2M);
+        }
         if (page.bytes == kPageSize2M) {
             if (!space_.collapseHuge(page.base)) {
                 ++stats_.collapseFailures;
+                if (tracer_) {
+                    tracer_->record(EventKind::CollapseFailed, now,
+                                    page.base, true);
+                }
                 continue;
+            }
+            if (tracer_) {
+                tracer_->record(EventKind::PageCollapsed, now,
+                                page.base, true);
             }
             const MigrateResult res =
                 migrator_.migrate(page.base, Tier::Slow, now);
@@ -237,6 +266,10 @@ ThermostatEngine::applyClassification(const Classification &classes,
         }
     }
     for (const PageRate &page : classes.hot) {
+        if (tracer_) {
+            tracer_->record(EventKind::ClassifiedHot, now, page.base,
+                            page.bytes == kPageSize2M);
+        }
         if (page.bytes != kPageSize2M) {
             continue;
         }
@@ -246,8 +279,17 @@ ThermostatEngine::applyClassification(const Classification &classes,
             trySpreadHotPage(*it->second, now)) {
             continue;
         }
-        if (!space_.collapseHuge(page.base)) {
+        if (space_.collapseHuge(page.base)) {
+            if (tracer_) {
+                tracer_->record(EventKind::PageCollapsed, now,
+                                page.base, true);
+            }
+        } else {
             ++stats_.collapseFailures;
+            if (tracer_) {
+                tracer_->record(EventKind::CollapseFailed, now,
+                                page.base, true);
+            }
         }
     }
 }
@@ -290,6 +332,10 @@ ThermostatEngine::trySpreadHotPage(const SampledPage &page, Ns now)
     }
     ++stats_.pagesSpread;
     stats_.spreadSubpagesDemoted += demoted;
+    if (tracer_) {
+        tracer_->record(EventKind::PageSpread, now, page.base, true,
+                        demoted);
+    }
     return true;
 }
 
@@ -342,6 +388,11 @@ ThermostatEngine::runCorrection(Ns now)
             coldBase_.erase(page.base);
         }
         ++stats_.promotions;
+        if (tracer_) {
+            tracer_->record(EventKind::Corrected, now, page.base,
+                            page.bytes == kPageSize2M,
+                            static_cast<std::uint64_t>(page.rate));
+        }
     }
 
     // Fresh window for the surviving cold set.
@@ -351,6 +402,49 @@ ThermostatEngine::runCorrection(Ns now)
     for (const Addr base : coldBase_) {
         trap_.resetCount(base);
     }
+}
+
+void
+ThermostatEngine::registerMetrics(MetricRegistry &registry,
+                                  const std::string &prefix) const
+{
+    registry.addCallback(prefix + ".periods", [this] {
+        return static_cast<double>(stats_.periods);
+    });
+    registry.addCallback(prefix + ".cold_huge_placed", [this] {
+        return static_cast<double>(stats_.coldHugePlaced);
+    });
+    registry.addCallback(prefix + ".cold_base_placed", [this] {
+        return static_cast<double>(stats_.coldBasePlaced);
+    });
+    registry.addCallback(prefix + ".pages_spread", [this] {
+        return static_cast<double>(stats_.pagesSpread);
+    });
+    registry.addCallback(prefix + ".spread_subpages_demoted",
+                         [this] {
+                             return static_cast<double>(
+                                 stats_.spreadSubpagesDemoted);
+                         });
+    registry.addCallback(prefix + ".promotions", [this] {
+        return static_cast<double>(stats_.promotions);
+    });
+    registry.addCallback(prefix + ".collapse_failures", [this] {
+        return static_cast<double>(stats_.collapseFailures);
+    });
+    registry.addCallback(prefix + ".migration_failures", [this] {
+        return static_cast<double>(stats_.migrationFailures);
+    });
+    registry.addCallback(prefix + ".overhead_ns", [this] {
+        return static_cast<double>(stats_.overheadTime);
+    });
+    registry.addCallback(prefix + ".cold_bytes", [this] {
+        return static_cast<double>(coldBytes());
+    });
+    registry.addCallback(prefix + ".target_rate",
+                         [this] { return targetRate(); });
+    registry.addCallback(prefix + ".measured_slow_rate", [this] {
+        return slowRateSeries_.lastValue();
+    });
 }
 
 } // namespace thermostat

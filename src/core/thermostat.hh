@@ -32,6 +32,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/event_trace.hh"
 #include "core/classifier.hh"
 #include "core/sampler.hh"
 #include "sys/badger_trap.hh"
@@ -42,6 +43,8 @@
 
 namespace thermostat
 {
+
+class MetricRegistry;
 
 /** Engine-level counters. */
 struct EngineStats
@@ -89,6 +92,20 @@ class ThermostatEngine
     /** Bytes currently placed in slow memory. */
     std::uint64_t coldBytes() const;
 
+    /**
+     * True while the 2MB range at @p base is split for this
+     * period's profiling (between the split and classify stages).
+     * Khugepaged must not collapse such ranges: before the poison
+     * stage runs there is no poisoned PTE to warn it off, and a
+     * premature collapse would turn the sampler's subpage poison
+     * into a whole-huge-page poison in fast memory.
+     */
+    bool
+    isProfilingRange(Addr base) const
+    {
+        return profilingRanges_.find(base) != profilingRanges_.end();
+    }
+
     /** Aggregate slow-memory access-rate budget (accesses/sec). */
     double targetRate() const;
 
@@ -99,6 +116,18 @@ class ThermostatEngine
     const TimeSeries &slowRateSeries() const { return slowRateSeries_; }
 
     const EngineStats &stats() const { return stats_; }
+
+    /**
+     * Attach a lifecycle tracer: the engine emits sample/split,
+     * classification, spread and correction events, and keeps the
+     * tracer's ambient simulated clock current so downstream
+     * emitters (BadgerTrap, khugepaged) timestamp correctly.
+     */
+    void setTracer(EventTracer *tracer) { tracer_ = tracer; }
+
+    /** Expose engine counters under "<prefix>." in @p registry. */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
 
     /**
      * Monitoring/migration CPU time accumulated since the last call
@@ -139,6 +168,7 @@ class ThermostatEngine
     Ns lastClassify_ = 0;
     std::vector<Addr> splitBases_;
     std::vector<Addr> sampledBase_;
+    std::unordered_set<Addr> profilingRanges_;
     std::vector<SampledPage> profiled_;
     std::unordered_map<Addr, const SampledPage *> profiledByBase_;
 
@@ -147,6 +177,7 @@ class ThermostatEngine
 
     TimeSeries slowRateSeries_{"slow_mem_access_rate"};
     EngineStats stats_;
+    EventTracer *tracer_ = nullptr;
     double markingQuantum_ = 1.0;
     Ns pendingOverhead_ = 0;
     Ns seenKstaledCost_ = 0;

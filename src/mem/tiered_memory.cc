@@ -1,5 +1,7 @@
 #include "mem/tiered_memory.hh"
 
+#include "obs/metrics.hh"
+
 #include "common/logging.hh"
 
 namespace thermostat
@@ -178,6 +180,56 @@ TieredMemory::costRelativeToAllFast() const
         fast_used * fastTier_.config().relativeCostPerByte +
         slow_used * slowTier_.config().relativeCostPerByte;
     return blended / (total * fastTier_.config().relativeCostPerByte);
+}
+
+void
+MemoryTier::registerMetrics(MetricRegistry &registry,
+                            const std::string &prefix) const
+{
+    registry.addCallback(prefix + ".reads", [this] {
+        return static_cast<double>(stats_.reads);
+    });
+    registry.addCallback(prefix + ".writes", [this] {
+        return static_cast<double>(stats_.writes);
+    });
+    registry.addCallback(prefix + ".bytes_read", [this] {
+        return static_cast<double>(stats_.bytesRead);
+    });
+    registry.addCallback(prefix + ".bytes_written", [this] {
+        return static_cast<double>(stats_.bytesWritten);
+    });
+    registry.addCallback(prefix + ".migrations_in", [this] {
+        return static_cast<double>(stats_.migrationsIn);
+    });
+    registry.addCallback(prefix + ".migrations_out", [this] {
+        return static_cast<double>(stats_.migrationsOut);
+    });
+    registry.addCallback(prefix + ".migration_bytes_in", [this] {
+        return static_cast<double>(stats_.migrationBytesIn);
+    });
+    registry.addCallback(prefix + ".migration_bytes_out", [this] {
+        return static_cast<double>(stats_.migrationBytesOut);
+    });
+    registry.addCallback(prefix + ".used_bytes", [this] {
+        return static_cast<double>(usedBytes());
+    });
+    registry.addCallback(prefix + ".capacity_bytes", [this] {
+        return static_cast<double>(capacityBytes());
+    });
+    registry.addCallback(prefix + ".total_wear", [this] {
+        return static_cast<double>(totalWear());
+    });
+    registry.addCallback(prefix + ".max_frame_wear", [this] {
+        return static_cast<double>(maxFrameWear());
+    });
+}
+
+void
+TieredMemory::registerMetrics(MetricRegistry &registry,
+                              const std::string &prefix) const
+{
+    fastTier_.registerMetrics(registry, prefix + ".fast");
+    slowTier_.registerMetrics(registry, prefix + ".slow");
 }
 
 } // namespace thermostat

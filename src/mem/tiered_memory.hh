@@ -22,6 +22,8 @@
 namespace thermostat
 {
 
+class MetricRegistry;
+
 /** Per-tier runtime statistics. */
 struct TierStats
 {
@@ -77,6 +79,10 @@ class MemoryTier
     std::uint64_t capacityBytes() const { return config_.capacityBytes; }
     std::uint64_t usedBytes() const;
 
+    /** Expose the counters under "<prefix>." in @p registry. */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
+
   private:
     TierConfig config_;
     FrameAllocator allocator_;
@@ -119,6 +125,10 @@ class TieredMemory
 
     /** Total bytes allocated across both tiers. */
     std::uint64_t usedBytes() const;
+
+    /** Register "<prefix>.fast.*" and "<prefix>.slow.*". */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
 
     /**
      * Blended memory cost of the *used* footprint relative to backing

@@ -1,5 +1,7 @@
 #include "mem/wear_leveler.hh"
 
+#include "obs/metrics.hh"
+
 #include "common/logging.hh"
 
 namespace thermostat
@@ -48,6 +50,24 @@ StartGapWearLeveler::recordWrite()
     } else {
         --gap_;
     }
+}
+
+void
+StartGapWearLeveler::registerMetrics(MetricRegistry &registry,
+                                     const std::string &prefix) const
+{
+    registry.addCallback(prefix + ".gap_moves", [this] {
+        return static_cast<double>(gapMoves_);
+    });
+    registry.addCallback(prefix + ".rotations", [this] {
+        return static_cast<double>(rotations_);
+    });
+    registry.addCallback(prefix + ".gap_position", [this] {
+        return static_cast<double>(gap_);
+    });
+    registry.addCallback(prefix + ".line_count", [this] {
+        return static_cast<double>(lineCount_);
+    });
 }
 
 } // namespace thermostat

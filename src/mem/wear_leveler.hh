@@ -14,12 +14,15 @@
 #define THERMOSTAT_MEM_WEAR_LEVELER_HH
 
 #include <cstdint>
+#include <string>
 
 #include "common/permutation.hh"
 #include "common/types.hh"
 
 namespace thermostat
 {
+
+class MetricRegistry;
 
 /**
  * Start-Gap remapper over a region of @p lineCount lines (the line is
@@ -58,6 +61,10 @@ class StartGapWearLeveler
      * writes across all physical lines.
      */
     std::uint64_t rotations() const { return rotations_; }
+
+    /** Expose the leveler state under "<prefix>." in @p registry. */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
 
   private:
     std::uint64_t lineCount_;

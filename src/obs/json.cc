@@ -1,0 +1,387 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace thermostat
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value)) {
+        return "0";
+    }
+    // Integral values print without a fraction so counters stay
+    // exact; everything else keeps full double precision.
+    if (value == std::floor(value) && std::fabs(value) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+        return buf;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON syntax checker. */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool
+    check()
+    {
+        skipWs();
+        if (!value(0)) {
+            return false;
+        }
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool
+    value(int depth)
+    {
+        if (depth > kMaxDepth || pos_ >= text_.size()) {
+            return false;
+        }
+        switch (text_[pos_]) {
+          case '{':
+            return object(depth);
+          case '[':
+            return array(depth);
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object(int depth)
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string()) {
+                return false;
+            }
+            skipWs();
+            if (peek() != ':') {
+                return false;
+            }
+            ++pos_;
+            skipWs();
+            if (!value(depth + 1)) {
+                return false;
+            }
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array(int depth)
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value(depth + 1)) {
+                return false;
+            }
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"') {
+            return false;
+        }
+        ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size()) {
+                    return false;
+                }
+                const char esc = text_[pos_];
+                if (esc == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos_ + i >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_ + i]))) {
+                            return false;
+                        }
+                    }
+                    pos_ += 4;
+                } else if (!std::strchr("\"\\/bfnrt", esc)) {
+                    return false;
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return false;
+            }
+            ++pos_;
+        }
+        return false; // unterminated
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-') {
+            ++pos_;
+        }
+        if (!digits()) {
+            return false;
+        }
+        if (peek() == '.') {
+            ++pos_;
+            if (!digits()) {
+                return false;
+            }
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-') {
+                ++pos_;
+            }
+            if (!digits()) {
+                return false;
+            }
+        }
+        return pos_ > start;
+    }
+
+    bool
+    digits()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t len = std::strlen(word);
+        if (text_.compare(pos_, len, word) != 0) {
+            return false;
+        }
+        pos_ += len;
+        return true;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+jsonWellFormed(const std::string &text)
+{
+    return JsonChecker(text).check();
+}
+
+void
+JsonWriter::comma()
+{
+    if (needComma_) {
+        out_ += ',';
+    }
+    needComma_ = false;
+}
+
+void
+JsonWriter::beginObject()
+{
+    comma();
+    out_ += '{';
+}
+
+void
+JsonWriter::endObject()
+{
+    out_ += '}';
+    needComma_ = true;
+}
+
+void
+JsonWriter::beginArray()
+{
+    comma();
+    out_ += '[';
+}
+
+void
+JsonWriter::endArray()
+{
+    out_ += ']';
+    needComma_ = true;
+}
+
+void
+JsonWriter::key(const std::string &name)
+{
+    comma();
+    out_ += '"';
+    out_ += jsonEscape(name);
+    out_ += "\":";
+}
+
+void
+JsonWriter::value(const std::string &s)
+{
+    comma();
+    out_ += '"';
+    out_ += jsonEscape(s);
+    out_ += '"';
+    needComma_ = true;
+}
+
+void
+JsonWriter::value(const char *s)
+{
+    value(std::string(s));
+}
+
+void
+JsonWriter::value(double d)
+{
+    comma();
+    out_ += jsonNumber(d);
+    needComma_ = true;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    comma();
+    out_ += std::to_string(v);
+    needComma_ = true;
+}
+
+void
+JsonWriter::value(bool b)
+{
+    comma();
+    out_ += b ? "true" : "false";
+    needComma_ = true;
+}
+
+void
+JsonWriter::raw(const std::string &json)
+{
+    comma();
+    out_ += json;
+    needComma_ = true;
+}
+
+} // namespace thermostat

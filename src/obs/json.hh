@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal JSON helpers for the observability exporters.
+ *
+ * JsonWriter is a small append-only builder that handles string
+ * escaping and number formatting; jsonWellFormed() is a strict
+ * syntax checker used by tests (and by tools that want to validate
+ * a dump before shipping it to Perfetto).  Deliberately tiny: no
+ * DOM, no parsing into values, no external dependency.
+ */
+
+#ifndef THERMOSTAT_OBS_JSON_HH
+#define THERMOSTAT_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+
+namespace thermostat
+{
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** Format a double as a JSON number (no NaN/Inf; those become 0). */
+std::string jsonNumber(double value);
+
+/**
+ * Strict syntax check of a complete JSON document (one value).
+ * Returns false on trailing garbage, unbalanced structure, bad
+ * escapes or malformed numbers.
+ */
+bool jsonWellFormed(const std::string &text);
+
+/**
+ * Append-only JSON builder.  The caller is responsible for calling
+ * the begin/end methods in a balanced order; key() must precede
+ * every member value inside an object.
+ */
+class JsonWriter
+{
+  public:
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Start an object member; follow with a value call. */
+    void key(const std::string &name);
+
+    void value(const std::string &s);
+    void value(const char *s);
+    void value(double d);
+    void value(std::uint64_t v);
+    void value(bool b);
+
+    /** Splice an already-rendered JSON value in as a member. */
+    void raw(const std::string &json);
+
+    const std::string &str() const { return out_; }
+
+  private:
+    void comma();
+
+    std::string out_;
+    bool needComma_ = false;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_OBS_JSON_HH

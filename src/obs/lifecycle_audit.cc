@@ -1,0 +1,118 @@
+#include "obs/lifecycle_audit.hh"
+
+#include "common/logging.hh"
+#include "mem/tiered_memory.hh"
+#include "sys/migration.hh"
+
+namespace thermostat
+{
+
+namespace
+{
+constexpr std::size_t kMaxMessages = 20;
+} // namespace
+
+void
+LifecycleAuditor::violation(const std::string &msg)
+{
+    ++violations_;
+    if (messages_.size() < kMaxMessages) {
+        messages_.push_back(msg);
+    }
+}
+
+void
+LifecycleAuditor::onEvent(const TraceEvent &ev)
+{
+    ++eventsSeen_;
+    if (ev.kind == EventKind::Phase) {
+        return; // host-time track, not part of the lifecycle
+    }
+    if (ev.time < lastSimTime_) {
+        violation(detail::formatString(
+            "non-monotonic timestamp: %llu after %llu",
+            static_cast<unsigned long long>(ev.time),
+            static_cast<unsigned long long>(lastSimTime_)));
+    }
+    lastSimTime_ = ev.time;
+
+    PageState &st = pages_[ev.addr];
+    switch (ev.kind) {
+      case EventKind::PageDemoted:
+        if (st.inSlow) {
+            violation(detail::formatString(
+                "double demotion of %#llx without promotion",
+                static_cast<unsigned long long>(ev.addr)));
+        }
+        st.inSlow = true;
+        demotedBytes_ += ev.value;
+        break;
+      case EventKind::PagePromoted:
+        if (!st.inSlow) {
+            violation(detail::formatString(
+                "promotion of %#llx which is not in slow memory",
+                static_cast<unsigned long long>(ev.addr)));
+        }
+        st.inSlow = false;
+        promotedBytes_ += ev.value;
+        break;
+      case EventKind::PagePoisoned:
+        if (st.poisoned) {
+            violation(detail::formatString(
+                "double poison of %#llx",
+                static_cast<unsigned long long>(ev.addr)));
+        }
+        if (ev.huge && !st.inSlow) {
+            violation(detail::formatString(
+                "huge page %#llx poisoned outside slow memory",
+                static_cast<unsigned long long>(ev.addr)));
+        }
+        st.poisoned = true;
+        break;
+      case EventKind::PageUnpoisoned:
+        if (!st.poisoned) {
+            violation(detail::formatString(
+                "unpoison of non-poisoned page %#llx",
+                static_cast<unsigned long long>(ev.addr)));
+        }
+        st.poisoned = false;
+        break;
+      default:
+        break; // informational kinds carry no state transitions
+    }
+}
+
+void
+LifecycleAuditor::finish(const MigrationStats &migration,
+                         const TierStats &slow_tier)
+{
+    if (demotedBytes_ != migration.bytesDemoted) {
+        violation(detail::formatString(
+            "traced demotion bytes %llu != migrator total %llu",
+            static_cast<unsigned long long>(demotedBytes_),
+            static_cast<unsigned long long>(migration.bytesDemoted)));
+    }
+    if (promotedBytes_ != migration.bytesPromoted) {
+        violation(detail::formatString(
+            "traced promotion bytes %llu != migrator total %llu",
+            static_cast<unsigned long long>(promotedBytes_),
+            static_cast<unsigned long long>(
+                migration.bytesPromoted)));
+    }
+    if (slow_tier.migrationBytesIn != demotedBytes_) {
+        violation(detail::formatString(
+            "slow tier migration-in %llu != traced demotions %llu",
+            static_cast<unsigned long long>(
+                slow_tier.migrationBytesIn),
+            static_cast<unsigned long long>(demotedBytes_)));
+    }
+    if (slow_tier.migrationBytesOut != promotedBytes_) {
+        violation(detail::formatString(
+            "slow tier migration-out %llu != traced promotions %llu",
+            static_cast<unsigned long long>(
+                slow_tier.migrationBytesOut),
+            static_cast<unsigned long long>(promotedBytes_)));
+    }
+}
+
+} // namespace thermostat

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Lifecycle auditor: turns the event trace into correctness tooling.
+ *
+ * Subscribed as the EventTracer's sink, it replays the page
+ * lifecycle state machine and flags protocol violations:
+ *
+ *  - a page demoted twice with no intervening promotion;
+ *  - a promotion of a page that is not in slow memory;
+ *  - poisoning an already-poisoned page / unpoisoning a
+ *    non-poisoned one;
+ *  - a *huge* page poisoned while resident in fast memory (the
+ *    design only poisons whole 2MB pages once they live in slow
+ *    memory for mis-classification monitoring, Sec 3.5; profiling
+ *    poison is applied to 4KB mappings only);
+ *  - non-monotonic simulated timestamps.
+ *
+ * finish() cross-checks the stream's migration byte totals against
+ * the migrator's and the slow tier's authoritative accounting, so a
+ * stats-plumbing regression in either surfaces as an audit failure.
+ */
+
+#ifndef THERMOSTAT_OBS_LIFECYCLE_AUDIT_HH
+#define THERMOSTAT_OBS_LIFECYCLE_AUDIT_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/event_trace.hh"
+
+namespace thermostat
+{
+
+struct MigrationStats;
+struct TierStats;
+
+class LifecycleAuditor
+{
+  public:
+    /** Feed one event (wire via EventTracer::setSink). */
+    void onEvent(const TraceEvent &event);
+
+    /**
+     * End-of-run cross-checks against the authoritative accounting:
+     * traced demotion/promotion bytes must equal the migrator's
+     * totals and the slow tier's migration traffic.
+     */
+    void finish(const MigrationStats &migration,
+                const TierStats &slow_tier);
+
+    Count violations() const { return violations_; }
+    bool ok() const { return violations_ == 0; }
+
+    /** First few violation descriptions (capped). */
+    const std::vector<std::string> &messages() const
+    {
+        return messages_;
+    }
+
+    std::uint64_t demotedBytes() const { return demotedBytes_; }
+    std::uint64_t promotedBytes() const { return promotedBytes_; }
+    std::uint64_t eventsSeen() const { return eventsSeen_; }
+
+  private:
+    struct PageState
+    {
+        bool inSlow = false;
+        bool poisoned = false;
+    };
+
+    void violation(const std::string &msg);
+
+    std::unordered_map<Addr, PageState> pages_;
+    std::uint64_t demotedBytes_ = 0;
+    std::uint64_t promotedBytes_ = 0;
+    std::uint64_t eventsSeen_ = 0;
+    Ns lastSimTime_ = 0;
+    Count violations_ = 0;
+    std::vector<std::string> messages_;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_OBS_LIFECYCLE_AUDIT_HH

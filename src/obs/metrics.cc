@@ -1,0 +1,186 @@
+#include "obs/metrics.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace thermostat
+{
+
+void
+MetricRegistry::checkName(const std::string &name) const
+{
+    TSTAT_ASSERT(!name.empty(), "metric with empty name");
+    if (entries_.count(name)) {
+        TSTAT_PANIC("metric '%s' registered twice", name.c_str());
+    }
+    // A name may not be an interior node of another name (and vice
+    // versa), or the hierarchical dump would need a key to be both a
+    // leaf and an object.
+    const std::string prefix = name + ".";
+    const auto after = entries_.lower_bound(prefix);
+    if (after != entries_.end() &&
+        after->first.compare(0, prefix.size(), prefix) == 0) {
+        TSTAT_PANIC("metric '%s' conflicts with '%s'", name.c_str(),
+                    after->first.c_str());
+    }
+    for (std::size_t dot = name.find('.'); dot != std::string::npos;
+         dot = name.find('.', dot + 1)) {
+        if (entries_.count(name.substr(0, dot))) {
+            TSTAT_PANIC("metric '%s' conflicts with '%s'",
+                        name.c_str(), name.substr(0, dot).c_str());
+        }
+    }
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    checkName(name);
+    Entry &e = entries_[name];
+    e.counter = std::make_unique<Counter>();
+    return *e.counter;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    checkName(name);
+    Entry &e = entries_[name];
+    e.gauge = std::make_unique<Gauge>();
+    return *e.gauge;
+}
+
+Log2Histogram &
+MetricRegistry::histogram(const std::string &name)
+{
+    checkName(name);
+    Entry &e = entries_[name];
+    e.histogram = std::make_unique<Log2Histogram>();
+    return *e.histogram;
+}
+
+void
+MetricRegistry::addCallback(const std::string &name, Callback fn)
+{
+    TSTAT_ASSERT(fn != nullptr, "null metric callback for '%s'",
+                 name.c_str());
+    checkName(name);
+    entries_[name].callback = std::move(fn);
+}
+
+bool
+MetricRegistry::contains(const std::string &name) const
+{
+    return entries_.count(name) != 0;
+}
+
+std::vector<MetricSample>
+MetricRegistry::snapshot() const
+{
+    std::vector<MetricSample> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, e] : entries_) {
+        if (e.counter) {
+            out.push_back(
+                {name, static_cast<double>(e.counter->value())});
+        } else if (e.gauge) {
+            out.push_back({name, e.gauge->value()});
+        } else if (e.histogram) {
+            // Keep the flattened view name-sorted: "p50" < "p99" <
+            // "samples".
+            out.push_back(
+                {name + ".p50",
+                 static_cast<double>(e.histogram->percentile(0.5))});
+            out.push_back(
+                {name + ".p99",
+                 static_cast<double>(e.histogram->percentile(0.99))});
+            out.push_back(
+                {name + ".samples",
+                 static_cast<double>(e.histogram->totalSamples())});
+        } else {
+            out.push_back({name, e.callback()});
+        }
+    }
+    return out;
+}
+
+void
+MetricRegistry::reset()
+{
+    for (auto &[name, e] : entries_) {
+        (void)name;
+        if (e.counter) {
+            e.counter->reset();
+        } else if (e.gauge) {
+            e.gauge->reset();
+        } else if (e.histogram) {
+            e.histogram->reset();
+        }
+    }
+}
+
+std::string
+MetricRegistry::dumpText() const
+{
+    std::ostringstream os;
+    for (const MetricSample &s : snapshot()) {
+        os << s.name << " " << jsonNumber(s.value) << "\n";
+    }
+    return os.str();
+}
+
+std::string
+MetricRegistry::dumpJson() const
+{
+    // The snapshot is name-sorted, so sibling leaves of one subtree
+    // are adjacent: walk the list keeping a stack of open objects
+    // equal to the current name's ancestor path.
+    const std::vector<MetricSample> flat = snapshot();
+    JsonWriter w;
+    w.beginObject();
+    std::vector<std::string> stack;
+
+    auto split = [](const std::string &name) {
+        std::vector<std::string> parts;
+        std::size_t start = 0;
+        for (std::size_t dot = name.find('.');
+             dot != std::string::npos; dot = name.find('.', start)) {
+            parts.push_back(name.substr(start, dot - start));
+            start = dot + 1;
+        }
+        parts.push_back(name.substr(start));
+        return parts;
+    };
+
+    for (const MetricSample &s : flat) {
+        const std::vector<std::string> parts = split(s.name);
+        // Pop to the common ancestor.
+        std::size_t common = 0;
+        while (common < stack.size() && common + 1 < parts.size() &&
+               stack[common] == parts[common]) {
+            ++common;
+        }
+        while (stack.size() > common) {
+            w.endObject();
+            stack.pop_back();
+        }
+        // Open intermediate objects down to the leaf's parent.
+        for (std::size_t i = stack.size(); i + 1 < parts.size(); ++i) {
+            w.key(parts[i]);
+            w.beginObject();
+            stack.push_back(parts[i]);
+        }
+        w.key(parts.back());
+        w.value(s.value);
+    }
+    while (!stack.empty()) {
+        w.endObject();
+        stack.pop_back();
+    }
+    w.endObject();
+    return w.str();
+}
+
+} // namespace thermostat

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unified metric registry (paper-agnostic observability layer).
+ *
+ * Every subsystem registers its counters under a hierarchical dotted
+ * name ("machine.tlb.l1.hits") instead of hand-plumbing bespoke
+ * structs through SimResult.  Four metric flavours:
+ *
+ *  - Counter:  owned monotonically increasing integer, cheap inline
+ *              increment on hot paths.
+ *  - Gauge:    owned settable double (levels, fractions).
+ *  - Callback: a lazily evaluated double read from an existing
+ *              component at snapshot time; this is how the legacy
+ *              *Stats structs are exposed without restructuring the
+ *              components that own them.
+ *  - Histogram: a Log2Histogram; snapshots expand it into
+ *              .samples/.p50/.p99 leaves.
+ *
+ * Names form a tree: registering both "a.b" and "a.b.c" is rejected
+ * so the hierarchical JSON dump is always well-formed.  Inspired by
+ * gem5's stats package (see common/stats.hh) and ChampSim's
+ * per-component counter dumps.
+ */
+
+#ifndef THERMOSTAT_OBS_METRICS_HH
+#define THERMOSTAT_OBS_METRICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace thermostat
+{
+
+/** Owned monotonically increasing integer metric. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t delta = 1) { value_ += delta; }
+    Counter &operator++() { ++value_; return *this; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Owned settable scalar metric. */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    void add(double delta) { value_ += delta; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** One flattened (name, value) pair produced by a snapshot. */
+struct MetricSample
+{
+    std::string name;
+    double value;
+};
+
+/**
+ * The registry: owns Counters/Gauges/Histograms, references
+ * callbacks, snapshots and dumps the lot.  Registration of a
+ * duplicate or tree-conflicting name panics (a wiring bug).
+ */
+class MetricRegistry
+{
+  public:
+    using Callback = std::function<double()>;
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Log2Histogram &histogram(const std::string &name);
+    void addCallback(const std::string &name, Callback fn);
+
+    bool contains(const std::string &name) const;
+    std::size_t size() const { return entries_.size(); }
+
+    /**
+     * Flattened name-sorted view of every metric's current value.
+     * Histograms expand to <name>.samples/.p50/.p99.
+     */
+    std::vector<MetricSample> snapshot() const;
+
+    /** Reset owned metrics; callback-backed metrics are untouched. */
+    void reset();
+
+    /** "name value" lines, name-sorted (for console dumps/tests). */
+    std::string dumpText() const;
+
+    /** Hierarchical JSON object keyed by dotted-name components. */
+    std::string dumpJson() const;
+
+  private:
+    struct Entry
+    {
+        // Exactly one is set.
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Log2Histogram> histogram;
+        Callback callback;
+    };
+
+    /** Panics if @p name collides with an existing entry. */
+    void checkName(const std::string &name) const;
+
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_OBS_METRICS_HH

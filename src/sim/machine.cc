@@ -1,5 +1,7 @@
 #include "sim/machine.hh"
 
+#include "obs/metrics.hh"
+
 #include <cmath>
 
 #include "common/logging.hh"
@@ -157,6 +159,38 @@ Machine::takeSlowAccessCount()
     const Count out = slowAccessWindow_;
     slowAccessWindow_ = 0;
     return out;
+}
+
+void
+Machine::registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const
+{
+    registry.addCallback(prefix + ".accesses", [this] {
+        return static_cast<double>(stats_.accesses);
+    });
+    registry.addCallback(prefix + ".line_accesses", [this] {
+        return static_cast<double>(stats_.lineAccesses);
+    });
+    registry.addCallback(prefix + ".cm_faults", [this] {
+        return static_cast<double>(stats_.cmFaults);
+    });
+    registry.addCallback(prefix + ".weighted_accesses", [this] {
+        return static_cast<double>(stats_.weightedAccesses);
+    });
+    registry.addCallback(prefix + ".weighted_slow_accesses", [this] {
+        return static_cast<double>(stats_.weightedSlowAccesses);
+    });
+    registry.addCallback(prefix + ".actual_ns", [this] {
+        return static_cast<double>(stats_.actualTime);
+    });
+    registry.addCallback(prefix + ".baseline_ns", [this] {
+        return static_cast<double>(stats_.baselineTime);
+    });
+    tlb_.registerMetrics(registry, prefix + ".tlb");
+    llc_.registerMetrics(registry, prefix + ".llc");
+    walker_.registerMetrics(registry, prefix + ".walker");
+    memory_.registerMetrics(registry, prefix + ".memory");
+    trap_.registerMetrics(registry, prefix + ".trap");
 }
 
 } // namespace thermostat

@@ -37,6 +37,8 @@
 namespace thermostat
 {
 
+class MetricRegistry;
+
 /** How slow memory is realized (paper Sec 4.2). */
 enum class SlowEmuMode : std::uint8_t
 {
@@ -138,6 +140,14 @@ class Machine
     LastLevelCache &llc() { return llc_; }
     BadgerTrap &trap() { return trap_; }
     const MachineStats &stats() const { return stats_; }
+
+    /**
+     * Register every memory-path component's counters under
+     * "<prefix>.": tlb.l1/l2, llc, walker, memory.fast/slow, trap,
+     * plus the machine-level access counters.
+     */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
 
     /** Weighted slow-tier accesses since the last call. */
     Count takeSlowAccessCount();

@@ -1,6 +1,7 @@
 #include "sim/simulation.hh"
 
 #include "common/logging.hh"
+#include "obs/json.hh"
 
 namespace thermostat
 {
@@ -17,12 +18,32 @@ Simulation::Simulation(std::unique_ptr<Workload> workload,
       engine_(cgroup_, machine_.space(), machine_.trap(), kstaled_,
               migrator_, Rng(config.seed ^ 0x7e47a11ULL)),
       rng_(config.seed),
-      profileRng_(config.seed ^ 0x5aadddULL)
+      profileRng_(config.seed ^ 0x5aadddULL),
+      tracer_(config.traceCapacity)
 {
     TSTAT_ASSERT(workload_ != nullptr, "Simulation without workload");
     engine_.setMarkingQuantum(
         static_cast<double>(config.profileWeight));
     workload_->setup(machine_.space());
+
+    // Observability: the auditor sees the full event stream (the
+    // ring mask only filters what is kept for export).
+    tracer_.setMask(config.traceMask);
+    tracer_.setSink(
+        [this](const TraceEvent &ev) { auditor_.onEvent(ev); });
+    engine_.setTracer(&tracer_);
+    migrator_.setTracer(&tracer_);
+    machine_.trap().setTracer(&tracer_);
+    khugepaged_.setTracer(&tracer_);
+    khugepaged_.setSkipFilter([this](Addr range) {
+        return engine_.isProfilingRange(range);
+    });
+
+    machine_.registerMetrics(metrics_, "machine");
+    engine_.registerMetrics(metrics_, "engine");
+    migrator_.registerMetrics(metrics_, "migrator");
+    kstaled_.registerMetrics(metrics_, "kstaled");
+    khugepaged_.registerMetrics(metrics_, "khugepaged");
 }
 
 void
@@ -51,6 +72,7 @@ Simulation::recordFootprint(SimResult &result, Ns now)
 SimResult
 Simulation::run()
 {
+    snapshots_.clear();
     SimResult result;
     result.workload = workload_->name();
     const Ns duration = config_.duration != 0
@@ -88,11 +110,17 @@ Simulation::run()
     for (Ns now = 0; now < warmup + duration; now += config_.epoch) {
         const bool recording = now >= warmup;
         const Ns rec_time = recording ? now - warmup : 0;
-        workload_->advance(now, machine_.space());
+        tracer_.setSimTime(now);
+        {
+            TraceScope scope(&tracer_, "workload_advance");
+            workload_->advance(now, machine_.space());
+        }
         if (config_.thermostatEnabled) {
+            TraceScope scope(&tracer_, "engine_tick");
             engine_.tick(now);
         }
         if (config_.khugepagedEnabled) {
+            TraceScope scope(&tracer_, "khugepaged_tick");
             khugepaged_.tick(now);
         }
         if (hook_) {
@@ -105,13 +133,16 @@ Simulation::run()
 
         Ns epoch_actual = 0;
         Ns epoch_baseline = 0;
-        for (unsigned i = 0; i < config_.samplesPerEpoch; ++i) {
-            const MemRef ref = workload_->sample(rng_);
-            const AccessOutcome out =
-                machine_.access(ref.addr, ref.type, weight,
-                                ref.burstLines);
-            epoch_actual += out.actualLatency;
-            epoch_baseline += out.baselineLatency;
+        {
+            TraceScope scope(&tracer_, "timing_stream");
+            for (unsigned i = 0; i < config_.samplesPerEpoch; ++i) {
+                const MemRef ref = workload_->sample(rng_);
+                const AccessOutcome out =
+                    machine_.access(ref.addr, ref.type, weight,
+                                    ref.burstLines);
+                epoch_actual += out.actualLatency;
+                epoch_baseline += out.baselineLatency;
+            }
         }
         // Profiling stream: fine-grained accesses that maintain
         // Accessed bits and poisoned-page counters without touching
@@ -121,38 +152,41 @@ Simulation::run()
         const auto pebs_budget = static_cast<Count>(
             config_.pebsMaxRecordsPerSec * epoch_sec);
         Count pebs_records = 0;
-        for (std::uint64_t i = 0; i < profile_samples; ++i) {
-            const MemRef ref = workload_->sample(profileRng_);
-            WalkResult wr =
-                machine_.space().pageTable().walk(ref.addr);
-            TSTAT_ASSERT(wr.mapped(), "profile ref unmapped");
-            wr.pte->setAccessed();
-            if (ref.type == AccessType::Write) {
-                wr.pte->setDirty();
+        {
+            TraceScope scope(&tracer_, "profile_stream");
+            for (std::uint64_t i = 0; i < profile_samples; ++i) {
+                const MemRef ref = workload_->sample(profileRng_);
+                WalkResult wr =
+                    machine_.space().pageTable().walk(ref.addr);
+                TSTAT_ASSERT(wr.mapped(), "profile ref unmapped");
+                wr.pte->setAccessed();
+                if (ref.type == AccessType::Write) {
+                    wr.pte->setDirty();
+                }
+                if (!wr.pte->poisoned()) {
+                    continue;
+                }
+                const Addr base = wr.huge ? alignDown2M(ref.addr)
+                                          : alignDown4K(ref.addr);
+                if (!pebs) {
+                    machine_.trap().recordAccess(base,
+                                                 config_.profileWeight);
+                    continue;
+                }
+                // PEBS: one record per pebsPeriod monitored accesses,
+                // silently dropped beyond the record-rate budget --
+                // which is exactly why 1000Hz cannot support 30K
+                // accesses/sec of monitoring (Sec 6.1.2).
+                if (++pebsMonitoredHits_ % config_.pebsPeriod != 0) {
+                    continue;
+                }
+                if (pebs_records >= pebs_budget) {
+                    continue;
+                }
+                ++pebs_records;
+                machine_.trap().recordAccess(
+                    base, config_.profileWeight * config_.pebsPeriod);
             }
-            if (!wr.pte->poisoned()) {
-                continue;
-            }
-            const Addr base = wr.huge ? alignDown2M(ref.addr)
-                                      : alignDown4K(ref.addr);
-            if (!pebs) {
-                machine_.trap().recordAccess(base,
-                                             config_.profileWeight);
-                continue;
-            }
-            // PEBS: one record per pebsPeriod monitored accesses,
-            // silently dropped beyond the record-rate budget --
-            // which is exactly why 1000Hz cannot support 30K
-            // accesses/sec of monitoring (Sec 6.1.2).
-            if (++pebsMonitoredHits_ % config_.pebsPeriod != 0) {
-                continue;
-            }
-            if (pebs_records >= pebs_budget) {
-                continue;
-            }
-            ++pebs_records;
-            machine_.trap().recordAccess(
-                base, config_.profileWeight * config_.pebsPeriod);
         }
 
         const Count slow_accesses = machine_.takeSlowAccessCount();
@@ -177,6 +211,7 @@ Simulation::run()
 
         if (rec_time >= next_report) {
             recordFootprint(result, rec_time);
+            snapshots_.push_back({rec_time, metrics_.snapshot()});
             const std::uint64_t rss = machine_.space().rssBytes();
             if (rss > 0) {
                 cold_frac_sum +=
@@ -224,6 +259,17 @@ Simulation::run()
             ? static_cast<double>(overhead_total) / baseline_total
             : 0.0;
 
+    // Lifecycle audit: replays of the event stream must agree with
+    // the migrator's and the slow tier's own accounting.
+    auditor_.finish(migrator_.stats(),
+                    machine_.memory().slow().stats());
+    result.auditViolations = auditor_.violations();
+    if (!auditor_.ok()) {
+        for (const std::string &msg : auditor_.messages()) {
+            TSTAT_WARN("lifecycle audit: %s", msg.c_str());
+        }
+    }
+
     result.migration = migrator_.stats();
     result.engine = engine_.stats();
     result.trap = machine_.trap().stats();
@@ -233,6 +279,34 @@ Simulation::run()
     result.llc = machine_.llc().stats();
     result.walker = machine_.walker().stats();
     return result;
+}
+
+std::string
+Simulation::metricsJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("final");
+    w.raw(metrics_.dumpJson());
+    w.key("snapshots");
+    w.beginArray();
+    for (const MetricSnapshot &snap : snapshots_) {
+        w.beginObject();
+        w.key("time_sec");
+        w.value(static_cast<double>(snap.time) /
+                static_cast<double>(kNsPerSec));
+        w.key("metrics");
+        w.beginObject();
+        for (const MetricSample &sample : snap.values) {
+            w.key(sample.name);
+            w.value(sample.value);
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
 }
 
 } // namespace thermostat

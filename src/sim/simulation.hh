@@ -23,6 +23,9 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "core/thermostat.hh"
+#include "obs/event_trace.hh"
+#include "obs/lifecycle_audit.hh"
+#include "obs/metrics.hh"
 #include "sim/machine.hh"
 #include "sys/khugepaged.hh"
 #include "sys/kstaled.hh"
@@ -83,6 +86,22 @@ struct SimConfig
 
     /** Footprint/timeseries sampling interval. */
     Ns reportInterval = 5 * kNsPerSec;
+
+    /** Event-trace ring capacity (events kept for export). */
+    std::size_t traceCapacity = 1u << 16;
+
+    /**
+     * Which event categories the ring records (kEv* bits).  The
+     * lifecycle auditor always sees the full stream regardless.
+     */
+    std::uint32_t traceMask = kEvAll;
+};
+
+/** One per-report-interval metric snapshot. */
+struct MetricSnapshot
+{
+    Ns time = 0;
+    std::vector<MetricSample> values;
 };
 
 /** Everything a run produces. */
@@ -125,6 +144,9 @@ struct SimResult
     /** Engine/monitoring CPU overhead relative to baseline time. */
     double monitorOverheadFraction = 0.0;
 
+    /** Lifecycle-audit verdict (0 = event stream consistent). */
+    Count auditViolations = 0;
+
     MigrationStats migration;
     EngineStats engine;
     BadgerTrapStats trap;
@@ -155,6 +177,23 @@ class Simulation
 
     Machine &machine() { return machine_; }
     Workload &workload() { return *workload_; }
+    MetricRegistry &metrics() { return metrics_; }
+    const MetricRegistry &metrics() const { return metrics_; }
+    EventTracer &tracer() { return tracer_; }
+    const LifecycleAuditor &auditor() const { return auditor_; }
+
+    /** Per-report-interval metric snapshots captured by run(). */
+    const std::vector<MetricSnapshot> &snapshots() const
+    {
+        return snapshots_;
+    }
+
+    /**
+     * Full metrics dump: {"final": <hierarchical metrics>,
+     * "snapshots": [{"time_sec": t, "metrics": {flat}}]}.
+     */
+    std::string metricsJson() const;
+
     Kstaled &kstaled() { return kstaled_; }
     Khugepaged &khugepaged() { return khugepaged_; }
     PageMigrator &migrator() { return migrator_; }
@@ -177,6 +216,11 @@ class Simulation
     Rng profileRng_;
     Count pebsMonitoredHits_ = 0;
     EpochHook hook_;
+
+    MetricRegistry metrics_;
+    EventTracer tracer_;
+    LifecycleAuditor auditor_;
+    std::vector<MetricSnapshot> snapshots_;
 };
 
 } // namespace thermostat

@@ -1,6 +1,7 @@
 #include "sys/badger_trap.hh"
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace thermostat
 {
@@ -22,6 +23,10 @@ BadgerTrap::poison(Addr page_base)
     counts_[page_base] = 0;
     ++stats_.poisons;
     stats_.maintenanceTime += config_.poisonCost;
+    if (tracer_) {
+        tracer_->record(EventKind::PagePoisoned, tracer_->simTime(),
+                        page_base, wr.huge);
+    }
     return config_.poisonCost;
 }
 
@@ -34,6 +39,10 @@ BadgerTrap::unpoison(Addr page_base)
     wr.pte->unpoison();
     ++stats_.unpoisons;
     stats_.maintenanceTime += config_.poisonCost;
+    if (tracer_) {
+        tracer_->record(EventKind::PageUnpoisoned,
+                        tracer_->simTime(), page_base, wr.huge);
+    }
     return config_.poisonCost;
 }
 
@@ -77,6 +86,33 @@ void
 BadgerTrap::resetAllCounts()
 {
     counts_.clear();
+}
+
+void
+BadgerTrap::registerMetrics(MetricRegistry &registry,
+                            const std::string &prefix) const
+{
+    registry.addCallback(prefix + ".faults", [this] {
+        return static_cast<double>(stats_.faults);
+    });
+    registry.addCallback(prefix + ".weighted_faults", [this] {
+        return static_cast<double>(stats_.weightedFaults);
+    });
+    registry.addCallback(prefix + ".poisons", [this] {
+        return static_cast<double>(stats_.poisons);
+    });
+    registry.addCallback(prefix + ".unpoisons", [this] {
+        return static_cast<double>(stats_.unpoisons);
+    });
+    registry.addCallback(prefix + ".handler_ns", [this] {
+        return static_cast<double>(stats_.handlerTime);
+    });
+    registry.addCallback(prefix + ".maintenance_ns", [this] {
+        return static_cast<double>(stats_.maintenanceTime);
+    });
+    registry.addCallback(prefix + ".tracked_pages", [this] {
+        return static_cast<double>(counts_.size());
+    });
 }
 
 } // namespace thermostat

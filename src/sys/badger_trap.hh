@@ -19,11 +19,14 @@
 #include <unordered_map>
 
 #include "common/types.hh"
+#include "obs/event_trace.hh"
 #include "tlb/tlb.hh"
 #include "vm/address_space.hh"
 
 namespace thermostat
 {
+
+class MetricRegistry;
 
 /** BadgerTrap cost/config knobs. */
 struct BadgerTrapConfig
@@ -108,6 +111,17 @@ class BadgerTrap
     const BadgerTrapStats &stats() const { return stats_; }
     const BadgerTrapConfig &config() const { return config_; }
 
+    /**
+     * Attach a lifecycle tracer: poison()/unpoison() emit
+     * PagePoisoned/PageUnpoisoned stamped with the tracer's ambient
+     * simulated time (these APIs carry no timestamp).
+     */
+    void setTracer(EventTracer *tracer) { tracer_ = tracer; }
+
+    /** Expose the counters under "<prefix>." in @p registry. */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
+
     /** Number of pages currently tracked (poisoned at some point). */
     std::size_t trackedPages() const { return counts_.size(); }
 
@@ -116,6 +130,7 @@ class BadgerTrap
     TlbHierarchy &tlb_;
     BadgerTrapConfig config_;
     BadgerTrapStats stats_;
+    EventTracer *tracer_ = nullptr;
     std::unordered_map<Addr, Count> counts_;
 };
 

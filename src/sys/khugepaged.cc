@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace thermostat
 {
@@ -17,6 +18,9 @@ Khugepaged::Khugepaged(AddressSpace &space, TlbHierarchy &tlb,
 void
 Khugepaged::tick(Ns now)
 {
+    if (tracer_) {
+        tracer_->setSimTime(now);
+    }
     while (now >= nextPass_) {
         runPass();
         nextPass_ += config_.scanPeriod;
@@ -59,6 +63,9 @@ Khugepaged::runPass()
         if (poisoned_ranges.find(range) != poisoned_ranges.end()) {
             continue;
         }
+        if (skip_ && skip_(range)) {
+            continue;
+        }
         // collapseHuge() enforces the real preconditions: all 512
         // present, physically contiguous, uniform flags.
         if (space_.collapseHuge(range)) {
@@ -66,9 +73,31 @@ Khugepaged::runPass()
             stats_.totalCost += config_.perCollapseCost;
             ++stats_.collapses;
             ++collapsed;
+            if (tracer_) {
+                tracer_->record(EventKind::PageCollapsed,
+                                tracer_->simTime(), range, true);
+            }
         }
     }
     return collapsed;
+}
+
+void
+Khugepaged::registerMetrics(MetricRegistry &registry,
+                            const std::string &prefix) const
+{
+    registry.addCallback(prefix + ".passes", [this] {
+        return static_cast<double>(stats_.passes);
+    });
+    registry.addCallback(prefix + ".ranges_scanned", [this] {
+        return static_cast<double>(stats_.rangesScanned);
+    });
+    registry.addCallback(prefix + ".collapses", [this] {
+        return static_cast<double>(stats_.collapses);
+    });
+    registry.addCallback(prefix + ".total_cost_ns", [this] {
+        return static_cast<double>(stats_.totalCost);
+    });
 }
 
 } // namespace thermostat

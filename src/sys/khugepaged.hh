@@ -15,13 +15,18 @@
 #define THERMOSTAT_SYS_KHUGEPAGED_HH
 
 #include <cstdint>
+#include <functional>
+#include <string>
 
 #include "common/types.hh"
+#include "obs/event_trace.hh"
 #include "tlb/tlb.hh"
 #include "vm/address_space.hh"
 
 namespace thermostat
 {
+
+class MetricRegistry;
 
 /** Scan parameters (mirroring khugepaged's pages_to_scan knob). */
 struct KhugepagedConfig
@@ -66,11 +71,35 @@ class Khugepaged
     const KhugepagedStats &stats() const { return stats_; }
     const KhugepagedConfig &config() const { return config_; }
 
+    /**
+     * Attach a lifecycle tracer: successful collapses emit
+     * PageCollapsed stamped with the tracer's ambient simulated
+     * time.
+     */
+    void setTracer(EventTracer *tracer) { tracer_ = tracer; }
+
+    /** Expose the counters under "<prefix>." in @p registry. */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
+
+    /**
+     * Ranges for which @p skip returns true are left alone, like
+     * khugepaged honouring MMF_DISABLE_THP: Thermostat must keep
+     * its sampled splits intact between the split and the poison
+     * stage, a window in which no poisoned PTE marks them yet.
+     */
+    void setSkipFilter(std::function<bool(Addr)> skip)
+    {
+        skip_ = std::move(skip);
+    }
+
   private:
     AddressSpace &space_;
     TlbHierarchy &tlb_;
     KhugepagedConfig config_;
     KhugepagedStats stats_;
+    EventTracer *tracer_ = nullptr;
+    std::function<bool(Addr)> skip_;
     Ns nextPass_ = 0;
 };
 

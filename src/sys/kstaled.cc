@@ -1,5 +1,7 @@
 #include "sys/kstaled.hh"
 
+#include "obs/metrics.hh"
+
 #include "common/logging.hh"
 
 namespace thermostat
@@ -137,6 +139,21 @@ void
 Kstaled::reset()
 {
     pageState_.clear();
+}
+
+void
+Kstaled::registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const
+{
+    registry.addCallback(prefix + ".scan_count", [this] {
+        return static_cast<double>(scanCount_);
+    });
+    registry.addCallback(prefix + ".total_cost_ns", [this] {
+        return static_cast<double>(totalCost_);
+    });
+    registry.addCallback(prefix + ".tracked_pages", [this] {
+        return static_cast<double>(pageState_.size());
+    });
 }
 
 } // namespace thermostat

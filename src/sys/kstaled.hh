@@ -25,6 +25,8 @@
 namespace thermostat
 {
 
+class MetricRegistry;
+
 /** Scanner cost model and hotness definition. */
 struct KstaledConfig
 {
@@ -107,6 +109,10 @@ class Kstaled
 
     /** Scans completed. */
     Count scanCount() const { return scanCount_; }
+
+    /** Expose the counters under "<prefix>." in @p registry. */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
 
     /** Forget all idle state (e.g. after migration reshuffles). */
     void reset();

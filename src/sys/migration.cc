@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace thermostat
 {
@@ -47,6 +48,10 @@ PageMigrator::migrate(Addr vaddr, Tier target, Ns now)
         const auto alloc = memory.allocHuge(target);
         if (!alloc) {
             ++stats_.failedAllocs;
+            if (tracer_) {
+                tracer_->record(EventKind::MigrationFailed, now,
+                                vaddr, true, bytes);
+            }
             return result;
         }
         new_pfn = *alloc;
@@ -54,6 +59,10 @@ PageMigrator::migrate(Addr vaddr, Tier target, Ns now)
         const auto alloc = memory.allocBase(target);
         if (!alloc) {
             ++stats_.failedAllocs;
+            if (tracer_) {
+                tracer_->record(EventKind::MigrationFailed, now,
+                                vaddr, false, bytes);
+            }
             return result;
         }
         new_pfn = *alloc;
@@ -108,10 +117,46 @@ PageMigrator::migrate(Addr vaddr, Tier target, Ns now)
         promotionMeter_.record(now, bytes);
     }
 
+    if (tracer_) {
+        tracer_->record(demotion ? EventKind::PageDemoted
+                                 : EventKind::PagePromoted,
+                        now, vaddr, huge, bytes);
+    }
+
     result.moved = true;
     result.cost = copyCost(bytes);
     stats_.totalCost += result.cost;
     return result;
+}
+
+void
+PageMigrator::registerMetrics(MetricRegistry &registry,
+                              const std::string &prefix) const
+{
+    registry.addCallback(prefix + ".huge_demotions", [this] {
+        return static_cast<double>(stats_.hugeDemotions);
+    });
+    registry.addCallback(prefix + ".base_demotions", [this] {
+        return static_cast<double>(stats_.baseDemotions);
+    });
+    registry.addCallback(prefix + ".huge_promotions", [this] {
+        return static_cast<double>(stats_.hugePromotions);
+    });
+    registry.addCallback(prefix + ".base_promotions", [this] {
+        return static_cast<double>(stats_.basePromotions);
+    });
+    registry.addCallback(prefix + ".bytes_demoted", [this] {
+        return static_cast<double>(stats_.bytesDemoted);
+    });
+    registry.addCallback(prefix + ".bytes_promoted", [this] {
+        return static_cast<double>(stats_.bytesPromoted);
+    });
+    registry.addCallback(prefix + ".failed_allocs", [this] {
+        return static_cast<double>(stats_.failedAllocs);
+    });
+    registry.addCallback(prefix + ".total_cost_ns", [this] {
+        return static_cast<double>(stats_.totalCost);
+    });
 }
 
 } // namespace thermostat

@@ -17,11 +17,14 @@
 #include "cache/llc.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/event_trace.hh"
 #include "tlb/tlb.hh"
 #include "vm/address_space.hh"
 
 namespace thermostat
 {
+
+class MetricRegistry;
 
 /** Migration cost model. */
 struct MigrationConfig
@@ -75,6 +78,17 @@ class PageMigrator
     const MigrationConfig &config() const { return config_; }
 
     /**
+     * Attach a lifecycle tracer: successful moves emit
+     * PageDemoted/PagePromoted (value = bytes), exhausted target
+     * tiers emit MigrationFailed.
+     */
+    void setTracer(EventTracer *tracer) { tracer_ = tracer; }
+
+    /** Expose the counters under "<prefix>." in @p registry. */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
+
+    /**
      * Demotion bandwidth (bytes/sec) in the window since the last
      * call; Table 3's "Migration" column.
      */
@@ -97,6 +111,7 @@ class PageMigrator
     LastLevelCache *llc_;
     MigrationConfig config_;
     MigrationStats stats_;
+    EventTracer *tracer_ = nullptr;
     RateMeter demotionMeter_;  //!< records bytes, not pages
     RateMeter promotionMeter_;
 };

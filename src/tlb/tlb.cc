@@ -1,6 +1,7 @@
 #include "tlb/tlb.hh"
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace thermostat
 {
@@ -184,6 +185,40 @@ TlbHierarchy::flushAll()
 {
     l1_.flushAll();
     l2_.flushAll();
+}
+
+void
+Tlb::registerMetrics(MetricRegistry &registry,
+                     const std::string &prefix) const
+{
+    registry.addCallback(prefix + ".hits", [this] {
+        return static_cast<double>(stats_.hits);
+    });
+    registry.addCallback(prefix + ".misses", [this] {
+        return static_cast<double>(stats_.misses);
+    });
+    registry.addCallback(prefix + ".fills", [this] {
+        return static_cast<double>(stats_.fills);
+    });
+    registry.addCallback(prefix + ".evictions", [this] {
+        return static_cast<double>(stats_.evictions);
+    });
+    registry.addCallback(prefix + ".invalidations", [this] {
+        return static_cast<double>(stats_.invalidations);
+    });
+    registry.addCallback(prefix + ".flushes", [this] {
+        return static_cast<double>(stats_.flushes);
+    });
+    registry.addCallback(prefix + ".miss_ratio",
+                         [this] { return stats_.missRatio(); });
+}
+
+void
+TlbHierarchy::registerMetrics(MetricRegistry &registry,
+                              const std::string &prefix) const
+{
+    l1_.registerMetrics(registry, prefix + ".l1");
+    l2_.registerMetrics(registry, prefix + ".l2");
 }
 
 } // namespace thermostat

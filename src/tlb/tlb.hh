@@ -14,12 +14,15 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
 
 namespace thermostat
 {
+
+class MetricRegistry;
 
 /** One cached translation. */
 struct TlbEntry
@@ -89,6 +92,10 @@ class Tlb
     const TlbStats &stats() const { return stats_; }
     void resetStats() { stats_ = TlbStats(); }
 
+    /** Expose the counters under "<prefix>." in @p registry. */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
+
     /** Number of currently valid entries (for tests). */
     unsigned validCount() const;
 
@@ -132,6 +139,10 @@ class TlbHierarchy
     Tlb &l2() { return l2_; }
     const Tlb &l1() const { return l1_; }
     const Tlb &l2() const { return l2_; }
+
+    /** Register "<prefix>.l1.*" and "<prefix>.l2.*". */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
 
   private:
     Tlb l1_;

@@ -1,5 +1,7 @@
 #include "vm/page_walker.hh"
 
+#include "obs/metrics.hh"
+
 #include <cmath>
 
 namespace thermostat
@@ -57,6 +59,24 @@ PageWalker::walk(PageTable &table, Addr vaddr, AccessType type)
     stats_.tableAccesses += out.accesses;
     stats_.totalWalkTime += out.latency;
     return out;
+}
+
+void
+PageWalker::registerMetrics(MetricRegistry &registry,
+                            const std::string &prefix) const
+{
+    registry.addCallback(prefix + ".walks_4k", [this] {
+        return static_cast<double>(stats_.walks4K);
+    });
+    registry.addCallback(prefix + ".walks_2m", [this] {
+        return static_cast<double>(stats_.walks2M);
+    });
+    registry.addCallback(prefix + ".table_accesses", [this] {
+        return static_cast<double>(stats_.tableAccesses);
+    });
+    registry.addCallback(prefix + ".total_walk_ns", [this] {
+        return static_cast<double>(stats_.totalWalkTime);
+    });
 }
 
 } // namespace thermostat

@@ -238,5 +238,61 @@ TEST(RateMeter, ResetClears)
     EXPECT_EQ(meter.total(), 0u);
 }
 
+TEST(TimeSeries, WindowAverageOfEmptySeriesIsEmpty)
+{
+    TimeSeries ts("x");
+    const TimeSeries avg = ts.windowAverage(10);
+    EXPECT_TRUE(avg.samples().empty());
+}
+
+TEST(TimeSeries, WindowAverageSingleSample)
+{
+    TimeSeries ts("x");
+    ts.append(7, 3.0);
+    const TimeSeries avg = ts.windowAverage(10);
+    ASSERT_EQ(avg.samples().size(), 1u);
+    EXPECT_EQ(avg.samples()[0].time, 5u);
+    EXPECT_DOUBLE_EQ(avg.samples()[0].value, 3.0);
+}
+
+TEST(TimeSeries, WindowAverageZeroWindowReturnsCopy)
+{
+    TimeSeries ts("x");
+    ts.append(1, 1.0);
+    ts.append(2, 4.0);
+    const TimeSeries avg = ts.windowAverage(0);
+    ASSERT_EQ(avg.samples().size(), 2u);
+    EXPECT_EQ(avg.samples()[0].time, 1u);
+    EXPECT_DOUBLE_EQ(avg.samples()[0].value, 1.0);
+    EXPECT_EQ(avg.samples()[1].time, 2u);
+    EXPECT_DOUBLE_EQ(avg.samples()[1].value, 4.0);
+}
+
+TEST(RateMeter, ZeroLengthWindowKeepsPendingEvents)
+{
+    RateMeter meter;
+    meter.record(kNsPerSec, 10);
+    // Re-querying at the window start must not lose the events.
+    EXPECT_DOUBLE_EQ(meter.takeWindowRate(kNsPerSec), 0.0);
+    EXPECT_DOUBLE_EQ(meter.takeWindowRate(2 * kNsPerSec), 10.0);
+}
+
+TEST(RateMeter, EarlyTakeAnchorsWindowStart)
+{
+    RateMeter meter;
+    // Checkpoint before any event: the first window must span from
+    // this call, not from the first event, or the rate is inflated.
+    EXPECT_DOUBLE_EQ(meter.takeWindowRate(0), 0.0);
+    meter.record(kNsPerSec, 10);
+    EXPECT_DOUBLE_EQ(meter.takeWindowRate(2 * kNsPerSec), 5.0);
+}
+
+TEST(RateMeter, BackwardsTimeWindowIsZero)
+{
+    RateMeter meter;
+    meter.record(2 * kNsPerSec, 4);
+    EXPECT_DOUBLE_EQ(meter.takeWindowRate(kNsPerSec), 0.0);
+}
+
 } // namespace
 } // namespace thermostat

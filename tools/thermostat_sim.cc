@@ -6,10 +6,16 @@
  *                  [--warmup 300] [--seed 42] [--mode emu|device] \
  *                  [--counting badgertrap|cmbit|pebs] \
  *                  [--thp on|off] [--spread] [--no-thermostat] \
- *                  [--csv DIR]
+ *                  [--csv DIR] [--metrics-out FILE] \
+ *                  [--trace-out FILE] [--trace-events MASK] \
+ *                  [--log-level quiet|normal|verbose]
  *
  * Prints the run summary and, with --csv, writes the plot series
  * (footprint.csv, slow_rate.csv, device_rate.csv, summary.csv).
+ * --metrics-out dumps the hierarchical metric registry as JSON;
+ * --trace-out exports the page-lifecycle event trace as Chrome
+ * trace-event JSON (open in Perfetto / chrome://tracing), or as
+ * JSONL when FILE ends in .jsonl.
  */
 
 #include <cstdio>
@@ -17,6 +23,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/logging.hh"
 #include "sim/app_tuning.hh"
 #include "sim/csv_export.hh"
 #include "sim/reporter.hh"
@@ -48,7 +55,13 @@ usage(const char *argv0)
         "  --spread           enable Sec 6 page spreading\n"
         "  --khugepaged       run the khugepaged recovery daemon\n"
         "  --no-thermostat    baseline run, engine disabled\n"
-        "  --csv DIR          write plot series into DIR\n",
+        "  --csv DIR          write plot series into DIR\n"
+        "  --metrics-out FILE write metric registry dump (JSON)\n"
+        "  --trace-out FILE   write event trace (Chrome JSON, or\n"
+        "                     JSONL if FILE ends in .jsonl)\n"
+        "  --trace-events M   comma list of sample,poison,classify,\n"
+        "                     migrate,correct,phase | all | none\n"
+        "  --log-level L      quiet | normal | verbose\n",
         argv0);
     std::exit(2);
 }
@@ -78,6 +91,8 @@ main(int argc, char **argv)
     std::string mode = "emu";
     std::string counting = "badgertrap";
     std::string thp = "on";
+    std::string metrics_out;
+    std::string trace_out;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -106,6 +121,21 @@ main(int argc, char **argv)
             enabled = false;
         } else if (!std::strcmp(arg, "--csv")) {
             csv_dir = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--metrics-out")) {
+            metrics_out = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--trace-out")) {
+            trace_out = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--trace-events")) {
+            if (!parseEventMask(nextArg(argc, argv, i),
+                                &config.traceMask)) {
+                usage(argv[0]);
+            }
+        } else if (!std::strcmp(arg, "--log-level")) {
+            LogLevel level;
+            if (!parseLogLevel(nextArg(argc, argv, i), &level)) {
+                usage(argv[0]);
+            }
+            setLogLevel(level);
         } else {
             usage(argv[0]);
         }
@@ -170,7 +200,24 @@ main(int argc, char **argv)
                   std::to_string(r.engine.promotions)});
     table.addRow({"pages spread",
                   std::to_string(r.engine.pagesSpread)});
+    table.addRow({"audit violations",
+                  std::to_string(r.auditViolations)});
     table.print();
+
+    if (!metrics_out.empty() &&
+        !EventTracer::writeFile(metrics_out, sim.metricsJson())) {
+        return 1;
+    }
+    if (!trace_out.empty()) {
+        const bool jsonl =
+            trace_out.size() >= 6 &&
+            trace_out.compare(trace_out.size() - 6, 6, ".jsonl") == 0;
+        const std::string text = jsonl ? sim.tracer().toJsonl()
+                                       : sim.tracer().toChromeTrace();
+        if (!EventTracer::writeFile(trace_out, text)) {
+            return 1;
+        }
+    }
 
     if (!csv_dir.empty()) {
         if (writeSimResultCsv(r, csv_dir)) {
