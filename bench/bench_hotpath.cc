@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Hot-path microbenchmark: host-side accesses/sec through
+ * `Machine::access` under the access mixes that dominate artifact
+ * regeneration, plus one end-to-end Simulation epoch loop.  Emits
+ * BENCH_hotpath.json so the perf trajectory is tracked from PR to
+ * PR (the acceptance gate compares against the recorded pre-PR
+ * baseline).
+ *
+ * Scenarios:
+ *  - tlb_hit:     small hot set, L1 TLB + LLC hits (fast path).
+ *  - tlb_miss_4k: large 4KB-mapped footprint, walks + LLC misses.
+ *  - poisoned:    BadgerTrap faults on a monitored working set.
+ *  - slow_tier:   LLC misses served by the slow device model.
+ *  - sim_epoch:   full Simulation timing-stream epochs (web-search).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "obs/json.hh"
+#include "sys/migration.hh"
+
+using namespace thermostat;
+using namespace thermostat::bench;
+
+namespace
+{
+
+struct ScenarioResult
+{
+    std::string name;
+    std::uint64_t accesses = 0;
+    double seconds = 0.0;
+
+    double
+    accessesPerSec() const
+    {
+        return seconds > 0.0
+                   ? static_cast<double>(accesses) / seconds
+                   : 0.0;
+    }
+};
+
+MachineConfig
+hotpathConfig()
+{
+    MachineConfig config;
+    config.fastTier = TierConfig::dram(2ULL << 30);
+    config.slowTier = TierConfig::slow(2ULL << 30);
+    config.llc.sizeBytes = 8_MiB;
+    return config;
+}
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now()
+                   .time_since_epoch())
+        .count();
+}
+
+/** Best-of-3 timing of @p body(accesses). */
+template <typename Body>
+ScenarioResult
+timeScenario(const std::string &name, std::uint64_t accesses,
+             Body &&body)
+{
+    ScenarioResult result;
+    result.name = name;
+    result.accesses = accesses;
+    result.seconds = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+        const double t0 = now();
+        body(accesses);
+        const double elapsed = now() - t0;
+        if (elapsed < result.seconds) {
+            result.seconds = elapsed;
+        }
+    }
+    std::printf("  %-12s %12llu accesses  %8.3f s  %12.0f/s\n",
+                name.c_str(),
+                static_cast<unsigned long long>(accesses),
+                result.seconds, result.accessesPerSec());
+    return result;
+}
+
+ScenarioResult
+benchTlbHit(std::uint64_t accesses)
+{
+    Machine machine(hotpathConfig());
+    const Addr heap = machine.space().mapRegion("heap", 64_MiB);
+    Rng rng(1);
+    return timeScenario("tlb_hit", accesses, [&](std::uint64_t n) {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const Addr addr =
+                heap + (rng.next() & (1_MiB - 1) & ~Addr{63});
+            machine.access(addr, AccessType::Read, 1, 4);
+        }
+    });
+}
+
+ScenarioResult
+benchTlbMiss4K(std::uint64_t accesses)
+{
+    Machine machine(hotpathConfig());
+    // 4KB mappings: 512MB = 128K leaves, far beyond TLB reach.
+    const Addr heap = machine.space().mapRegion(
+        "heap", 512_MiB, 0, /*thp=*/false);
+    Rng rng(2);
+    return timeScenario(
+        "tlb_miss_4k", accesses, [&](std::uint64_t n) {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                const Addr addr =
+                    heap + (rng.next() & (512_MiB - 1) & ~Addr{63});
+                machine.access(addr,
+                               (i & 7) == 0 ? AccessType::Write
+                                            : AccessType::Read,
+                               1, 4);
+            }
+        });
+}
+
+ScenarioResult
+benchPoisoned(std::uint64_t accesses)
+{
+    Machine machine(hotpathConfig());
+    const Addr heap = machine.space().mapRegion("heap", 64_MiB);
+    // Poison every huge page: every TLB miss faults.
+    for (Addr base = heap; base < heap + 64_MiB;
+         base += kPageSize2M) {
+        machine.trap().poison(base);
+    }
+    Rng rng(3);
+    return timeScenario(
+        "poisoned", accesses, [&](std::uint64_t n) {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                const Addr addr =
+                    heap + (rng.next() & (64_MiB - 1) & ~Addr{63});
+                // Shoot down so each access replays the fault path.
+                machine.tlb().invalidatePage(addr);
+                machine.access(addr, AccessType::Read, 1, 2);
+            }
+        });
+}
+
+ScenarioResult
+benchSlowTier(std::uint64_t accesses)
+{
+    MachineConfig config = hotpathConfig();
+    config.slowMode = SlowEmuMode::Device;
+    Machine machine(config);
+    const Addr cold = machine.space().mapRegion("cold", 256_MiB);
+    // Demote the whole region so every access hits the slow tier.
+    PageMigrator migrator(machine.space(), machine.tlb(),
+                          &machine.llc());
+    for (Addr base = cold; base < cold + 256_MiB;
+         base += kPageSize2M) {
+        migrator.migrate(base, Tier::Slow, 0);
+    }
+    Rng rng(4);
+    return timeScenario(
+        "slow_tier", accesses, [&](std::uint64_t n) {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                const Addr addr =
+                    cold + (rng.next() & (256_MiB - 1) & ~Addr{63});
+                machine.access(addr, AccessType::Read, 1, 4);
+            }
+        });
+}
+
+ScenarioResult
+benchSimEpoch(std::uint64_t accesses)
+{
+    SimConfig config = standardConfig("web-search", 3.0, 0);
+    const auto epochs = static_cast<Ns>(
+        accesses / config.samplesPerEpoch + 1);
+    config.duration = epochs * config.epoch;
+    ScenarioResult result;
+    result.name = "sim_epoch";
+    result.accesses = epochs * config.samplesPerEpoch;
+    result.seconds = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+        Simulation sim(makeWorkload("web-search", 42), config);
+        const double t0 = now();
+        sim.run();
+        const double elapsed = now() - t0;
+        if (elapsed < result.seconds) {
+            result.seconds = elapsed;
+        }
+    }
+    std::printf("  %-12s %12llu accesses  %8.3f s  %12.0f/s\n",
+                result.name.c_str(),
+                static_cast<unsigned long long>(result.accesses),
+                result.seconds, result.accessesPerSec());
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = quickMode(argc, argv);
+    std::string out_path = "BENCH_hotpath.json";
+    std::string only;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--out") {
+            out_path = argv[i + 1];
+        }
+        if (std::string(argv[i]) == "--only") {
+            only = argv[i + 1];
+        }
+    }
+    banner("Hot-path microbenchmark: Machine::access throughput",
+           "simulator substrate (no paper figure)", quick);
+
+    const std::uint64_t scale = quick ? 1 : 4;
+    struct Scenario
+    {
+        const char *name;
+        ScenarioResult (*run)(std::uint64_t);
+        std::uint64_t accesses;
+    };
+    const Scenario scenarios[] = {
+        {"tlb_hit", benchTlbHit, scale * 2'000'000},
+        {"tlb_miss_4k", benchTlbMiss4K, scale * 1'000'000},
+        {"poisoned", benchPoisoned, scale * 500'000},
+        {"slow_tier", benchSlowTier, scale * 1'000'000},
+        {"sim_epoch", benchSimEpoch, scale * 200'000},
+    };
+    std::vector<ScenarioResult> results;
+    for (const Scenario &s : scenarios) {
+        if (!only.empty() && only != s.name) {
+            continue;
+        }
+        results.push_back(s.run(s.accesses));
+    }
+
+    double total_accesses = 0.0;
+    double total_seconds = 0.0;
+    for (const ScenarioResult &r : results) {
+        total_accesses += static_cast<double>(r.accesses);
+        total_seconds += r.seconds;
+    }
+    const double aggregate =
+        total_seconds > 0.0 ? total_accesses / total_seconds : 0.0;
+    std::printf("\naggregate: %.0f accesses/sec\n", aggregate);
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("bench");
+    w.value("bench_hotpath");
+    w.key("quick");
+    w.value(quick);
+    w.key("aggregate_accesses_per_sec");
+    w.value(aggregate);
+    w.key("scenarios");
+    w.beginArray();
+    for (const ScenarioResult &r : results) {
+        w.beginObject();
+        w.key("name");
+        w.value(r.name);
+        w.key("accesses");
+        w.value(r.accesses);
+        w.key("seconds");
+        w.value(r.seconds);
+        w.key("accesses_per_sec");
+        w.value(r.accessesPerSec());
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    std::ofstream out(out_path);
+    out << w.str() << "\n";
+    std::printf("wrote %s\n", out_path.c_str());
+    return out.good() ? 0 : 1;
+}

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "sweep_runner.hh"
 
 using namespace thermostat;
 using namespace thermostat::bench;
@@ -23,12 +24,22 @@ main(int argc, char **argv)
            "(target 30K acc/s)",
            "Figure 3", quick);
 
-    for (const std::string &name : benchWorkloadNames()) {
+    // All six applications run as one parallel sweep; the plots are
+    // printed from the job-ordered results.
+    const std::vector<std::string> names = benchWorkloadNames();
+    std::vector<SweepJob> jobs;
+    for (const std::string &name : names) {
         const long natural = static_cast<long>(
             makeWorkload(name)->naturalDuration() / kNsPerSec);
         const Ns duration =
             scaledDuration(std::min(natural, 1200L), quick);
-        const SimResult r = runThermostat(name, 3.0, duration);
+        jobs.push_back({name, 3.0, duration, 42, 0});
+    }
+    const std::vector<SimResult> results = runSweep(jobs);
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const SimResult &r = results[i];
 
         // 30-second window averages, like the paper's plot.
         const TimeSeries avg =

@@ -7,9 +7,12 @@
  * saturates near 45% because its remaining pages are all hot).
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <iterator>
 
 #include "bench_util.hh"
+#include "sweep_runner.hh"
 
 using namespace thermostat;
 using namespace thermostat::bench;
@@ -22,20 +25,33 @@ main(int argc, char **argv)
            "Figure 11 (plus achieved slowdown, Sec 5.1)", quick);
 
     const double targets[] = {3.0, 6.0, 10.0};
+    const std::vector<std::string> names = benchWorkloadNames();
+
+    // The full (workload x target) grid runs as one parallel sweep;
+    // results come back in job order, so the table below is filled
+    // exactly as the old nested serial loops filled it.
+    std::vector<SweepJob> jobs;
+    for (const std::string &name : names) {
+        // Run to each workload's natural duration (capped) so the
+        // cold fraction reaches its plateau.
+        const long natural = static_cast<long>(
+            makeWorkload(name)->naturalDuration() / kNsPerSec);
+        const Ns duration =
+            scaledDuration(std::min(natural, 1200L), quick);
+        const Ns warmup = scaledDuration(300, quick);
+        for (const double target : targets) {
+            jobs.push_back({name, target, duration, 42, warmup});
+        }
+    }
+    const std::vector<SimResult> results = runSweep(jobs);
+
     TablePrinter table({"Workload", "cold@3%", "slow@3%", "cold@6%",
                         "slow@6%", "cold@10%", "slow@10%"});
-    for (const std::string &name : benchWorkloadNames()) {
+    std::size_t job = 0;
+    for (const std::string &name : names) {
         std::vector<std::string> row{name};
-        for (const double target : targets) {
-            // Run to each workload's natural duration (capped) so
-            // the cold fraction reaches its plateau.
-            const long natural = static_cast<long>(
-                makeWorkload(name)->naturalDuration() / kNsPerSec);
-            const Ns duration = scaledDuration(
-                std::min(natural, 1200L), quick);
-            const Ns warmup = scaledDuration(300, quick);
-            const SimResult r =
-                runThermostat(name, target, duration, 42, warmup);
+        for (std::size_t t = 0; t < std::size(targets); ++t) {
+            const SimResult &r = results[job++];
             row.push_back(formatPct(r.finalColdFraction));
             row.push_back(formatPct(r.slowdown));
         }

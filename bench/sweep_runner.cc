@@ -1,0 +1,32 @@
+#include "sweep_runner.hh"
+
+#include "bench_util.hh"
+#include "common/thread_pool.hh"
+
+namespace thermostat::bench
+{
+
+std::vector<SimResult>
+runSweep(const std::vector<SweepJob> &jobs, unsigned thread_count)
+{
+    std::vector<SimResult> results(jobs.size());
+    if (jobs.empty()) {
+        return results;
+    }
+    // Results are written into the slot matching the job's position,
+    // so the returned order never depends on scheduling.
+    ThreadPool pool(thread_count);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        pool.submit([&jobs, &results, i] {
+            const SweepJob &job = jobs[i];
+            results[i] = runThermostat(job.workload,
+                                       job.tolerableSlowdownPct,
+                                       job.duration, job.seed,
+                                       job.warmup);
+        });
+    }
+    pool.wait();
+    return results;
+}
+
+} // namespace thermostat::bench

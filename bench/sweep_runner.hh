@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Parallel sweep runner: many independent Thermostat runs scheduled
+ * onto a worker pool, with results in deterministic job order.
+ *
+ * The simulator is single-threaded per run; a sweep (workloads x
+ * slowdown targets x seeds) is embarrassingly parallel because every
+ * Simulation owns its machine, workload, and RNG streams outright.
+ * Each job carries its own seed, every run's streams derive only
+ * from that seed, and results land in a slot array indexed by job
+ * position -- so a sweep executed on N workers is bit-identical to
+ * the same sweep executed serially, independent of completion order.
+ *
+ * Worker count comes from THERMOSTAT_JOBS (see
+ * ThreadPool::defaultJobs) unless the caller pins it explicitly.
+ */
+
+#ifndef THERMOSTAT_BENCH_SWEEP_RUNNER_HH
+#define THERMOSTAT_BENCH_SWEEP_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hh"
+
+namespace thermostat::bench
+{
+
+/** One independent run in a sweep. */
+struct SweepJob
+{
+    std::string workload;
+    double tolerableSlowdownPct = 3.0;
+    Ns duration = 0;
+    std::uint64_t seed = 42;
+    Ns warmup = 0;
+};
+
+/**
+ * Run every job (each a full Thermostat run, as runThermostat does)
+ * and return results in job order.
+ *
+ * @param thread_count Workers to use; 0 = ThreadPool::defaultJobs().
+ *        1 executes the jobs serially in order.
+ */
+std::vector<SimResult> runSweep(const std::vector<SweepJob> &jobs,
+                                unsigned thread_count = 0);
+
+} // namespace thermostat::bench
+
+#endif // THERMOSTAT_BENCH_SWEEP_RUNNER_HH

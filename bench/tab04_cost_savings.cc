@@ -14,6 +14,7 @@
 #include <map>
 
 #include "bench_util.hh"
+#include "sweep_runner.hh"
 
 using namespace thermostat;
 using namespace thermostat::bench;
@@ -35,16 +36,25 @@ main(int argc, char **argv)
         {"web-search", "27% / 30% / 32%"},
     };
 
-    TablePrinter table({"Workload", "cold frac", "0.33x", "0.25x",
-                        "0.2x", "Paper (1/3, 1/4, 1/5)"});
-    for (const std::string &name : benchWorkloadNames()) {
+    // One parallel run per workload; the table is assembled from
+    // the job-ordered results afterwards.
+    const std::vector<std::string> names = benchWorkloadNames();
+    std::vector<SweepJob> jobs;
+    for (const std::string &name : names) {
         const long natural = static_cast<long>(
             makeWorkload(name)->naturalDuration() / kNsPerSec);
         const Ns duration =
             scaledDuration(std::min(natural, 1200L), quick);
         const Ns warmup = scaledDuration(300, quick);
-        const SimResult r =
-            runThermostat(name, 3.0, duration, 42, warmup);
+        jobs.push_back({name, 3.0, duration, 42, warmup});
+    }
+    const std::vector<SimResult> results = runSweep(jobs);
+
+    TablePrinter table({"Workload", "cold frac", "0.33x", "0.25x",
+                        "0.2x", "Paper (1/3, 1/4, 1/5)"});
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const SimResult &r = results[i];
         const double cold = r.finalColdFraction;
         auto saving = [cold](double rel_cost) {
             return formatPct(cold * (1.0 - rel_cost), 0);

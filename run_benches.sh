@@ -1,14 +1,16 @@
-#!/bin/bash
-# Regenerates every table and figure. Headline experiments run at
-# full durations; ablations/microbenches honor THERMOSTAT_QUICK.
+#!/usr/bin/env bash
+# Regenerates every table and figure via the parallel driver
+# (tools/run_all): headline experiments at full durations,
+# ablations/microbenches in quick mode.  Worker count honors
+# THERMOSTAT_JOBS; pass --quick to shorten everything, or benchmark
+# names to run a subset.  Exits non-zero when any benchmark fails.
+set -euo pipefail
 cd "$(dirname "$0")"
-FULL="fig03_slowmem_rate fig05_cassandra fig06_mysql fig07_aerospike fig08_redis fig09_analytics fig10_websearch fig11_slowdown_sweep tab01_thp_gain tab02_footprints tab03_migration_bw tab04_cost_savings fig01_idle_fraction fig02_accessbit_scatter"
-QUICK="abl_sampling_overhead abl_poison_budget abl_sample_fraction abl_correction abl_slow_emu_mode abl_hw_counting abl_spread_pages abl_wear_leveling micro_components"
-for b in $FULL; do
-  echo "===== $b ====="
-  ./build/bench/$b
-done
-for b in $QUICK; do
-  echo "===== $b ====="
-  THERMOSTAT_QUICK=1 ./build/bench/$b --quick
-done
+
+if [[ ! -x build/tools/run_all ]]; then
+    echo "run_benches.sh: build/tools/run_all not found;" \
+         "build the tree first (cmake -B build -S . && cmake --build build -j)" >&2
+    exit 2
+fi
+
+exec ./build/tools/run_all --bench-dir build/bench "$@"

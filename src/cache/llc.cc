@@ -1,5 +1,7 @@
 #include "cache/llc.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "obs/metrics.hh"
 
@@ -15,73 +17,35 @@ LastLevelCache::LastLevelCache(const LlcConfig &config)
     TSTAT_ASSERT(line_count % config.ways == 0,
                  "LLC lines not divisible by ways");
     setCount_ = static_cast<unsigned>(line_count / config.ways);
-    lines_.resize(line_count);
+    setsPow2_ = (setCount_ & (setCount_ - 1)) == 0;
+    setMask_ = setCount_ - 1;
+    linePow2_ = (config.lineSize & (config.lineSize - 1)) == 0;
+    lineShift_ = 0;
+    while ((1u << lineShift_) < config.lineSize) {
+        ++lineShift_;
+    }
+    setData_.assign(2 * line_count, 0);
+    mruWay_.assign(setCount_, 0);
 }
 
-std::uint64_t
-LastLevelCache::lineAddr(Addr paddr) const
+void
+LastLevelCache::recordFrameMiss(Addr paddr)
 {
-    return paddr / config_.lineSize;
-}
-
-unsigned
-LastLevelCache::setIndex(std::uint64_t line) const
-{
-    return static_cast<unsigned>(line % setCount_);
-}
-
-bool
-LastLevelCache::access(Addr paddr, AccessType type)
-{
-    const std::uint64_t line = lineAddr(paddr);
-    const unsigned set = setIndex(line);
-    ++useClock_;
-
-    Line *victim = nullptr;
-    for (unsigned w = 0; w < config_.ways; ++w) {
-        Line &l = lines_[static_cast<std::uint64_t>(set) *
-                             config_.ways + w];
-        if (l.valid && l.tag == line) {
-            l.lastUse = useClock_;
-            l.dirty = l.dirty || type == AccessType::Write;
-            ++stats_.hits;
-            return true;
-        }
-        if (!l.valid) {
-            if (!victim || victim->valid) {
-                victim = &l;
-            }
-        } else if (!victim ||
-                   (victim->valid && l.lastUse < victim->lastUse)) {
-            victim = &l;
-        }
-    }
-
-    ++stats_.misses;
-    if (config_.trackFrameMisses) {
-        const Pfn huge_base =
-            (paddr >> kPageShift2M) << (kPageShift2M - kPageShift4K);
-        ++frameMisses_[huge_base];
-    }
-    if (victim->valid && victim->dirty) {
-        ++stats_.writebacks;
-    }
-    victim->tag = line;
-    victim->valid = true;
-    victim->dirty = type == AccessType::Write;
-    victim->lastUse = useClock_;
-    return false;
+    const Pfn huge_base =
+        (paddr >> kPageShift2M) << (kPageShift2M - kPageShift4K);
+    ++frameMisses_[huge_base];
 }
 
 bool
 LastLevelCache::contains(Addr paddr) const
 {
     const std::uint64_t line = lineAddr(paddr);
-    const unsigned set = setIndex(line);
+    const std::uint64_t *tags =
+        &setData_[static_cast<std::uint64_t>(setIndex(line)) * 2 *
+                  config_.ways];
+    const std::uint64_t want = packTag(line);
     for (unsigned w = 0; w < config_.ways; ++w) {
-        const Line &l = lines_[static_cast<std::uint64_t>(set) *
-                                   config_.ways + w];
-        if (l.valid && l.tag == line) {
+        if ((tags[w] & ~kDirtyBit) == want) {
             return true;
         }
     }
@@ -91,10 +55,7 @@ LastLevelCache::contains(Addr paddr) const
 void
 LastLevelCache::flushAll()
 {
-    for (Line &l : lines_) {
-        l.valid = false;
-        l.dirty = false;
-    }
+    std::fill(setData_.begin(), setData_.end(), 0);
 }
 
 void
@@ -105,13 +66,13 @@ LastLevelCache::invalidateFrame(Pfn pfn)
     const std::uint64_t line_count = kPageSize4K / config_.lineSize;
     for (std::uint64_t line = first_line;
          line < first_line + line_count; ++line) {
-        const unsigned set = setIndex(line);
+        std::uint64_t *tags =
+            &setData_[static_cast<std::uint64_t>(setIndex(line)) *
+                      2 * config_.ways];
+        const std::uint64_t want = packTag(line);
         for (unsigned w = 0; w < config_.ways; ++w) {
-            Line &l = lines_[static_cast<std::uint64_t>(set) *
-                                 config_.ways + w];
-            if (l.valid && l.tag == line) {
-                l.valid = false;
-                l.dirty = false;
+            if ((tags[w] & ~kDirtyBit) == want) {
+                tags[w] = 0;
             }
         }
     }
@@ -127,7 +88,7 @@ Count
 LastLevelCache::frameMisses(Pfn huge_frame_base) const
 {
     const auto it = frameMisses_.find(huge_frame_base);
-    return it == frameMisses_.end() ? 0 : it->second;
+    return it == frameMisses_.end() ? 0 : it->value;
 }
 
 void

@@ -14,9 +14,9 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 
 namespace thermostat
@@ -65,6 +65,9 @@ class LastLevelCache
     /**
      * Access the line containing physical address @p paddr.
      * @return true on hit.
+     *
+     * Defined inline below: this is the single hottest function in
+     * the simulator (one call per cache line per memory access).
      */
     bool access(Addr paddr, AccessType type);
 
@@ -95,24 +98,123 @@ class LastLevelCache
     void clearFrameMisses() { frameMisses_.clear(); }
 
   private:
-    struct Line
-    {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t lastUse = 0;
-    };
+    /**
+     * Lines are split into a packed tag array scanned on every
+     * access and a cold LRU-clock array touched only on the hit way
+     * or during victim selection.  A packed tag holds
+     * `line_address << 2 | dirty << 1 | valid`, so the hit test is a
+     * single masked compare and a 16-way set scan stays within two
+     * cache lines instead of six.
+     */
+    static constexpr std::uint64_t kValidBit = 1;
+    static constexpr std::uint64_t kDirtyBit = 2;
 
-    std::uint64_t lineAddr(Addr paddr) const;
-    unsigned setIndex(std::uint64_t line) const;
+    static std::uint64_t
+    packTag(std::uint64_t line)
+    {
+        return (line << 2) | kValidBit;
+    }
+
+    std::uint64_t
+    lineAddr(Addr paddr) const
+    {
+        return linePow2_ ? paddr >> lineShift_
+                         : paddr / config_.lineSize;
+    }
+
+    unsigned
+    setIndex(std::uint64_t line) const
+    {
+        return setsPow2_ ? static_cast<unsigned>(line & setMask_)
+                         : static_cast<unsigned>(line % setCount_);
+    }
+
+    void recordFrameMiss(Addr paddr);
 
     LlcConfig config_;
     unsigned setCount_;
-    std::vector<Line> lines_;
+    std::uint64_t setMask_; //!< setCount_ - 1 when a power of two
+    bool setsPow2_;
+    bool linePow2_;
+    unsigned lineShift_;
+
+    /**
+     * Per-set storage block: `ways` packed tags followed by `ways`
+     * LRU clocks, contiguous so one miss streams a single 2*ways
+     * stretch of memory instead of striding two arrays.
+     */
+    std::vector<std::uint64_t> setData_;
+    std::vector<std::uint32_t> mruWay_; //!< per-set hit-way hint
     std::uint64_t useClock_ = 0;
     LlcStats stats_;
-    std::unordered_map<Pfn, Count> frameMisses_;
+    FlatMap<Pfn, Count> frameMisses_;
 };
+
+inline bool
+LastLevelCache::access(Addr paddr, AccessType type)
+{
+    const std::uint64_t line = lineAddr(paddr);
+    const unsigned set = setIndex(line);
+    const unsigned ways = config_.ways;
+    std::uint64_t *tags =
+        &setData_[static_cast<std::uint64_t>(set) * 2 * ways];
+    std::uint64_t *uses = tags + ways;
+    const std::uint64_t want = packTag(line);
+    ++useClock_;
+
+    // Most hits land on the way that hit last time in this set.
+    const std::uint32_t hint = mruWay_[set];
+    if ((tags[hint] & ~kDirtyBit) == want) {
+        if (type == AccessType::Write) {
+            tags[hint] |= kDirtyBit;
+        }
+        uses[hint] = useClock_;
+        ++stats_.hits;
+        return true;
+    }
+    unsigned invalid_way = ways;
+    for (unsigned w = 0; w < ways; ++w) {
+        if ((tags[w] & ~kDirtyBit) == want) {
+            if (type == AccessType::Write) {
+                tags[w] |= kDirtyBit;
+            }
+            uses[w] = useClock_;
+            mruWay_[set] = w;
+            ++stats_.hits;
+            return true;
+        }
+        if ((tags[w] & kValidBit) == 0 && invalid_way == ways) {
+            invalid_way = w;
+        }
+    }
+
+    // Miss: the first invalid way, else the LRU way.
+    unsigned victim = invalid_way;
+    if (victim == ways) {
+        victim = 0;
+        std::uint64_t victim_use = uses[0];
+        for (unsigned w = 1; w < ways; ++w) {
+            if (uses[w] < victim_use) {
+                victim_use = uses[w];
+                victim = w;
+            }
+        }
+    }
+
+    ++stats_.misses;
+    if (config_.trackFrameMisses) {
+        recordFrameMiss(paddr);
+    }
+    if ((tags[victim] & (kValidBit | kDirtyBit)) ==
+        (kValidBit | kDirtyBit)) {
+        ++stats_.writebacks;
+    }
+    tags[victim] =
+        want | (type == AccessType::Write ? kDirtyBit : 0);
+    uses[victim] = useClock_;
+    mruWay_[set] = victim;
+    return false;
+}
 
 } // namespace thermostat
 

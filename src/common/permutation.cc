@@ -29,33 +29,4 @@ FixedPermutation::FixedPermutation(std::uint64_t size, std::uint64_t seed)
     }
 }
 
-std::uint64_t
-FixedPermutation::feistel(std::uint64_t value) const
-{
-    std::uint64_t left = (value >> halfBits_) & halfMask_;
-    std::uint64_t right = value & halfMask_;
-    for (const std::uint64_t key : keys_) {
-        std::uint64_t mix = right ^ key;
-        mix = (mix ^ (mix >> 30)) * 0xbf58476d1ce4e5b9ULL;
-        mix = (mix ^ (mix >> 27)) * 0x94d049bb133111ebULL;
-        mix ^= mix >> 31;
-        const std::uint64_t next_right = left ^ (mix & halfMask_);
-        left = right;
-        right = next_right;
-    }
-    return (left << halfBits_) | right;
-}
-
-std::uint64_t
-FixedPermutation::map(std::uint64_t index) const
-{
-    TSTAT_ASSERT(index < size_, "permutation index out of range");
-    // Cycle walking: re-encrypt until the image lands inside [0,n).
-    std::uint64_t value = feistel(index);
-    while (value >= size_) {
-        value = feistel(value);
-    }
-    return value;
-}
-
 } // namespace thermostat

@@ -27,13 +27,40 @@ class FixedPermutation
   public:
     FixedPermutation(std::uint64_t size, std::uint64_t seed);
 
-    /** Image of @p index under the permutation. */
-    std::uint64_t map(std::uint64_t index) const;
+    /**
+     * Image of @p index under the permutation.  Inline: workload
+     * generators evaluate this once per synthesized reference.
+     */
+    std::uint64_t
+    map(std::uint64_t index) const
+    {
+        // Cycle walking: re-encrypt until the image lands in [0,n).
+        std::uint64_t value = feistel(index);
+        while (value >= size_) {
+            value = feistel(value);
+        }
+        return value;
+    }
 
     std::uint64_t size() const { return size_; }
 
   private:
-    std::uint64_t feistel(std::uint64_t value) const;
+    std::uint64_t
+    feistel(std::uint64_t value) const
+    {
+        std::uint64_t left = (value >> halfBits_) & halfMask_;
+        std::uint64_t right = value & halfMask_;
+        for (const std::uint64_t key : keys_) {
+            std::uint64_t mix = right ^ key;
+            mix = (mix ^ (mix >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            mix = (mix ^ (mix >> 27)) * 0x94d049bb133111ebULL;
+            mix ^= mix >> 31;
+            const std::uint64_t next_right = left ^ (mix & halfMask_);
+            left = right;
+            right = next_right;
+        }
+        return (left << halfBits_) | right;
+    }
 
     std::uint64_t size_;
     unsigned halfBits_;

@@ -7,17 +7,6 @@
 namespace thermostat
 {
 
-namespace
-{
-
-constexpr std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-} // namespace
-
 Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t sm = seed;
@@ -30,55 +19,6 @@ Rng
 Rng::fork()
 {
     return Rng(next() ^ 0xa5a5a5a5deadbeefULL);
-}
-
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-    const std::uint64_t t = state_[1] << 17;
-
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-
-    return result;
-}
-
-std::uint64_t
-Rng::nextBounded(std::uint64_t bound)
-{
-    TSTAT_ASSERT(bound != 0, "nextBounded(0)");
-    // Lemire-style rejection to remove modulo bias.
-    const std::uint64_t threshold = (-bound) % bound;
-    for (;;) {
-        const std::uint64_t r = next();
-        if (r >= threshold) {
-            return r % bound;
-        }
-    }
-}
-
-std::uint64_t
-Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
-{
-    TSTAT_ASSERT(lo <= hi, "nextRange: lo > hi");
-    return lo + nextBounded(hi - lo + 1);
-}
-
-double
-Rng::nextDouble()
-{
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::nextBool(double p)
-{
-    return nextDouble() < p;
 }
 
 std::vector<std::uint64_t>
@@ -129,6 +69,7 @@ ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
     alpha_ = 1.0 / (1.0 - theta_);
     eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
            (1.0 - zeta2_ / zetaN_);
+    halfPowTheta_ = std::pow(0.5, theta_);
 }
 
 std::uint64_t
@@ -139,7 +80,7 @@ ZipfSampler::sample(Rng &rng) const
     if (uz < 1.0) {
         return 0;
     }
-    if (uz < 1.0 + std::pow(0.5, theta_)) {
+    if (uz < 1.0 + halfPowTheta_) {
         return 1;
     }
     const auto idx = static_cast<std::uint64_t>(

@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.hh"
+
 namespace thermostat
 {
 
@@ -48,8 +50,26 @@ class Rng
     /** Derive an independent child stream (for a sub-component). */
     Rng fork();
 
-    /** Next raw 64 random bits. */
-    std::uint64_t next();
+    /**
+     * Next raw 64 random bits.  Inline (as are the derived draws
+     * below): workload generators call these several times per
+     * synthesized memory reference.
+     */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+
+        return result;
+    }
 
     std::uint64_t operator()() { return next(); }
 
@@ -57,16 +77,37 @@ class Rng
     static constexpr std::uint64_t max() { return ~0ULL; }
 
     /** Uniform integer in [0, bound); bound must be nonzero. */
-    std::uint64_t nextBounded(std::uint64_t bound);
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        TSTAT_ASSERT(bound != 0, "nextBounded(0)");
+        // Lemire-style rejection to remove modulo bias.
+        const std::uint64_t threshold = (-bound) % bound;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold) {
+                return r % bound;
+            }
+        }
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
-    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+    std::uint64_t
+    nextRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        TSTAT_ASSERT(lo <= hi, "nextRange: lo > hi");
+        return lo + nextBounded(hi - lo + 1);
+    }
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli trial with probability @p p of true. */
-    bool nextBool(double p);
+    bool nextBool(double p) { return nextDouble() < p; }
 
     /**
      * Sample @p k distinct indices from [0, n) without replacement
@@ -88,7 +129,50 @@ class Rng
     }
 
   private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::array<std::uint64_t, 4> state_;
+};
+
+/**
+ * Repeated uniform draws in [0, bound) with the Lemire rejection
+ * threshold (`(-bound) % bound`, one 64-bit division) hoisted to
+ * construction.  The draw sequence and results are identical to
+ * calling Rng::nextBounded(bound) each time; patterns that draw
+ * against a fixed bound on every reference use this to halve the
+ * division count per draw.
+ */
+class BoundedDraw
+{
+  public:
+    BoundedDraw() = default;
+
+    explicit BoundedDraw(std::uint64_t bound)
+        : bound_(bound), threshold_((-bound) % bound)
+    {
+        TSTAT_ASSERT(bound != 0, "BoundedDraw(0)");
+    }
+
+    std::uint64_t bound() const { return bound_; }
+
+    std::uint64_t
+    operator()(Rng &rng) const
+    {
+        for (;;) {
+            const std::uint64_t r = rng.next();
+            if (r >= threshold_) {
+                return r % bound_;
+            }
+        }
+    }
+
+  private:
+    std::uint64_t bound_ = 1;
+    std::uint64_t threshold_ = 0;
 };
 
 /**
@@ -119,6 +203,7 @@ class ZipfSampler
     double zeta2_;
     double alpha_;
     double eta_;
+    double halfPowTheta_; //!< pow(0.5, theta), hoisted out of sample()
 };
 
 } // namespace thermostat

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fixed-size worker pool for running independent jobs concurrently.
+ *
+ * The simulator itself is single-threaded by design (DESIGN.md,
+ * "Threading model"): one Simulation owns one Machine and mutates it
+ * freely with no locks.  Parallelism lives one level up, where a
+ * sweep runs many *independent* Simulation instances at once.  This
+ * pool is the only concurrency primitive in the tree: a bounded set
+ * of workers draining a FIFO of type-erased jobs.
+ *
+ * Worker count resolution (ThreadPool::defaultJobs) honors the
+ * THERMOSTAT_JOBS environment variable so CI and scripts can pin
+ * parallelism; otherwise it uses the hardware concurrency.
+ */
+
+#ifndef THERMOSTAT_COMMON_THREAD_POOL_HH
+#define THERMOSTAT_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace thermostat
+{
+
+/**
+ * A fixed set of worker threads draining a job queue.
+ *
+ * Jobs must be independent: the pool provides no ordering guarantee
+ * between them.  Deterministic result ordering is the caller's
+ * responsibility (write results into a pre-sized slot array indexed
+ * by job id; see bench/sweep_runner.hh for the canonical pattern).
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers (0 = ThreadPool::defaultJobs()).
+     * A single-worker pool degrades to serial execution in queue
+     * order, which is how the determinism tests compare serial and
+     * parallel sweeps.
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains outstanding jobs, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job.  Throws nothing; jobs must not throw. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished running. */
+    void wait();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Worker count from the environment: THERMOSTAT_JOBS when set to
+     * a positive integer, else std::thread::hardware_concurrency()
+     * (minimum 1).
+     */
+    static unsigned defaultJobs();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable workReady_;  //!< queue gained a job / stop
+    std::condition_variable allDone_;    //!< everything drained
+    std::size_t inFlight_ = 0; //!< queued + currently executing
+    bool stopping_ = false;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_COMMON_THREAD_POOL_HH

@@ -43,25 +43,6 @@ MemoryTier::MemoryTier(const TierConfig &config, Pfn base_pfn)
                  "tier capacity must be 2MB aligned");
 }
 
-Ns
-MemoryTier::accessLatency(AccessType type) const
-{
-    return type == AccessType::Read ? config_.readLatency
-                                    : config_.writeLatency;
-}
-
-void
-MemoryTier::recordAccess(AccessType type, std::uint64_t bytes)
-{
-    if (type == AccessType::Read) {
-        ++stats_.reads;
-        stats_.bytesRead += bytes;
-    } else {
-        ++stats_.writes;
-        stats_.bytesWritten += bytes;
-    }
-}
-
 void
 MemoryTier::recordMigrationIn(std::uint64_t bytes)
 {
@@ -106,24 +87,6 @@ TieredMemory::TieredMemory(const TierConfig &fast, const TierConfig &slow)
       slowTier_(slow, fast.capacityBytes / kPageSize4K),
       slowBasePfn_(fast.capacityBytes / kPageSize4K)
 {
-}
-
-MemoryTier &
-TieredMemory::tier(Tier t)
-{
-    return t == Tier::Fast ? fastTier_ : slowTier_;
-}
-
-const MemoryTier &
-TieredMemory::tier(Tier t) const
-{
-    return t == Tier::Fast ? fastTier_ : slowTier_;
-}
-
-Tier
-TieredMemory::tierOf(Pfn pfn) const
-{
-    return pfn < slowBasePfn_ ? Tier::Fast : Tier::Slow;
 }
 
 Ns

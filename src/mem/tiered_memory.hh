@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/frame_allocator.hh"
@@ -52,10 +53,25 @@ class MemoryTier
     const TierStats &stats() const { return stats_; }
 
     /** Latency of one device access (cache-line granularity). */
-    Ns accessLatency(AccessType type) const;
+    Ns
+    accessLatency(AccessType type) const
+    {
+        return type == AccessType::Read ? config_.readLatency
+                                        : config_.writeLatency;
+    }
 
     /** Record a cache-line access to this tier. */
-    void recordAccess(AccessType type, std::uint64_t bytes);
+    void
+    recordAccess(AccessType type, std::uint64_t bytes)
+    {
+        if (type == AccessType::Read) {
+            ++stats_.reads;
+            stats_.bytesRead += bytes;
+        } else {
+            ++stats_.writes;
+            stats_.bytesWritten += bytes;
+        }
+    }
 
     /** Record migration traffic landing in / leaving this tier. */
     void recordMigrationIn(std::uint64_t bytes);
@@ -89,7 +105,7 @@ class MemoryTier
     TierStats stats_;
     Count totalWear_ = 0;
     Count maxFrameWear_ = 0;
-    std::unordered_map<Pfn, Count> frameWear_;
+    FlatMap<Pfn, Count> frameWear_;
 };
 
 /**
@@ -102,14 +118,27 @@ class TieredMemory
   public:
     TieredMemory(const TierConfig &fast, const TierConfig &slow);
 
-    MemoryTier &tier(Tier t);
-    const MemoryTier &tier(Tier t) const;
+    MemoryTier &
+    tier(Tier t)
+    {
+        return t == Tier::Fast ? fastTier_ : slowTier_;
+    }
+
+    const MemoryTier &
+    tier(Tier t) const
+    {
+        return t == Tier::Fast ? fastTier_ : slowTier_;
+    }
 
     MemoryTier &fast() { return tier(Tier::Fast); }
     MemoryTier &slow() { return tier(Tier::Slow); }
 
     /** Which tier a physical frame belongs to. */
-    Tier tierOf(Pfn pfn) const;
+    Tier
+    tierOf(Pfn pfn) const
+    {
+        return pfn < slowBasePfn_ ? Tier::Fast : Tier::Slow;
+    }
 
     /** Device access latency for a line access to frame @p pfn. */
     Ns access(Pfn pfn, AccessType type, std::uint64_t bytes = 64);

@@ -16,16 +16,42 @@ Machine::Machine(const MachineConfig &config)
       tlb_(config.l1Tlb, config.l2Tlb),
       walker_(config.walker),
       llc_(config.llc),
-      trap_(space_, tlb_, config.trap)
+      trap_(space_, tlb_, config.trap),
+      costs_(computeCosts(config_, walker_))
 {
+}
+
+Machine::EffectiveCosts
+Machine::computeCosts(const MachineConfig &config,
+                      const PageWalker &walker)
+{
+    const double overlap = config.overlapFactor;
+    const auto scaled = [overlap](Ns latency) {
+        return static_cast<Ns>(std::llround(
+            static_cast<double>(latency) / overlap));
+    };
+    EffectiveCosts costs;
+    costs.walk[0] = scaled(walker.walkLatency(false));
+    costs.walk[1] = scaled(walker.walkLatency(true));
+    costs.llcHit = scaled(config.llc.hitLatency);
+    for (const bool write : {false, true}) {
+        const AccessType type =
+            write ? AccessType::Write : AccessType::Read;
+        const Ns fast = write ? config.fastTier.writeLatency
+                              : config.fastTier.readLatency;
+        const Ns slow = write ? config.slowTier.writeLatency
+                              : config.slowTier.readLatency;
+        costs.fastAccess[write] = scaled(fast);
+        costs.slowExcess[write] = slow > fast ? slow - fast : 0;
+        (void)type;
+    }
+    return costs;
 }
 
 Ns
 Machine::effectiveWalkLatency(bool huge) const
 {
-    return static_cast<Ns>(std::llround(
-        static_cast<double>(walker_.walkLatency(huge)) /
-        config_.overlapFactor));
+    return costs_.walk[huge];
 }
 
 AccessOutcome
@@ -33,7 +59,6 @@ Machine::access(Addr vaddr, AccessType type, Count weight,
                 unsigned burst_lines)
 {
     AccessOutcome out;
-    const double overlap = config_.overlapFactor;
 
     Pfn pfn = 0;
     bool huge = false;
@@ -57,8 +82,7 @@ Machine::access(Addr vaddr, AccessType type, Count weight,
                      static_cast<unsigned long>(vaddr));
         huge = walk.result.huge;
         pfn = walk.result.pte->pfn();
-        const Ns walk_cost = static_cast<Ns>(std::llround(
-            static_cast<double>(walk.latency) / overlap));
+        const Ns walk_cost = costs_.walk[huge];
         out.actualLatency += walk_cost;
         out.baselineLatency += walk_cost;
 
@@ -82,50 +106,47 @@ Machine::access(Addr vaddr, AccessType type, Count weight,
 
     // The burst: the leading line plus (burst_lines - 1) further
     // lines on the same 4KB-aligned page region, wrapping within it.
+    // Every line lands on the same 4KB frame, so the tier, the
+    // device and the per-line costs are loop invariants.
     const Addr page4k = alignDown4K(paddr);
-    out.tier = memory_.tierOf(paddr >> kPageShift4K);
+    const Pfn frame = page4k >> kPageShift4K;
+    const Tier tier = memory_.tierOf(frame);
+    MemoryTier &device = memory_.tier(tier);
+    out.tier = tier;
+    const bool write = type == AccessType::Write;
+    const unsigned lines = std::max(1u, burst_lines);
+    const Ns fast_cost = costs_.fastAccess[write];
+    const Ns miss_cost =
+        tier == Tier::Fast ||
+                config_.slowMode != SlowEmuMode::Device
+            // Fast tier, or emulation mode: the device behaves like
+            // DRAM; the poison fault above already charged ~1us for
+            // the burst, and further lines ride on the installed
+            // translation (the paper's noted under-estimate).
+            ? fast_cost
+            // Fast-equivalent part overlaps; the latency excess of
+            // the slow device is serialized.
+            : fast_cost + costs_.slowExcess[write];
+
+    out.actualLatency += costs_.llcHit * lines;
+    out.baselineLatency += costs_.llcHit * lines;
+    stats_.lineAccesses += lines;
+
     bool first_line_missed = false;
-    for (unsigned line = 0; line < std::max(1u, burst_lines); ++line) {
+    for (unsigned line = 0; line < lines; ++line) {
         const Addr line_addr =
             page4k + ((paddr - page4k + line * 64) & (kPageSize4K - 1));
-        const bool hit = llc_.access(line_addr, type);
-        const Ns llc_cost = static_cast<Ns>(std::llround(
-            static_cast<double>(config_.llc.hitLatency) / overlap));
-        out.actualLatency += llc_cost;
-        out.baselineLatency += llc_cost;
-        ++stats_.lineAccesses;
-        if (hit) {
+        if (llc_.access(line_addr, type)) {
             continue;
         }
         if (line == 0) {
             first_line_missed = true;
         }
-        const Pfn frame = line_addr >> kPageShift4K;
-        const Tier tier = memory_.tierOf(frame);
-        const Ns fast_lat =
-            memory_.tier(Tier::Fast).accessLatency(type);
-        const Ns fast_cost = static_cast<Ns>(std::llround(
-            static_cast<double>(fast_lat) / overlap));
         out.baselineLatency += fast_cost;
-        memory_.access(frame, type);
-        if (tier == Tier::Fast) {
-            out.actualLatency += fast_cost;
-        } else {
-            if (config_.slowMode == SlowEmuMode::Device) {
-                // Fast-equivalent part overlaps; the latency excess
-                // of the slow device is serialized.
-                const Ns slow_lat =
-                    memory_.tier(Tier::Slow).accessLatency(type);
-                out.actualLatency +=
-                    fast_cost +
-                    (slow_lat > fast_lat ? slow_lat - fast_lat : 0);
-            } else {
-                // Emulation mode: the device behaves like DRAM; the
-                // poison fault above already charged ~1us for the
-                // burst, and further lines ride on the installed
-                // translation (the paper's noted under-estimate).
-                out.actualLatency += fast_cost;
-            }
+        out.actualLatency += miss_cost;
+        device.recordAccess(type, 64);
+        if (write) {
+            device.recordWear(frame, 1);
         }
     }
     out.llcMiss = first_line_missed;

@@ -156,6 +156,25 @@ class Machine
     Ns effectiveWalkLatency(bool huge) const;
 
   private:
+    /**
+     * Overlap-scaled latencies, precomputed at construction with
+     * the same `llround(latency / overlapFactor)` the access path
+     * used to evaluate per event.  `config_` is immutable after
+     * construction, so the table never goes stale; killing the
+     * per-access floating-point divisions is the single biggest
+     * win on the simulated-access hot path.
+     */
+    struct EffectiveCosts
+    {
+        Ns walk[2] = {0, 0};       //!< [huge] page-walk cost
+        Ns llcHit = 0;             //!< per-line LLC probe cost
+        Ns fastAccess[2] = {0, 0}; //!< [is_write] fast-tier line
+        Ns slowExcess[2] = {0, 0}; //!< [is_write] serialized excess
+    };
+
+    static EffectiveCosts computeCosts(const MachineConfig &config,
+                                       const PageWalker &walker);
+
     MachineConfig config_;
     TieredMemory memory_;
     AddressSpace space_;
@@ -163,6 +182,7 @@ class Machine
     PageWalker walker_;
     LastLevelCache llc_;
     BadgerTrap trap_;
+    EffectiveCosts costs_;
     MachineStats stats_;
     Count slowAccessWindow_ = 0;
 };

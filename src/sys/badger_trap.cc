@@ -73,7 +73,7 @@ Count
 BadgerTrap::faultCount(Addr page_base) const
 {
     const auto it = counts_.find(page_base);
-    return it == counts_.end() ? 0 : it->second;
+    return it == counts_.end() ? 0 : it->value;
 }
 
 void

@@ -16,8 +16,8 @@
 #define THERMOSTAT_SYS_BADGER_TRAP_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 #include "obs/event_trace.hh"
 #include "tlb/tlb.hh"
@@ -131,7 +131,7 @@ class BadgerTrap
     BadgerTrapConfig config_;
     BadgerTrapStats stats_;
     EventTracer *tracer_ = nullptr;
-    std::unordered_map<Addr, Count> counts_;
+    FlatMap<Addr, Count> counts_;
 };
 
 } // namespace thermostat

@@ -106,7 +106,7 @@ PageIdleState
 Kstaled::idleState(Addr page_base) const
 {
     const auto it = pageState_.find(page_base);
-    return it == pageState_.end() ? PageIdleState() : it->second;
+    return it == pageState_.end() ? PageIdleState() : it->value;
 }
 
 bool

@@ -15,9 +15,9 @@
 #define THERMOSTAT_SYS_KSTALED_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 #include "tlb/tlb.hh"
 #include "vm/address_space.hh"
@@ -125,7 +125,7 @@ class Kstaled
     AddressSpace &space_;
     TlbHierarchy &tlb_;
     KstaledConfig config_;
-    std::unordered_map<Addr, PageIdleState> pageState_;
+    FlatMap<Addr, PageIdleState> pageState_;
     Ns totalCost_ = 0;
     Count scanCount_ = 0;
 };

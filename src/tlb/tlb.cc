@@ -14,50 +14,9 @@ Tlb::Tlb(const TlbConfig &config)
     TSTAT_ASSERT(config.entryCount % config.ways == 0,
                  "TLB entries not divisible by ways");
     setCount_ = config.entryCount / config.ways;
+    setsPow2_ = (setCount_ & (setCount_ - 1)) == 0;
+    setMask_ = setCount_ - 1;
     entries_.resize(config.entryCount);
-}
-
-unsigned
-Tlb::setIndex(Vpn vpn) const
-{
-    return static_cast<unsigned>(vpn % setCount_);
-}
-
-TlbEntry *
-Tlb::findEntry(Vpn vpn, bool huge)
-{
-    const unsigned set = setIndex(vpn);
-    for (unsigned w = 0; w < config_.ways; ++w) {
-        TlbEntry &e = entries_[set * config_.ways + w];
-        if (e.valid && e.huge == huge && e.vpn == vpn) {
-            return &e;
-        }
-    }
-    return nullptr;
-}
-
-const TlbEntry *
-Tlb::findEntry(Vpn vpn, bool huge) const
-{
-    return const_cast<Tlb *>(this)->findEntry(vpn, huge);
-}
-
-std::optional<TlbEntry>
-Tlb::lookup(Addr vaddr)
-{
-    ++useClock_;
-    if (TlbEntry *e = findEntry(vpn4K(vaddr), false)) {
-        e->lastUse = useClock_;
-        ++stats_.hits;
-        return *e;
-    }
-    if (TlbEntry *e = findEntry(vpn2M(vaddr), true)) {
-        e->lastUse = useClock_;
-        ++stats_.hits;
-        return *e;
-    }
-    ++stats_.misses;
-    return std::nullopt;
 }
 
 std::optional<TlbEntry>
@@ -73,48 +32,17 @@ Tlb::peek(Addr vaddr) const
 }
 
 void
-Tlb::insert(Addr vaddr, Pfn pfn, bool huge)
-{
-    const Vpn vpn = huge ? vpn2M(vaddr) : vpn4K(vaddr);
-    ++useClock_;
-    if (TlbEntry *e = findEntry(vpn, huge)) {
-        // Refresh an existing entry in place.
-        e->pfn = pfn;
-        e->lastUse = useClock_;
-        return;
-    }
-    const unsigned set = setIndex(vpn);
-    TlbEntry *victim = nullptr;
-    for (unsigned w = 0; w < config_.ways; ++w) {
-        TlbEntry &e = entries_[set * config_.ways + w];
-        if (!e.valid) {
-            victim = &e;
-            break;
-        }
-        if (!victim || e.lastUse < victim->lastUse) {
-            victim = &e;
-        }
-    }
-    if (victim->valid) {
-        ++stats_.evictions;
-    }
-    victim->vpn = vpn;
-    victim->pfn = pfn;
-    victim->huge = huge;
-    victim->valid = true;
-    victim->lastUse = useClock_;
-    ++stats_.fills;
-}
-
-void
 Tlb::invalidatePage(Addr vaddr)
 {
+    dropTranslationCache();
     if (TlbEntry *e = findEntry(vpn4K(vaddr), false)) {
         e->valid = false;
+        --sizeCount_[0];
         ++stats_.invalidations;
     }
     if (TlbEntry *e = findEntry(vpn2M(vaddr), true)) {
         e->valid = false;
+        --sizeCount_[1];
         ++stats_.invalidations;
     }
 }
@@ -122,9 +50,12 @@ Tlb::invalidatePage(Addr vaddr)
 void
 Tlb::flushAll()
 {
+    dropTranslationCache();
     for (TlbEntry &e : entries_) {
         e.valid = false;
     }
+    sizeCount_[0] = 0;
+    sizeCount_[1] = 0;
     ++stats_.flushes;
 }
 
@@ -142,42 +73,6 @@ TlbHierarchy::TlbHierarchy(const TlbConfig &l1_config,
                            const TlbConfig &l2_config)
     : l1_(l1_config), l2_(l2_config)
 {
-}
-
-TlbHierarchy::HitLevel
-TlbHierarchy::lookup(Addr vaddr, TlbEntry *entry_out)
-{
-    if (auto e = l1_.lookup(vaddr)) {
-        if (entry_out) {
-            *entry_out = *e;
-        }
-        return HitLevel::L1;
-    }
-    if (auto e = l2_.lookup(vaddr)) {
-        // Refill L1 from L2.
-        const Addr base = e->huge ? (e->vpn << kPageShift2M)
-                                  : (e->vpn << kPageShift4K);
-        l1_.insert(base, e->pfn, e->huge);
-        if (entry_out) {
-            *entry_out = *e;
-        }
-        return HitLevel::L2;
-    }
-    return HitLevel::Miss;
-}
-
-void
-TlbHierarchy::insert(Addr vaddr, Pfn pfn, bool huge)
-{
-    l1_.insert(vaddr, pfn, huge);
-    l2_.insert(vaddr, pfn, huge);
-}
-
-void
-TlbHierarchy::invalidatePage(Addr vaddr)
-{
-    l1_.invalidatePage(vaddr);
-    l2_.invalidatePage(vaddr);
 }
 
 void

@@ -72,7 +72,9 @@ class Tlb
 
     /**
      * Probe for a translation of @p vaddr at either granularity.
-     * Updates LRU state and hit/miss counters.
+     * Updates LRU state and hit/miss counters.  Defined inline
+     * below: the last-translation fast path runs once per memory
+     * access and must not pay a call.
      */
     std::optional<TlbEntry> lookup(Addr vaddr);
 
@@ -101,15 +103,46 @@ class Tlb
 
   private:
     unsigned setCount() const { return setCount_; }
-    unsigned setIndex(Vpn vpn) const;
+
+    unsigned
+    setIndex(Vpn vpn) const
+    {
+        return setsPow2_ ? static_cast<unsigned>(vpn & setMask_)
+                         : static_cast<unsigned>(vpn % setCount_);
+    }
+
     TlbEntry *findEntry(Vpn vpn, bool huge);
     const TlbEntry *findEntry(Vpn vpn, bool huge) const;
+    void dropTranslationCache() { lastEntry_ = nullptr; }
+
+    /** Full two-granularity probe (useClock_ already advanced). */
+    std::optional<TlbEntry> lookupProbe(Addr vaddr);
 
     TlbConfig config_;
     unsigned setCount_;
+    std::uint64_t setMask_; //!< setCount_ - 1 when a power of two
+    bool setsPow2_;
     std::vector<TlbEntry> entries_; //!< setCount_ x ways, row-major
     std::uint64_t useClock_ = 0;
     TlbStats stats_;
+
+    /**
+     * Valid entries per size class ([0]=4KB, [1]=2MB), so a probe
+     * can skip a granularity that holds no entries at all -- the
+     * common case when a workload maps a single page size.
+     */
+    unsigned sizeCount_[2] = {0, 0};
+
+    /**
+     * Last-translation fast path: the entry returned by the previous
+     * lookup, keyed by 4KB page.  A repeat lookup within the same
+     * 4KB page resolves without probing either granularity; any
+     * insert or invalidation drops the cache, so the shortcut is
+     * exact (the 4KB probe that would normally take priority cannot
+     * have gained an entry while the cache is live).
+     */
+    Vpn lastPage_ = 0;
+    TlbEntry *lastEntry_ = nullptr;
 };
 
 /**
@@ -148,6 +181,145 @@ class TlbHierarchy
     Tlb l1_;
     Tlb l2_;
 };
+
+inline TlbEntry *
+Tlb::findEntry(Vpn vpn, bool huge)
+{
+    const unsigned set = setIndex(vpn);
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        TlbEntry &e = entries_[set * config_.ways + w];
+        if (e.valid && e.huge == huge && e.vpn == vpn) {
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+inline const TlbEntry *
+Tlb::findEntry(Vpn vpn, bool huge) const
+{
+    return const_cast<Tlb *>(this)->findEntry(vpn, huge);
+}
+
+inline std::optional<TlbEntry>
+Tlb::lookupProbe(Addr vaddr)
+{
+    const Vpn page = vpn4K(vaddr);
+    if (sizeCount_[0] != 0) {
+        if (TlbEntry *e = findEntry(page, false)) {
+            e->lastUse = useClock_;
+            ++stats_.hits;
+            lastPage_ = page;
+            lastEntry_ = e;
+            return *e;
+        }
+    }
+    if (sizeCount_[1] != 0) {
+        if (TlbEntry *e = findEntry(vpn2M(vaddr), true)) {
+            e->lastUse = useClock_;
+            ++stats_.hits;
+            lastPage_ = page;
+            lastEntry_ = e;
+            return *e;
+        }
+    }
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+inline void
+Tlb::insert(Addr vaddr, Pfn pfn, bool huge)
+{
+    dropTranslationCache();
+    const Vpn vpn = huge ? vpn2M(vaddr) : vpn4K(vaddr);
+    ++useClock_;
+    // One pass finds a refreshable entry, the first invalid way and
+    // the LRU way together (outcome identical to probe-then-scan:
+    // victim priority is first-invalid, else least-recently-used
+    // with the first-encountered way winning ties).
+    const unsigned set = setIndex(vpn);
+    TlbEntry *base = &entries_[set * config_.ways];
+    TlbEntry *invalid = nullptr;
+    TlbEntry *lru = nullptr;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        TlbEntry &e = base[w];
+        if (!e.valid) {
+            if (!invalid) {
+                invalid = &e;
+            }
+            continue;
+        }
+        if (e.huge == huge && e.vpn == vpn) {
+            // Refresh an existing entry in place.
+            e.pfn = pfn;
+            e.lastUse = useClock_;
+            return;
+        }
+        if (!lru || e.lastUse < lru->lastUse) {
+            lru = &e;
+        }
+    }
+    TlbEntry *victim = invalid ? invalid : lru;
+    if (victim->valid) {
+        ++stats_.evictions;
+        --sizeCount_[victim->huge];
+    }
+    victim->vpn = vpn;
+    victim->pfn = pfn;
+    victim->huge = huge;
+    victim->valid = true;
+    victim->lastUse = useClock_;
+    ++sizeCount_[huge];
+    ++stats_.fills;
+}
+
+inline std::optional<TlbEntry>
+Tlb::lookup(Addr vaddr)
+{
+    ++useClock_;
+    if (lastEntry_ != nullptr && vpn4K(vaddr) == lastPage_) {
+        lastEntry_->lastUse = useClock_;
+        ++stats_.hits;
+        return *lastEntry_;
+    }
+    return lookupProbe(vaddr);
+}
+
+inline void
+TlbHierarchy::insert(Addr vaddr, Pfn pfn, bool huge)
+{
+    l1_.insert(vaddr, pfn, huge);
+    l2_.insert(vaddr, pfn, huge);
+}
+
+inline void
+TlbHierarchy::invalidatePage(Addr vaddr)
+{
+    l1_.invalidatePage(vaddr);
+    l2_.invalidatePage(vaddr);
+}
+
+inline TlbHierarchy::HitLevel
+TlbHierarchy::lookup(Addr vaddr, TlbEntry *entry_out)
+{
+    if (auto e = l1_.lookup(vaddr)) {
+        if (entry_out) {
+            *entry_out = *e;
+        }
+        return HitLevel::L1;
+    }
+    if (auto e = l2_.lookup(vaddr)) {
+        // Refill L1 from L2.
+        const Addr base = e->huge ? (e->vpn << kPageShift2M)
+                                  : (e->vpn << kPageShift4K);
+        l1_.insert(base, e->pfn, e->huge);
+        if (entry_out) {
+            *entry_out = *e;
+        }
+        return HitLevel::L2;
+    }
+    return HitLevel::Miss;
+}
 
 } // namespace thermostat
 

@@ -24,20 +24,13 @@ struct PageTable::Node
 };
 
 PageTable::PageTable()
-    : root_(std::make_unique<Node>())
+    : root_(std::make_unique<Node>()),
+      walkCache_(new WalkCacheEntry[kWalkCacheSize])
 {
     nodes_ = 1;
 }
 
 PageTable::~PageTable() = default;
-
-unsigned
-PageTable::indexAt(Addr vaddr, int level)
-{
-    // level 0 = PML4 (bits 47..39) ... level 3 = PT (bits 20..12)
-    const unsigned shift = 39 - 9 * static_cast<unsigned>(level);
-    return static_cast<unsigned>((vaddr >> shift) & (kFanout - 1));
-}
 
 PageTable::Node *
 PageTable::newNode()
@@ -66,6 +59,7 @@ PageTable::pdNodeFor(Addr vaddr, bool create)
 void
 PageTable::map2M(Addr vaddr, Pfn pfn)
 {
+    invalidateWalkCache();
     TSTAT_ASSERT(vaddr % kPageSize2M == 0, "map2M: unaligned vaddr");
     TSTAT_ASSERT(pfn % kSubpagesPerHuge == 0, "map2M: unaligned pfn");
     Node *pd = pdNodeFor(vaddr, true);
@@ -79,6 +73,7 @@ PageTable::map2M(Addr vaddr, Pfn pfn)
 void
 PageTable::map4K(Addr vaddr, Pfn pfn)
 {
+    invalidateWalkCache();
     TSTAT_ASSERT(vaddr % kPageSize4K == 0, "map4K: unaligned vaddr");
     Node *pd = pdNodeFor(vaddr, true);
     const unsigned pd_idx = indexAt(vaddr, 2);
@@ -98,6 +93,7 @@ PageTable::map4K(Addr vaddr, Pfn pfn)
 void
 PageTable::unmap2M(Addr vaddr)
 {
+    invalidateWalkCache();
     Node *pd = pdNodeFor(vaddr, false);
     const unsigned idx = indexAt(vaddr, 2);
     TSTAT_ASSERT(pd && pd->entries[idx].present() &&
@@ -111,6 +107,7 @@ PageTable::unmap2M(Addr vaddr)
 void
 PageTable::unmap4K(Addr vaddr)
 {
+    invalidateWalkCache();
     Node *pd = pdNodeFor(vaddr, false);
     const unsigned pd_idx = indexAt(vaddr, 2);
     TSTAT_ASSERT(pd && pd->children[pd_idx], "unmap4K: no PT");
@@ -134,8 +131,10 @@ PageTable::unmap4K(Addr vaddr)
 }
 
 WalkResult
-PageTable::walk(Addr vaddr)
+PageTable::walkSlow(Addr vaddr)
 {
+    const Addr tag = vaddr >> kPageShift2M;
+    WalkCacheEntry &slot = walkCache_[tag & (kWalkCacheSize - 1)];
     Node *pd = pdNodeFor(vaddr, false);
     if (!pd) {
         return {};
@@ -143,12 +142,14 @@ PageTable::walk(Addr vaddr)
     const unsigned pd_idx = indexAt(vaddr, 2);
     Pte &pd_entry = pd->entries[pd_idx];
     if (pd_entry.present() && pd_entry.huge()) {
+        slot = {tag, walkGen_, &pd_entry, nullptr};
         return {&pd_entry, true};
     }
     Node *pt = pd->children[pd_idx].get();
     if (!pt) {
         return {};
     }
+    slot = {tag, walkGen_, nullptr, pt->entries.data()};
     Pte &pt_entry = pt->entries[indexAt(vaddr, 3)];
     if (!pt_entry.present()) {
         return {};
@@ -159,6 +160,7 @@ PageTable::walk(Addr vaddr)
 bool
 PageTable::split(Addr vaddr)
 {
+    invalidateWalkCache();
     TSTAT_ASSERT(vaddr % kPageSize2M == 0, "split: unaligned vaddr");
     Node *pd = pdNodeFor(vaddr, false);
     if (!pd) {
@@ -195,6 +197,7 @@ PageTable::split(Addr vaddr)
 bool
 PageTable::collapse(Addr vaddr)
 {
+    invalidateWalkCache();
     TSTAT_ASSERT(vaddr % kPageSize2M == 0, "collapse: unaligned vaddr");
     Node *pd = pdNodeFor(vaddr, false);
     if (!pd) {

@@ -16,6 +16,7 @@
 #define THERMOSTAT_VM_PAGE_TABLE_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -62,7 +63,9 @@ class PageTable
 
     /**
      * Find the leaf entry translating @p vaddr.  Does not touch
-     * Accessed/Dirty bits; the PageWalker does that.
+     * Accessed/Dirty bits; the PageWalker does that.  Defined inline
+     * below: the walk-cache hit path runs on every TLB miss and
+     * BadgerTrap replay, so it must not pay a cross-TU call.
      */
     WalkResult walk(Addr vaddr);
 
@@ -99,7 +102,27 @@ class PageTable
   private:
     struct Node;
 
-    static unsigned indexAt(Addr vaddr, int level);
+    static constexpr std::size_t kWalkCacheSize = 1024; //!< 2MB regions
+
+    /** One walk-cache slot; valid only while gen matches walkGen_. */
+    struct WalkCacheEntry
+    {
+        Addr tag = ~Addr{0}; //!< vaddr >> 21
+        std::uint64_t gen = 0;
+        Pte *pdEntry = nullptr; //!< huge leaf, when 2MB-mapped
+        Pte *ptEntries = nullptr; //!< PT entry array, when 4KB-mapped
+    };
+
+    static unsigned
+    indexAt(Addr vaddr, int level)
+    {
+        // level 0 = PML4 (bits 47..39) ... level 3 = PT (bits 20..12)
+        const unsigned shift = 39 - 9 * static_cast<unsigned>(level);
+        return static_cast<unsigned>((vaddr >> shift) & 0x1ff);
+    }
+
+    /** Full table descent on a walk-cache miss; fills the slot. */
+    WalkResult walkSlow(Addr vaddr);
 
     /** Walk down to the PD node covering @p vaddr, creating levels. */
     Node *pdNodeFor(Addr vaddr, bool create);
@@ -108,11 +131,42 @@ class PageTable
     void visitNode(Node *node, int level, Addr base,
                    const std::function<void(Addr, Pte &, bool)> &visit);
 
+    /** Any structural change invalidates the walk cache wholesale. */
+    void invalidateWalkCache() { ++walkGen_; }
+
     std::unique_ptr<Node> root_;
     std::uint64_t hugeLeaves_ = 0;
     std::uint64_t baseLeaves_ = 0;
     std::uint64_t nodes_ = 0;
+
+    /**
+     * Direct-mapped cache of resolved PD-level state per 2MB region:
+     * either the huge leaf entry or the PT node backing the region.
+     * Entries are valid only while their generation matches walkGen_;
+     * every map/unmap/split/collapse bumps the generation, so walk()
+     * never observes stale structure.
+     */
+    std::unique_ptr<WalkCacheEntry[]> walkCache_;
+    std::uint64_t walkGen_ = 1;
 };
+
+inline WalkResult
+PageTable::walk(Addr vaddr)
+{
+    const Addr tag = vaddr >> kPageShift2M;
+    WalkCacheEntry &slot = walkCache_[tag & (kWalkCacheSize - 1)];
+    if (slot.tag == tag && slot.gen == walkGen_) {
+        if (slot.pdEntry) {
+            return {slot.pdEntry, true};
+        }
+        Pte &pt_entry = slot.ptEntries[indexAt(vaddr, 3)];
+        if (!pt_entry.present()) {
+            return {};
+        }
+        return {&pt_entry, false};
+    }
+    return walkSlow(vaddr);
+}
 
 } // namespace thermostat
 

@@ -10,55 +10,21 @@ namespace thermostat
 PageWalker::PageWalker(const WalkerConfig &config)
     : config_(config)
 {
-}
-
-unsigned
-PageWalker::walkAccesses(bool huge) const
-{
-    if (config_.mode == PagingMode::Native) {
-        return huge ? config_.native2MAccesses
-                    : config_.native4KAccesses;
+    // The cost model is pure config arithmetic; evaluate it once so
+    // walks pay a table load instead of floating-point math.
+    for (const bool huge : {false, true}) {
+        const bool native = config_.mode == PagingMode::Native;
+        accesses_[huge] =
+            native ? (huge ? config_.native2MAccesses
+                           : config_.native4KAccesses)
+                   : (huge ? config_.nested2MAccesses
+                           : config_.nested4KAccesses);
+        const double factor = huge ? config_.walkCacheFactor2M
+                                   : config_.walkCacheFactor4K;
+        latency_[huge] = static_cast<Ns>(std::llround(
+            static_cast<double>(accesses_[huge]) * factor *
+            static_cast<double>(config_.tableAccessLatency)));
     }
-    return huge ? config_.nested2MAccesses : config_.nested4KAccesses;
-}
-
-Ns
-PageWalker::walkLatency(bool huge) const
-{
-    const double factor = huge ? config_.walkCacheFactor2M
-                               : config_.walkCacheFactor4K;
-    const double cost = static_cast<double>(walkAccesses(huge)) *
-                        factor *
-                        static_cast<double>(config_.tableAccessLatency);
-    return static_cast<Ns>(std::llround(cost));
-}
-
-WalkOutcome
-PageWalker::walk(PageTable &table, Addr vaddr, AccessType type)
-{
-    WalkOutcome out;
-    out.result = table.walk(vaddr);
-    const bool huge = out.result.huge;
-    out.accesses = walkAccesses(huge);
-    out.latency = walkLatency(huge);
-
-    if (out.result.mapped()) {
-        out.result.pte->setAccessed();
-        if (type == AccessType::Write) {
-            out.result.pte->setDirty();
-        }
-        if (huge) {
-            ++stats_.walks2M;
-        } else {
-            ++stats_.walks4K;
-        }
-    } else {
-        // Walk aborted partway; charge the 4KB-depth cost anyway.
-        ++stats_.walks4K;
-    }
-    stats_.tableAccesses += out.accesses;
-    stats_.totalWalkTime += out.latency;
-    return out;
 }
 
 void

@@ -84,17 +84,18 @@ class PageWalker
     const WalkerStats &stats() const { return stats_; }
 
     /** Memory accesses for a walk ending at a leaf of given size. */
-    unsigned walkAccesses(bool huge) const;
+    unsigned walkAccesses(bool huge) const { return accesses_[huge]; }
 
     /** Latency of a full walk ending at a leaf of given size. */
-    Ns walkLatency(bool huge) const;
+    Ns walkLatency(bool huge) const { return latency_[huge]; }
 
     /**
      * Perform a walk: resolve @p vaddr in @p table, set the leaf's
      * Accessed bit (and Dirty for writes), and account the cost.
      * Poison is *not* interpreted here; the MMU layer raises the
      * fault, mirroring hardware (reserved-bit check happens when the
-     * walker loads the leaf).
+     * walker loads the leaf).  Defined inline below: one call per
+     * TLB miss.
      */
     WalkOutcome walk(PageTable &table, Addr vaddr, AccessType type);
 
@@ -107,7 +108,37 @@ class PageWalker
   private:
     WalkerConfig config_;
     WalkerStats stats_;
+    Ns latency_[2]; //!< [huge] walk latency, fixed at construction
+    unsigned accesses_[2]; //!< [huge] accesses per walk
 };
+
+inline WalkOutcome
+PageWalker::walk(PageTable &table, Addr vaddr, AccessType type)
+{
+    WalkOutcome out;
+    out.result = table.walk(vaddr);
+    const bool huge = out.result.huge;
+    out.accesses = walkAccesses(huge);
+    out.latency = walkLatency(huge);
+
+    if (out.result.mapped()) {
+        out.result.pte->setAccessed();
+        if (type == AccessType::Write) {
+            out.result.pte->setDirty();
+        }
+        if (huge) {
+            ++stats_.walks2M;
+        } else {
+            ++stats_.walks4K;
+        }
+    } else {
+        // Walk aborted partway; charge the 4KB-depth cost anyway.
+        ++stats_.walks4K;
+    }
+    stats_.tableAccesses += out.accesses;
+    stats_.totalWalkTime += out.latency;
+    return out;
+}
 
 } // namespace thermostat
 

@@ -8,7 +8,7 @@ namespace thermostat
 {
 
 UniformPattern::UniformPattern(std::uint64_t span_bytes)
-    : spanBytes_(span_bytes)
+    : spanBytes_(span_bytes), draw_(span_bytes)
 {
     TSTAT_ASSERT(span_bytes > 0, "UniformPattern: empty span");
 }
@@ -16,7 +16,7 @@ UniformPattern::UniformPattern(std::uint64_t span_bytes)
 std::uint64_t
 UniformPattern::next(Rng &rng)
 {
-    return rng.nextBounded(spanBytes_);
+    return draw_(rng);
 }
 
 ZipfianPattern::ZipfianPattern(std::uint64_t span_bytes,
@@ -31,6 +31,9 @@ ZipfianPattern::ZipfianPattern(std::uint64_t span_bytes,
 {
     TSTAT_ASSERT(object_bytes > 0 && span_bytes >= object_bytes,
                  "ZipfianPattern: bad geometry");
+    if (objectBytes_ > 64) {
+        withinDraw_ = BoundedDraw(objectBytes_ / 64);
+    }
 }
 
 std::uint64_t
@@ -45,7 +48,7 @@ ZipfianPattern::next(Rng &rng)
     const std::uint64_t rank = zipf_.sample(rng);
     const std::uint64_t slot = slotForRank(rank);
     const std::uint64_t within =
-        objectBytes_ <= 64 ? 0 : rng.nextBounded(objectBytes_ / 64) * 64;
+        objectBytes_ <= 64 ? 0 : withinDraw_(rng) * 64;
     return std::min(slot * objectBytes_ + within, spanBytes_ - 1);
 }
 
@@ -68,6 +71,11 @@ HotspotPattern::HotspotPattern(std::uint64_t span_bytes,
     hotObjects_ = std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(
                static_cast<double>(objectCount_) * hot_fraction));
+    hotDraw_ = BoundedDraw(hotObjects_);
+    anyDraw_ = BoundedDraw(objectCount_);
+    if (objectBytes_ > 64) {
+        withinDraw_ = BoundedDraw(objectBytes_ / 64);
+    }
 }
 
 std::uint64_t
@@ -75,13 +83,13 @@ HotspotPattern::next(Rng &rng)
 {
     std::uint64_t index;
     if (rng.nextBool(hotTraffic_)) {
-        index = rng.nextBounded(hotObjects_);
+        index = hotDraw_(rng);
     } else {
-        index = rng.nextBounded(objectCount_);
+        index = anyDraw_(rng);
     }
     const std::uint64_t slot = scatter_ ? perm_.map(index) : index;
     const std::uint64_t within =
-        objectBytes_ <= 64 ? 0 : rng.nextBounded(objectBytes_ / 64) * 64;
+        objectBytes_ <= 64 ? 0 : withinDraw_(rng) * 64;
     return std::min(slot * objectBytes_ + within, spanBytes_ - 1);
 }
 
@@ -116,7 +124,10 @@ SequentialScanPattern::setSpanBytes(std::uint64_t bytes)
 
 RecentWindowPattern::RecentWindowPattern(std::uint64_t span_bytes,
                                          std::uint64_t window_bytes)
-    : spanBytes_(span_bytes), windowBytes_(window_bytes)
+    : spanBytes_(span_bytes),
+      windowBytes_(window_bytes),
+      windowDraw_(window_bytes < span_bytes ? window_bytes
+                                            : span_bytes)
 {
     TSTAT_ASSERT(span_bytes > 0, "RecentWindowPattern: empty span");
     TSTAT_ASSERT(window_bytes > 0,
@@ -126,9 +137,7 @@ RecentWindowPattern::RecentWindowPattern(std::uint64_t span_bytes,
 std::uint64_t
 RecentWindowPattern::next(Rng &rng)
 {
-    const std::uint64_t window =
-        windowBytes_ < spanBytes_ ? windowBytes_ : spanBytes_;
-    return spanBytes_ - window + rng.nextBounded(window);
+    return spanBytes_ - windowDraw_.bound() + windowDraw_(rng);
 }
 
 OffsetPattern::OffsetPattern(std::uint64_t offset_bytes,

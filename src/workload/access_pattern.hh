@@ -67,10 +67,12 @@ class UniformPattern : public AccessPattern
     void setSpanBytes(std::uint64_t bytes) override
     {
         spanBytes_ = bytes;
+        draw_ = BoundedDraw(spanBytes_);
     }
 
   private:
     std::uint64_t spanBytes_;
+    BoundedDraw draw_;
 };
 
 /**
@@ -98,6 +100,7 @@ class ZipfianPattern : public AccessPattern
     ZipfSampler zipf_;
     bool scatter_;
     FixedPermutation perm_;
+    BoundedDraw withinDraw_; //!< line draw inside one object
 };
 
 /**
@@ -127,6 +130,9 @@ class HotspotPattern : public AccessPattern
     double hotTraffic_;
     bool scatter_;
     FixedPermutation perm_;
+    BoundedDraw hotDraw_;    //!< draw over the hot subset
+    BoundedDraw anyDraw_;    //!< draw over all objects
+    BoundedDraw withinDraw_; //!< line draw inside one object
 };
 
 /**
@@ -167,6 +173,8 @@ class RecentWindowPattern : public AccessPattern
     void setSpanBytes(std::uint64_t bytes) override
     {
         spanBytes_ = bytes;
+        windowDraw_ = BoundedDraw(
+            windowBytes_ < spanBytes_ ? windowBytes_ : spanBytes_);
     }
 
     std::uint64_t windowBytes() const { return windowBytes_; }
@@ -174,6 +182,7 @@ class RecentWindowPattern : public AccessPattern
   private:
     std::uint64_t spanBytes_;
     std::uint64_t windowBytes_;
+    BoundedDraw windowDraw_;
 };
 
 /**

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the open-addressing FlatMap used by the per-access
+ * hot-path counter tables: probe collisions, erase/tombstone reuse,
+ * rehash growth, and iteration over exactly the live entries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/flat_map.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+/**
+ * Keys whose hashes collide in the initial 16-slot table, so the
+ * linear probe actually walks.
+ */
+std::vector<std::uint64_t>
+collidingKeys(std::size_t want)
+{
+    const std::uint64_t anchor = mixHash64(0) & 15;
+    std::vector<std::uint64_t> keys{0};
+    for (std::uint64_t k = 1; keys.size() < want; ++k) {
+        if ((mixHash64(k) & 15) == anchor) {
+            keys.push_back(k);
+        }
+    }
+    return keys;
+}
+
+TEST(FlatMap, StartsEmpty)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_FALSE(map.contains(42));
+    EXPECT_EQ(map.find(42), map.end());
+    EXPECT_EQ(map.erase(42), 0u);
+}
+
+TEST(FlatMap, CollidingKeysStayDistinct)
+{
+    const std::vector<std::uint64_t> keys = collidingKeys(5);
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    for (const std::uint64_t k : keys) {
+        map[k] = k * 10;
+    }
+    ASSERT_EQ(map.size(), keys.size());
+    for (const std::uint64_t k : keys) {
+        auto it = map.find(k);
+        ASSERT_NE(it, map.end());
+        EXPECT_EQ(it->key, k);
+        EXPECT_EQ(it->value, k * 10);
+    }
+}
+
+TEST(FlatMap, EraseLeavesProbeChainIntact)
+{
+    // Erasing the middle of a collision chain must not hide the
+    // keys probed past it (tombstones, not empty slots).
+    const std::vector<std::uint64_t> keys = collidingKeys(4);
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    for (const std::uint64_t k : keys) {
+        map[k] = k + 1;
+    }
+    EXPECT_EQ(map.erase(keys[1]), 1u);
+    EXPECT_EQ(map.size(), keys.size() - 1);
+    EXPECT_FALSE(map.contains(keys[1]));
+    for (const std::uint64_t k : {keys[0], keys[2], keys[3]}) {
+        ASSERT_TRUE(map.contains(k));
+        EXPECT_EQ(map.find(k)->value, k + 1);
+    }
+    // Double erase is a no-op.
+    EXPECT_EQ(map.erase(keys[1]), 0u);
+}
+
+TEST(FlatMap, TombstoneSlotIsReusedOnReinsert)
+{
+    const std::vector<std::uint64_t> keys = collidingKeys(3);
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    for (const std::uint64_t k : keys) {
+        map[k] = 7;
+    }
+    const std::size_t cap = map.capacity();
+    map.erase(keys[0]);
+    map[keys[0]] = 9;
+    EXPECT_EQ(map.capacity(), cap); // reused, not grown
+    EXPECT_EQ(map.size(), keys.size());
+    EXPECT_EQ(map.find(keys[0])->value, 9u);
+}
+
+TEST(FlatMap, RehashPreservesEveryEntry)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    const std::size_t n = 10000;
+    for (std::uint64_t k = 0; k < n; ++k) {
+        map[k * 0x10001] = k;
+    }
+    EXPECT_EQ(map.size(), n);
+    EXPECT_GT(map.capacity(), n); // grew past the initial 16
+    for (std::uint64_t k = 0; k < n; ++k) {
+        auto it = map.find(k * 0x10001);
+        ASSERT_NE(it, map.end());
+        EXPECT_EQ(it->value, k);
+    }
+}
+
+TEST(FlatMap, ReserveAvoidsLaterGrowth)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    map.reserve(1000);
+    const std::size_t cap = map.capacity();
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        map[k] = k;
+    }
+    EXPECT_EQ(map.capacity(), cap);
+    EXPECT_EQ(map.size(), 1000u);
+}
+
+TEST(FlatMap, IterationVisitsExactlyTheLiveEntries)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    std::map<std::uint64_t, std::uint64_t> expect;
+    for (std::uint64_t k = 0; k < 100; ++k) {
+        map[k * 3] = k;
+        expect[k * 3] = k;
+    }
+    for (std::uint64_t k = 0; k < 100; k += 2) {
+        map.erase(k * 3);
+        expect.erase(k * 3);
+    }
+    std::map<std::uint64_t, std::uint64_t> seen;
+    for (const auto &slot : map) {
+        EXPECT_TRUE(seen.emplace(slot.key, slot.value).second)
+            << "duplicate key " << slot.key;
+    }
+    EXPECT_EQ(seen, expect);
+
+    const auto &cmap = map;
+    std::size_t const_count = 0;
+    for (auto it = cmap.begin(); it != cmap.end(); ++it) {
+        ++const_count;
+    }
+    EXPECT_EQ(const_count, expect.size());
+}
+
+TEST(FlatMap, ClearResetsToEmpty)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    for (std::uint64_t k = 0; k < 50; ++k) {
+        map[k] = k;
+    }
+    map.clear();
+    EXPECT_TRUE(map.empty());
+    EXPECT_FALSE(map.contains(10));
+    map[5] = 6; // usable again after clear
+    EXPECT_EQ(map.find(5)->value, 6u);
+}
+
+} // namespace
+} // namespace thermostat
