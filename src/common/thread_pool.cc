@@ -19,7 +19,9 @@ ThreadPool::ThreadPool(unsigned threads)
 
 ThreadPool::~ThreadPool()
 {
-    wait();
+    // Drain without rethrowing: a job exception nobody waited for
+    // must not escape a destructor.
+    drain();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
@@ -42,10 +44,24 @@ ThreadPool::submit(std::function<void()> job)
 }
 
 void
-ThreadPool::wait()
+ThreadPool::drain()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::wait()
+{
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        allDone_.wait(lock, [this] { return inFlight_ == 0; });
+        std::swap(error, firstError_);
+    }
+    if (error) {
+        std::rethrow_exception(error);
+    }
 }
 
 void
@@ -64,7 +80,14 @@ ThreadPool::workerLoop()
             job = std::move(queue_.front());
             queue_.pop_front();
         }
-        job();
+        try {
+            job();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!firstError_) {
+                firstError_ = std::current_exception();
+            }
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --inFlight_;

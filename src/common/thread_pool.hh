@@ -20,6 +20,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -53,10 +54,16 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Enqueue one job.  Throws nothing; jobs must not throw. */
+    /** Enqueue one job. */
     void submit(std::function<void()> job);
 
-    /** Block until every submitted job has finished running. */
+    /**
+     * Block until every submitted job has finished running.  If any
+     * job threw since the last wait(), rethrows the first captured
+     * exception (later ones are dropped); the pool stays usable for
+     * further submits afterwards.  The destructor drains without
+     * rethrowing.
+     */
     void wait();
 
     unsigned threadCount() const
@@ -73,6 +80,7 @@ class ThreadPool
 
   private:
     void workerLoop();
+    void drain();
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;
@@ -81,6 +89,7 @@ class ThreadPool
     std::condition_variable allDone_;    //!< everything drained
     std::size_t inFlight_ = 0; //!< queued + currently executing
     bool stopping_ = false;
+    std::exception_ptr firstError_; //!< first job exception, if any
 };
 
 } // namespace thermostat

@@ -67,6 +67,112 @@ ThermostatEngine::accrueOverhead()
     seenTrapMaintenance_ = trap_cost;
 }
 
+bool
+ThermostatEngine::faultAware() const
+{
+    return space_.memory().hasFaultInjector();
+}
+
+bool
+ThermostatEngine::isQuarantined(Addr base, Ns now)
+{
+    const auto it = quarantineUntil_.find(base);
+    if (it == quarantineUntil_.end()) {
+        return false;
+    }
+    if (now < it->second) {
+        return true;
+    }
+    // Lazy expiry: the page becomes placeable again.
+    quarantineUntil_.erase(it);
+    ++stats_.unquarantined;
+    if (tracer_) {
+        tracer_->record(EventKind::PageUnquarantined, now, base);
+    }
+    return false;
+}
+
+void
+ThermostatEngine::noteDemotionOutcome(Addr base, bool moved, Ns now)
+{
+    if (moved) {
+        demotionFailures_.erase(base);
+        return;
+    }
+    const Count fails = ++demotionFailures_[base];
+    if (fails < cgroup_.params().quarantineThreshold) {
+        return;
+    }
+    // Repeated failures: bench the page instead of burning
+    // migration bandwidth on it every period.
+    demotionFailures_.erase(base);
+    quarantineUntil_[base] =
+        now + cgroup_.params().quarantineDuration;
+    ++stats_.quarantined;
+    if (tracer_) {
+        tracer_->record(EventKind::PageQuarantined, now, base);
+    }
+}
+
+void
+ThermostatEngine::processEvacuations(Ns now)
+{
+    {
+        std::vector<Pfn> fresh = space_.memory().takeEvacuations();
+        evacuationBacklog_.insert(evacuationBacklog_.end(),
+                                  fresh.begin(), fresh.end());
+    }
+    if (evacuationBacklog_.empty()) {
+        return;
+    }
+
+    std::unordered_set<Pfn> retired(evacuationBacklog_.begin(),
+                                    evacuationBacklog_.end());
+    const auto blockOf = [](Pfn pfn) {
+        return pfn - (pfn % kSubpagesPerHuge);
+    };
+
+    // Cold pages mapped into retired blocks must come back to the
+    // fast tier; sorted for a deterministic migration order (the
+    // cold sets are hash sets).
+    std::vector<Addr> victims;
+    for (const Addr base : coldHuge_) {
+        const WalkResult wr = space_.pageTable().walk(base);
+        if (wr.mapped() && retired.count(blockOf(wr.pte->pfn()))) {
+            victims.push_back(base);
+        }
+    }
+    for (const Addr base : coldBase_) {
+        const WalkResult wr = space_.pageTable().walk(base);
+        if (wr.mapped() && retired.count(blockOf(wr.pte->pfn()))) {
+            victims.push_back(base);
+        }
+    }
+    std::sort(victims.begin(), victims.end());
+
+    bool any_failed = false;
+    for (const Addr base : victims) {
+        const MigrateResult res =
+            migrator_.migrate(base, Tier::Fast, now);
+        pendingOverhead_ += res.cost;
+        stats_.overheadTime += res.cost;
+        if (!res.moved) {
+            // Fast tier full (or still failing): keep the block in
+            // the backlog and try again next tick.
+            ++stats_.migrationFailures;
+            any_failed = true;
+            continue;
+        }
+        pendingOverhead_ += trap_.unpoison(base);
+        coldHuge_.erase(base);
+        coldBase_.erase(base);
+        ++stats_.evacuationPromotions;
+    }
+    if (!any_failed) {
+        evacuationBacklog_.clear();
+    }
+}
+
 void
 ThermostatEngine::tick(Ns now)
 {
@@ -75,6 +181,9 @@ ThermostatEngine::tick(Ns now)
     }
     if (tracer_) {
         tracer_->setSimTime(now);
+    }
+    if (faultAware()) {
+        processEvacuations(now);
     }
     while (now >= nextStageTime_) {
         switch (nextStage_) {
@@ -220,10 +329,24 @@ void
 ThermostatEngine::applyClassification(const Classification &classes,
                                       Ns now)
 {
+    // Graceful degradation: while the slow tier is in a fault
+    // episode, stop feeding it new cold pages for this period (the
+    // resident cold set and the corrector keep running).
+    const bool fault_aware = faultAware();
+    bool throttled = false;
+    if (fault_aware && !classes.cold.empty() &&
+        !space_.memory().slowHealthy()) {
+        throttled = true;
+        ++stats_.throttledPeriods;
+    }
     for (const PageRate &page : classes.cold) {
         if (tracer_) {
             tracer_->record(EventKind::ClassifiedCold, now,
                             page.base, page.bytes == kPageSize2M);
+        }
+        if (throttled ||
+            (fault_aware && isQuarantined(page.base, now))) {
+            continue;
         }
         if (page.bytes == kPageSize2M) {
             if (!space_.collapseHuge(page.base)) {
@@ -242,6 +365,9 @@ ThermostatEngine::applyClassification(const Classification &classes,
                 migrator_.migrate(page.base, Tier::Slow, now);
             pendingOverhead_ += res.cost;
             stats_.overheadTime += res.cost;
+            if (fault_aware) {
+                noteDemotionOutcome(page.base, res.moved, now);
+            }
             if (!res.moved) {
                 ++stats_.migrationFailures;
                 continue;
@@ -256,6 +382,9 @@ ThermostatEngine::applyClassification(const Classification &classes,
                 migrator_.migrate(page.base, Tier::Slow, now);
             pendingOverhead_ += res.cost;
             stats_.overheadTime += res.cost;
+            if (fault_aware) {
+                noteDemotionOutcome(page.base, res.moved, now);
+            }
             if (!res.moved) {
                 ++stats_.migrationFailures;
                 continue;
@@ -444,6 +573,18 @@ ThermostatEngine::registerMetrics(MetricRegistry &registry,
                          [this] { return targetRate(); });
     registry.addCallback(prefix + ".measured_slow_rate", [this] {
         return slowRateSeries_.lastValue();
+    });
+    registry.addCallback(prefix + ".quarantined", [this] {
+        return static_cast<double>(stats_.quarantined);
+    });
+    registry.addCallback(prefix + ".unquarantined", [this] {
+        return static_cast<double>(stats_.unquarantined);
+    });
+    registry.addCallback(prefix + ".throttled_periods", [this] {
+        return static_cast<double>(stats_.throttledPeriods);
+    });
+    registry.addCallback(prefix + ".evacuation_promotions", [this] {
+        return static_cast<double>(stats_.evacuationPromotions);
     });
 }
 

@@ -58,6 +58,15 @@ struct EngineStats
     Count collapseFailures = 0;
     Count migrationFailures = 0;
     Ns overheadTime = 0; //!< total monitoring+migration CPU charged
+
+    // Graceful-degradation counters (zero without fault injection).
+    Count quarantined = 0;        //!< pages benched after repeated
+                                  //!< demotion failures
+    Count unquarantined = 0;      //!< quarantines expired
+    Count throttledPeriods = 0;   //!< classify periods that skipped
+                                  //!< placement (slow tier unhealthy)
+    Count evacuationPromotions = 0; //!< pages pulled off retired
+                                    //!< slow-tier blocks
 };
 
 /**
@@ -142,6 +151,12 @@ class ThermostatEngine
      */
     void setMarkingQuantum(double quantum) { markingQuantum_ = quantum; }
 
+    /** Pages currently benched after repeated demotion failures. */
+    std::size_t quarantinedPages() const
+    {
+        return quarantineUntil_.size();
+    }
+
   private:
     enum class Stage { Split, Poison, Classify };
 
@@ -153,6 +168,14 @@ class ThermostatEngine
     bool trySpreadHotPage(const SampledPage &page, Ns now);
     void runCorrection(Ns now);
     void accrueOverhead();
+
+    // Graceful degradation (no-ops unless the memory system has a
+    // fault injector attached; see the byte-identical rule in
+    // DESIGN.md).
+    bool faultAware() const;
+    bool isQuarantined(Addr base, Ns now);
+    void noteDemotionOutcome(Addr base, bool moved, Ns now);
+    void processEvacuations(Ns now);
 
     MemCgroup &cgroup_;
     AddressSpace &space_;
@@ -174,6 +197,13 @@ class ThermostatEngine
 
     std::unordered_set<Addr> coldHuge_;
     std::unordered_set<Addr> coldBase_;
+
+    /** Consecutive demotion failures per page (fault-aware mode). */
+    std::unordered_map<Addr, Count> demotionFailures_;
+    /** Benched pages and when their quarantine expires. */
+    std::unordered_map<Addr, Ns> quarantineUntil_;
+    /** Retired slow-tier blocks still awaiting evacuation. */
+    std::vector<Pfn> evacuationBacklog_;
 
     TimeSeries slowRateSeries_{"slow_mem_access_rate"};
     EngineStats stats_;

@@ -39,6 +39,16 @@ eventKindName(EventKind kind)
         return "spread";
       case EventKind::MigrationFailed:
         return "migration_failed";
+      case EventKind::MigrationRetried:
+        return "migration_retried";
+      case EventKind::MigrationAborted:
+        return "migration_aborted";
+      case EventKind::FrameRetired:
+        return "frame_retired";
+      case EventKind::PageQuarantined:
+        return "quarantined";
+      case EventKind::PageUnquarantined:
+        return "unquarantined";
       case EventKind::Phase:
         return "phase";
     }
@@ -67,6 +77,12 @@ eventCategory(EventKind kind)
         return kEvMigrate;
       case EventKind::Corrected:
         return kEvCorrect;
+      case EventKind::MigrationRetried:
+      case EventKind::MigrationAborted:
+      case EventKind::FrameRetired:
+      case EventKind::PageQuarantined:
+      case EventKind::PageUnquarantined:
+        return kEvFault;
       case EventKind::Phase:
         return kEvPhase;
     }
@@ -92,6 +108,8 @@ categoryName(EventCategory cat)
         return "correct";
       case kEvPhase:
         return "phase";
+      case kEvFault:
+        return "fault";
       default:
         return "all";
     }
@@ -126,6 +144,8 @@ parseEventMask(const std::string &spec, std::uint32_t *mask_out)
             mask |= kEvCorrect;
         } else if (token == "phase") {
             mask |= kEvPhase;
+        } else if (token == "fault") {
+            mask |= kEvFault;
         } else if (!token.empty()) {
             return false;
         }

@@ -51,6 +51,14 @@ enum class EventKind : std::uint8_t
     PageSpread,     //!< Sec 6 extension: hot page left split, cold
                     //!< subpages demoted (value = subpages demoted)
     MigrationFailed, //!< target tier full
+    MigrationRetried, //!< migration attempt failed, retrying
+                      //!< (value = attempt number)
+    MigrationAborted, //!< copy torn mid-migration and rolled back
+                      //!< (value = bytes copied then discarded)
+    FrameRetired,    //!< wear-retired slow-tier block
+                     //!< (addr = frame base pfn, value = frames)
+    PageQuarantined, //!< demotion kept failing; page benched
+    PageUnquarantined, //!< quarantine expired, page eligible again
     Phase           //!< TraceScope host-time phase (value = wall ns)
 };
 
@@ -65,6 +73,8 @@ enum EventCategory : std::uint32_t
                            //!< MigrationFailed
     kEvCorrect = 1u << 4,  //!< Corrected
     kEvPhase = 1u << 5,    //!< Phase
+    kEvFault = 1u << 6,    //!< MigrationRetried/Aborted, FrameRetired,
+                           //!< PageQuarantined/Unquarantined
     kEvAll = 0xffffffffu
 };
 

@@ -125,8 +125,10 @@ Machine::access(Addr vaddr, AccessType type, Count weight,
             // translation (the paper's noted under-estimate).
             ? fast_cost
             // Fast-equivalent part overlaps; the latency excess of
-            // the slow device is serialized.
-            : fast_cost + costs_.slowExcess[write];
+            // the slow device is serialized.  slowFaultExcess() is
+            // zero except during an injected degradation episode.
+            : fast_cost + costs_.slowExcess[write] +
+                  memory_.slowFaultExcess();
 
     out.actualLatency += costs_.llcHit * lines;
     out.baselineLatency += costs_.llcHit * lines;

@@ -10,6 +10,11 @@ Simulation::Simulation(std::unique_ptr<Workload> workload,
                        const SimConfig &config)
     : config_(config),
       workload_(std::move(workload)),
+      faults_(config.faultPlan.enabled()
+                  ? std::make_unique<FaultInjector>(
+                        config.faultPlan,
+                        config.seed ^ 0xfa017ab1eULL)
+                  : nullptr),
       machine_(config.machine),
       kstaled_(machine_.space(), machine_.tlb()),
       khugepaged_(machine_.space(), machine_.tlb()),
@@ -44,6 +49,15 @@ Simulation::Simulation(std::unique_ptr<Workload> workload,
     migrator_.registerMetrics(metrics_, "migrator");
     kstaled_.registerMetrics(metrics_, "kstaled");
     khugepaged_.registerMetrics(metrics_, "khugepaged");
+
+    // Fault injection: attached only when a plan is configured, so
+    // fault-free runs execute exactly the pre-fault code paths.
+    if (faults_ != nullptr) {
+        machine_.memory().setFaultInjector(faults_.get());
+        machine_.memory().setTracer(&tracer_);
+        migrator_.setFaultInjector(faults_.get());
+        faults_->registerMetrics(metrics_, "faults");
+    }
 }
 
 void
@@ -111,6 +125,12 @@ Simulation::run()
         const bool recording = now >= warmup;
         const Ns rec_time = recording ? now - warmup : 0;
         tracer_.setSimTime(now);
+        if (faults_ != nullptr) {
+            // Latch the slow tier's degradation state for this
+            // epoch and fire any pending wear retirements (the
+            // engine tick below evacuates retired blocks).
+            machine_.memory().advanceFaultState(now);
+        }
         {
             TraceScope scope(&tracer_, "workload_advance");
             workload_->advance(now, machine_.space());

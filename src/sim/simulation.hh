@@ -23,6 +23,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "core/thermostat.hh"
+#include "fault/fault_injector.hh"
 #include "obs/event_trace.hh"
 #include "obs/lifecycle_audit.hh"
 #include "obs/metrics.hh"
@@ -95,6 +96,13 @@ struct SimConfig
      * lifecycle auditor always sees the full stream regardless.
      */
     std::uint32_t traceMask = kEvAll;
+
+    /**
+     * Fault-injection plan (see fault/fault_injector.hh for the
+     * spec grammar).  Default-empty: no injector is created and the
+     * run is byte-identical to a build without the fault subsystem.
+     */
+    FaultPlan faultPlan;
 };
 
 /** One per-report-interval metric snapshot. */
@@ -201,11 +209,15 @@ class Simulation
     ThermostatEngine &engine() { return engine_; }
     const SimConfig &config() const { return config_; }
 
+    /** Null unless the config's fault plan is non-empty. */
+    const FaultInjector *faultInjector() const { return faults_.get(); }
+
   private:
     void recordFootprint(SimResult &result, Ns now);
 
     SimConfig config_;
     std::unique_ptr<Workload> workload_;
+    std::unique_ptr<FaultInjector> faults_;
     Machine machine_;
     Kstaled kstaled_;
     Khugepaged khugepaged_;

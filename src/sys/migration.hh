@@ -24,6 +24,7 @@
 namespace thermostat
 {
 
+class FaultInjector;
 class MetricRegistry;
 
 /** Migration cost model. */
@@ -34,6 +35,17 @@ struct MigrationConfig
 
     /** Copy bandwidth between tiers, bytes/sec. */
     double copyBandwidthBytesPerSec = 4.0e9;
+
+    /**
+     * Retry policy, exercised only when a fault injector is
+     * attached (real kernels retry migrate_pages() on transient
+     * failures too, but without faults the simulator never sees
+     * one): up to maxRetries retries after the first attempt, with
+     * capped exponential backoff between attempts.
+     */
+    unsigned maxRetries = 3;
+    Ns backoffBaseNs = 50'000;
+    Ns backoffCapNs = 1'000'000;
 };
 
 /** Aggregate migration accounting. */
@@ -47,6 +59,13 @@ struct MigrationStats
     std::uint64_t bytesPromoted = 0;
     Count failedAllocs = 0;    //!< target tier full
     Ns totalCost = 0;
+
+    // Fault-path accounting (all zero without an injector).
+    Count retries = 0;           //!< retry attempts made
+    Count copyAborts = 0;        //!< copies torn and rolled back
+    Count injectedAllocFails = 0; //!< injected allocation pressure
+    std::uint64_t bytesAborted = 0; //!< copied then discarded
+    Ns backoffNs = 0;            //!< time spent backing off
 };
 
 /** Outcome of one migration request. */
@@ -80,9 +99,20 @@ class PageMigrator
     /**
      * Attach a lifecycle tracer: successful moves emit
      * PageDemoted/PagePromoted (value = bytes), exhausted target
-     * tiers emit MigrationFailed.
+     * tiers emit MigrationFailed, and the fault path emits
+     * MigrationRetried/MigrationAborted.
      */
     void setTracer(EventTracer *tracer) { tracer_ = tracer; }
+
+    /**
+     * Attach a fault injector.  Arms the retry/backoff/rollback
+     * machinery: MigrationAlloc faults deny the destination frame,
+     * MigrationCopy faults tear the copy halfway (the half-written
+     * destination is discarded, wear included, and the page table
+     * is left untouched on the source).  Without an injector,
+     * migrate() is single-attempt, exactly the fault-free path.
+     */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
 
     /** Expose the counters under "<prefix>." in @p registry. */
     void registerMetrics(MetricRegistry &registry,
@@ -104,7 +134,7 @@ class PageMigrator
     double overallPromotionRate() const { return promotionMeter_.overallRate(); }
 
   private:
-    Ns copyCost(std::uint64_t bytes) const;
+    Ns copyCost(std::uint64_t bytes, double slowdown = 1.0) const;
 
     AddressSpace &space_;
     TlbHierarchy &tlb_;
@@ -112,6 +142,7 @@ class PageMigrator
     MigrationConfig config_;
     MigrationStats stats_;
     EventTracer *tracer_ = nullptr;
+    FaultInjector *faults_ = nullptr;
     RateMeter demotionMeter_;  //!< records bytes, not pages
     RateMeter promotionMeter_;
 };

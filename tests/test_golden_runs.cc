@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Golden-run regression tests: pin byte-exact CSV output for one
+ * small configuration per figure family (fig03, fig11, tab04).
+ *
+ * These runs never enable fault injection, so any diff against the
+ * checked-in goldens means the simulator's fault-free behaviour
+ * changed -- exactly the "bit-identical when disabled" claim this
+ * suite exists to enforce.  To regenerate after an intentional
+ * change:
+ *
+ *     THERMOSTAT_REGOLDEN=1 ./build/tests/test_golden_runs
+ *
+ * and commit the updated files under tests/golden/.
+ */
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "harness.hh"
+#include "sim/csv_export.hh"
+
+#ifndef THERMOSTAT_GOLDEN_DIR
+#error "tests/CMakeLists.txt must define THERMOSTAT_GOLDEN_DIR"
+#endif
+
+namespace thermostat
+{
+namespace
+{
+
+using test::TempDir;
+using test::halfColdWorkload;
+using test::slurpFile;
+using test::spillFile;
+using test::tinySimConfig;
+
+/**
+ * Compare @p produced against the checked-in golden file, or rewrite
+ * the golden when THERMOSTAT_REGOLDEN is set in the environment.
+ */
+void
+checkGolden(const std::string &name, const std::string &produced)
+{
+    const std::string path =
+        std::string(THERMOSTAT_GOLDEN_DIR) + "/" + name;
+    if (std::getenv("THERMOSTAT_REGOLDEN") != nullptr) {
+        ASSERT_TRUE(spillFile(path, produced))
+            << "cannot regenerate " << path;
+        return;
+    }
+    const std::string want = slurpFile(path);
+    ASSERT_FALSE(want.empty())
+        << "missing golden file " << path
+        << "; run with THERMOSTAT_REGOLDEN=1 to create it";
+    EXPECT_EQ(want, produced)
+        << "output of " << name
+        << " drifted from the golden run; if the change is "
+           "intentional, regenerate with THERMOSTAT_REGOLDEN=1";
+}
+
+std::string
+formatRow(const char *fmt, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    return buf;
+}
+
+/** Fig 3 family: one full run exported through writeSimResultCsv. */
+TEST(GoldenRuns, Fig03FamilyCsvFiles)
+{
+    SimConfig config = tinySimConfig(42);
+    config.duration = 120 * kNsPerSec;
+    Simulation sim(halfColdWorkload(), config);
+    const SimResult result = sim.run();
+    EXPECT_EQ(result.auditViolations, 0u);
+
+    TempDir dir;
+    ASSERT_TRUE(writeSimResultCsv(result, dir.path()));
+    for (const char *name :
+         {"footprint.csv", "slow_rate.csv", "device_rate.csv",
+          "summary.csv"}) {
+        checkGolden(std::string("fig03_") + name,
+                    slurpFile(dir.file(name)));
+    }
+}
+
+/** Fig 11 family: slowdown-target sweep summary. */
+TEST(GoldenRuns, Fig11SlowdownTargetSweep)
+{
+    std::string csv = "target_pct,slowdown,avg_cold_fraction,"
+                      "final_cold_fraction,demotion_bytes_per_sec\n";
+    for (const double target : {1.0, 3.0, 10.0}) {
+        SimConfig config = tinySimConfig(7);
+        config.duration = 90 * kNsPerSec;
+        config.params.tolerableSlowdownPct = target;
+        Simulation sim(halfColdWorkload(), config);
+        const SimResult result = sim.run();
+        EXPECT_EQ(result.auditViolations, 0u);
+        csv += formatRow("%.1f,%.5f,%.5f,%.5f,%.1f\n", target,
+                         result.slowdown, result.avgColdFraction,
+                         result.finalColdFraction,
+                         result.demotionBytesPerSec);
+    }
+    checkGolden("fig11_slowdown.csv", csv);
+}
+
+/** Tab 4 family: device-mode run with the memory-cost summary. */
+TEST(GoldenRuns, Tab04DeviceModeSummary)
+{
+    SimConfig config = tinySimConfig(13);
+    config.duration = 90 * kNsPerSec;
+    config.machine.slowMode = SlowEmuMode::Device;
+    Simulation sim(halfColdWorkload(), config);
+    const SimResult result = sim.run();
+    EXPECT_EQ(result.auditViolations, 0u);
+
+    std::string csv = "key,value\n";
+    csv += formatRow("slowdown,%.5f\n", result.slowdown);
+    csv += formatRow("cost_relative_to_all_fast,%.6f\n",
+                     sim.machine().memory().costRelativeToAllFast());
+    csv += formatRow("final_cold_fraction,%.5f\n",
+                     result.finalColdFraction);
+    csv += formatRow("rss_bytes,%llu\n",
+                     static_cast<unsigned long long>(
+                         result.finalRssBytes));
+    csv += formatRow("demotion_bytes_per_sec,%.1f\n",
+                     result.demotionBytesPerSec);
+    checkGolden("tab04_device_summary.csv", csv);
+}
+
+} // namespace
+} // namespace thermostat

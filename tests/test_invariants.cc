@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Conservation invariants over many random seeds, with and without
+ * fault injection.  Each run must satisfy, regardless of what the
+ * fault plan did to it:
+ *
+ *   - the lifecycle audit replay agrees with component accounting;
+ *   - migrated byte counts match migrated page counts exactly;
+ *   - no frame is lost or duplicated: allocated + free + retired
+ *     equals the tier's frame count, in both tiers;
+ *   - the page table and the allocators agree on slow-tier
+ *     occupancy, and the engine's cold set agrees with both;
+ *   - quarantine enter/leave counts are consistent.
+ *
+ * Labeled "stress": ~100 short end-to-end runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness.hh"
+#include "sim/simulation.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+using test::halfColdWorkload;
+using test::tinySimConfig;
+
+constexpr unsigned kSeeds = 50;
+
+/** A plan exercising every fault site at once. */
+const char *const kMixedPlan =
+    "migration-copy:p=0.2;migration-alloc:p=0.1;"
+    "slow-latency:from=15,until=35,factor=3;"
+    "slow-bandwidth:from=25,until=45,factor=2;"
+    "wear-retire:at=40,count=1";
+
+void
+checkInvariants(const std::string &plan, std::uint64_t seed)
+{
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " plan=\"" + plan +
+                 "\"");
+    SimConfig config = tinySimConfig(seed);
+    config.duration = 60 * kNsPerSec;
+    if (!plan.empty()) {
+        std::string error;
+        ASSERT_TRUE(FaultPlan::parse(plan, config.faultPlan, error))
+            << error;
+    }
+    Simulation sim(halfColdWorkload(), config);
+    const SimResult r = sim.run();
+
+    // Event-stream replay agrees with component accounting.
+    EXPECT_EQ(r.auditViolations, 0u);
+
+    // Migration byte/page consistency.
+    EXPECT_EQ(r.migration.bytesDemoted,
+              r.migration.hugeDemotions * kPageSize2M +
+                  r.migration.baseDemotions * kPageSize4K);
+    EXPECT_EQ(r.migration.bytesPromoted,
+              r.migration.hugePromotions * kPageSize2M +
+                  r.migration.basePromotions * kPageSize4K);
+
+    // Frame conservation in both tiers.
+    TieredMemory &memory = sim.machine().memory();
+    for (const MemoryTier *tier :
+         {&memory.fast(), &memory.slow()}) {
+        const FrameAllocator &alloc = tier->allocator();
+        EXPECT_EQ(alloc.allocatedFrames() + alloc.freeFrames() +
+                      alloc.retiredFrames(),
+                  alloc.frameCount())
+            << tier->config().name;
+    }
+
+    // Page table, slow allocator and engine cold set all agree.
+    std::uint64_t slow_mapped = 0;
+    std::uint64_t slow_bytes = 0;
+    sim.machine().space().pageTable().forEachLeaf(
+        [&](Addr, Pte &pte, bool huge) {
+            if (memory.tierOf(pte.pfn()) != Tier::Slow) {
+                return;
+            }
+            slow_mapped += huge ? kSubpagesPerHuge : 1;
+            slow_bytes += huge ? kPageSize2M : kPageSize4K;
+        });
+    EXPECT_EQ(slow_mapped,
+              memory.slow().allocator().allocatedFrames());
+    EXPECT_EQ(slow_bytes, sim.engine().coldBytes());
+
+    // Quarantine bookkeeping: every bench has at most one release,
+    // and anything still benched is accounted.
+    EXPECT_GE(r.engine.quarantined,
+              r.engine.unquarantined +
+                  sim.engine().quarantinedPages());
+
+    // Fault metrics stay zero without an injector.
+    if (plan.empty()) {
+        EXPECT_EQ(r.migration.retries, 0u);
+        EXPECT_EQ(r.migration.copyAborts, 0u);
+        EXPECT_EQ(r.migration.bytesAborted, 0u);
+        EXPECT_EQ(r.engine.quarantined, 0u);
+        EXPECT_EQ(r.engine.throttledPeriods, 0u);
+        EXPECT_EQ(r.engine.evacuationPromotions, 0u);
+        EXPECT_EQ(memory.slow().allocator().retiredFrames(), 0u);
+    }
+}
+
+TEST(Invariants, ManySeedsFaultFree)
+{
+    for (unsigned i = 0; i < kSeeds; ++i) {
+        checkInvariants("", 1000 + i * 7919);
+    }
+}
+
+TEST(Invariants, ManySeedsUnderMixedFaults)
+{
+    for (unsigned i = 0; i < kSeeds; ++i) {
+        checkInvariants(kMixedPlan, 1000 + i * 7919);
+    }
+}
+
+} // namespace
+} // namespace thermostat

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "harness.hh"
 #include "sim/simulation.hh"
 
 namespace thermostat
@@ -13,40 +14,8 @@ namespace thermostat
 namespace
 {
 
-/**
- * 64MB footprint: half blazing hot, half untouched.  Small enough
- * that tests run in well under a second per simulated minute.
- */
-std::unique_ptr<ComposedWorkload>
-halfColdWorkload()
-{
-    auto w = std::make_unique<ComposedWorkload>(
-        "half-cold", 200.0e3, 0.8, 300 * kNsPerSec);
-    w->addRegion({"data", 64_MiB, 0, true, false});
-    TrafficComponent hot;
-    hot.region = "data";
-    hot.weight = 1.0;
-    hot.writeFraction = 0.2;
-    hot.burstLines = 4;
-    hot.pattern = std::make_unique<UniformPattern>(32_MiB);
-    w->addComponent(std::move(hot));
-    return w;
-}
-
-SimConfig
-tinySimConfig()
-{
-    SimConfig config;
-    config.seed = 7;
-    config.samplesPerEpoch = 4000;
-    config.profileWeight = 5;
-    config.machine.fastTier = TierConfig::dram(256_MiB);
-    config.machine.slowTier = TierConfig::slow(256_MiB);
-    config.machine.llc.sizeBytes = 1_MiB;
-    config.params.sampleFraction = 0.25;
-    config.duration = 150 * kNsPerSec;
-    return config;
-}
+using test::halfColdWorkload;
+using test::tinySimConfig;
 
 TEST(Simulation, ColdHalfMigratesToSlowMemory)
 {

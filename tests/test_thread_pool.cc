@@ -1,0 +1,154 @@
+/**
+ * @file
+ * ThreadPool tests: reusable wait(), THERMOSTAT_JOBS sizing,
+ * exception propagation, and a contention workout that gives TSan
+ * (the tsan-determinism CI job) something to chew on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+TEST(ThreadPool, RunsAllJobs)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i) {
+        pool.submit([&count] { ++count; });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int round = 1; round <= 3; ++round) {
+        for (int i = 0; i < 10; ++i) {
+            pool.submit([&count] { ++count; });
+        }
+        pool.wait();
+        EXPECT_EQ(count.load(), round * 10);
+    }
+    // wait() with nothing queued returns immediately.
+    pool.wait();
+    EXPECT_EQ(count.load(), 30);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedJobs)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i) {
+            pool.submit([&count] { ++count; });
+        }
+        // No wait(): the destructor must drain before joining.
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInSubmissionOrder)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    for (int i = 0; i < 32; ++i) {
+        pool.submit([&order, i] { order.push_back(i); });
+    }
+    pool.wait();
+    ASSERT_EQ(order.size(), 32u);
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+    }
+}
+
+TEST(ThreadPool, DefaultJobsHonorsEnvironment)
+{
+    ::setenv("THERMOSTAT_JOBS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 3u);
+    {
+        ThreadPool pool; // threads = 0 resolves via defaultJobs()
+        EXPECT_EQ(pool.threadCount(), 3u);
+    }
+    // Invalid values fall back to hardware concurrency (>= 1).
+    ::setenv("THERMOSTAT_JOBS", "0", 1);
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+    ::setenv("THERMOSTAT_JOBS", "banana", 1);
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+    ::unsetenv("THERMOSTAT_JOBS");
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstJobException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([] { throw std::runtime_error("job failed"); });
+    for (int i = 0; i < 10; ++i) {
+        pool.submit([&count] { ++count; });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The failure did not take down the workers or lose jobs.
+    EXPECT_EQ(count.load(), 10);
+    // The pool stays usable, and the error was consumed.
+    pool.submit([&count] { ++count; });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(count.load(), 11);
+}
+
+TEST(ThreadPool, OnlyFirstOfManyExceptionsSurfaces)
+{
+    ThreadPool pool(4);
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([] { throw std::runtime_error("boom"); });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_NO_THROW(pool.wait());
+}
+
+TEST(ThreadPool, UnwaitedExceptionDoesNotEscapeDestructor)
+{
+    // A throwing job whose error nobody collects must be swallowed
+    // by the destructor, not std::terminate the process.
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("ignored"); });
+}
+
+TEST(ThreadPool, ContendedCountersStayExact)
+{
+    // Many tiny jobs hammering shared state from every worker; run
+    // under TSan this doubles as a lock-discipline check.
+    ThreadPool pool(8);
+    std::atomic<std::uint64_t> sum{0};
+    std::uint64_t guarded = 0;
+    std::mutex guard;
+    constexpr int kJobs = 2000;
+    for (int i = 1; i <= kJobs; ++i) {
+        pool.submit([&, i] {
+            sum += static_cast<std::uint64_t>(i);
+            std::lock_guard<std::mutex> lock(guard);
+            guarded += static_cast<std::uint64_t>(i);
+        });
+    }
+    pool.wait();
+    const std::uint64_t expect =
+        static_cast<std::uint64_t>(kJobs) * (kJobs + 1) / 2;
+    EXPECT_EQ(sum.load(), expect);
+    EXPECT_EQ(guarded, expect);
+}
+
+} // namespace
+} // namespace thermostat

@@ -8,6 +8,7 @@
  *                  [--thp on|off] [--spread] [--no-thermostat] \
  *                  [--csv DIR] [--metrics-out FILE] \
  *                  [--trace-out FILE] [--trace-events MASK] \
+ *                  [--fault-plan SPEC] \
  *                  [--log-level quiet|normal|verbose]
  *
  * Prints the run summary and, with --csv, writes the plot series
@@ -60,7 +61,12 @@ usage(const char *argv0)
         "  --trace-out FILE   write event trace (Chrome JSON, or\n"
         "                     JSONL if FILE ends in .jsonl)\n"
         "  --trace-events M   comma list of sample,poison,classify,\n"
-        "                     migrate,correct,phase | all | none\n"
+        "                     migrate,correct,fault,phase | all |"
+        " none\n"
+        "  --fault-plan SPEC  deterministic fault injection, e.g.\n"
+        "                     \"migration-copy:p=0.05;"
+        "wear-retire:at=60,count=4\"\n"
+        "                     (grammar: src/fault/fault_injector.hh)\n"
         "  --log-level L      quiet | normal | verbose\n",
         argv0);
     std::exit(2);
@@ -125,6 +131,14 @@ main(int argc, char **argv)
             metrics_out = nextArg(argc, argv, i);
         } else if (!std::strcmp(arg, "--trace-out")) {
             trace_out = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--fault-plan")) {
+            std::string error;
+            if (!FaultPlan::parse(nextArg(argc, argv, i),
+                                  config.faultPlan, error)) {
+                std::fprintf(stderr, "bad --fault-plan: %s\n",
+                             error.c_str());
+                usage(argv[0]);
+            }
         } else if (!std::strcmp(arg, "--trace-events")) {
             if (!parseEventMask(nextArg(argc, argv, i),
                                 &config.traceMask)) {
@@ -202,6 +216,25 @@ main(int argc, char **argv)
                   std::to_string(r.engine.pagesSpread)});
     table.addRow({"audit violations",
                   std::to_string(r.auditViolations)});
+    if (sim.faultInjector() != nullptr) {
+        table.addRow({"migration retries",
+                      std::to_string(r.migration.retries)});
+        table.addRow({"copy aborts",
+                      std::to_string(r.migration.copyAborts)});
+        table.addRow({"pages quarantined",
+                      std::to_string(r.engine.quarantined)});
+        table.addRow({"throttled periods",
+                      std::to_string(r.engine.throttledPeriods)});
+        table.addRow({"evacuation promotions",
+                      std::to_string(r.engine.evacuationPromotions)});
+        table.addRow(
+            {"retired slow frames",
+             std::to_string(sim.machine()
+                                .memory()
+                                .slow()
+                                .allocator()
+                                .retiredFrames())});
+    }
     table.print();
 
     if (!metrics_out.empty() &&
