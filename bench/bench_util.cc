@@ -69,6 +69,21 @@ runThermostat(const std::string &workload,
     return sim.run();
 }
 
+SimResult
+runPolicy(const std::string &workload, const std::string &policy,
+          double tolerable_slowdown_pct, double cold_fraction,
+          Ns duration, std::uint64_t seed, Ns warmup)
+{
+    SimConfig config =
+        standardConfig(workload, tolerable_slowdown_pct, duration);
+    config.seed = seed;
+    config.warmup = warmup;
+    config.policy = policy;
+    config.policyParams.coldFraction = cold_fraction;
+    Simulation sim(makeWorkload(workload, seed), config);
+    return sim.run();
+}
+
 double
 pearson(const std::vector<double> &x, const std::vector<double> &y)
 {

@@ -52,6 +52,18 @@ SimResult runThermostat(const std::string &workload,
                         double tolerable_slowdown_pct, Ns duration,
                         std::uint64_t seed = 42, Ns warmup = 0);
 
+/**
+ * Like runThermostat but with an explicit tiering engine.  The
+ * thermostat engine is steered by @p tolerable_slowdown_pct (its
+ * cold fraction is an output); every other engine is steered by
+ * @p cold_fraction (its slowdown is the output).
+ */
+SimResult runPolicy(const std::string &workload,
+                    const std::string &policy,
+                    double tolerable_slowdown_pct,
+                    double cold_fraction, Ns duration,
+                    std::uint64_t seed = 42, Ns warmup = 0);
+
 /** Pearson correlation coefficient of two equal-length vectors. */
 double pearson(const std::vector<double> &x,
                const std::vector<double> &y);

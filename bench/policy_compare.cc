@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Policy comparison: slowdown vs cold fraction for every tiering
+ * engine on the same machine model (the platform argument of the
+ * paper: Thermostat meets a slowdown budget where naive placement
+ * cannot, and the oracle bounds what placement alone could do).
+ *
+ * One parallel sweep covers the whole (workload x policy x knob)
+ * grid.  The comparison engines are steered by a cold-fraction
+ * grid; Thermostat is steered by its tolerable-slowdown targets and
+ * lands wherever its classifier puts it, so its points interleave
+ * with the grid on the same axes.  Output is one CSV row per run:
+ *
+ *   policy,workload,knob,cold_fraction,slowdown,
+ *   overhead_fraction,demotions,promotions
+ *
+ * knob is the tolerable slowdown (%) for thermostat and the
+ * requested cold fraction for everything else.  Results are in job
+ * order from the sweep runner, so parallel and serial executions
+ * print byte-identical CSVs.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sweep_runner.hh"
+
+using namespace thermostat;
+using namespace thermostat::bench;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = quickMode(argc, argv);
+    banner("Policy comparison: slowdown vs cold fraction",
+           "Sec 1/Fig 1 motivation; Nomad-style baselines", quick);
+
+    const std::vector<std::string> workloads = {"redis",
+                                                "mysql-tpcc",
+                                                "web-search"};
+    const std::vector<std::string> gridPolicies = {
+        "static", "lru-age", "hotness", "oracle"};
+    const double fractions[] = {0.2, 0.4, 0.6};
+    const double targets[] = {1.0, 3.0, 10.0};
+
+    const Ns duration = scaledDuration(480, quick);
+    const Ns warmup = scaledDuration(120, quick);
+
+    std::vector<SweepJob> jobs;
+    for (const std::string &workload : workloads) {
+        for (const double target : targets) {
+            SweepJob job;
+            job.workload = workload;
+            job.tolerableSlowdownPct = target;
+            job.duration = duration;
+            job.warmup = warmup;
+            jobs.push_back(job);
+        }
+        for (const std::string &policy : gridPolicies) {
+            for (const double fraction : fractions) {
+                SweepJob job;
+                job.workload = workload;
+                job.policy = policy;
+                job.coldFraction = fraction;
+                job.duration = duration;
+                job.warmup = warmup;
+                jobs.push_back(job);
+            }
+        }
+    }
+    const std::vector<SimResult> results = runSweep(jobs);
+
+    std::printf("policy,workload,knob,cold_fraction,slowdown,"
+                "overhead_fraction,demotions,promotions\n");
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const SweepJob &job = jobs[i];
+        const SimResult &r = results[i];
+        const double knob = job.policy == "thermostat"
+                                ? job.tolerableSlowdownPct
+                                : job.coldFraction;
+        std::printf("%s,%s,%.4g,%.6f,%.6f,%.6f,%llu,%llu\n",
+                    job.policy.c_str(), job.workload.c_str(), knob,
+                    r.finalColdFraction, r.slowdown,
+                    r.monitorOverheadFraction,
+                    static_cast<unsigned long long>(
+                        r.policy.demotionsOrdered),
+                    static_cast<unsigned long long>(
+                        r.policy.promotionsOrdered));
+    }
+    std::printf(
+        "\nExpected shape: thermostat stays under its slowdown "
+        "target at every knob\nwhile the fixed-fraction baselines "
+        "pay whatever their placement costs.  The\noracle is exact "
+        "region-granularity truth: unbeatable where regions are\n"
+        "uniform (web-search), yet beatable by page-granular "
+        "measurement where hot\nand cold pages share a region "
+        "(redis).\n");
+    return 0;
+}

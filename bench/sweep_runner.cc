@@ -19,10 +19,10 @@ runSweep(const std::vector<SweepJob> &jobs, unsigned thread_count)
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         pool.submit([&jobs, &results, i] {
             const SweepJob &job = jobs[i];
-            results[i] = runThermostat(job.workload,
-                                       job.tolerableSlowdownPct,
-                                       job.duration, job.seed,
-                                       job.warmup);
+            results[i] = runPolicy(job.workload, job.policy,
+                                   job.tolerableSlowdownPct,
+                                   job.coldFraction, job.duration,
+                                   job.seed, job.warmup);
         });
     }
     pool.wait();

@@ -35,6 +35,11 @@ struct SweepJob
     Ns duration = 0;
     std::uint64_t seed = 42;
     Ns warmup = 0;
+
+    /** Tiering engine; the default keeps historical behavior. */
+    std::string policy = "thermostat";
+    /** Knob for the non-thermostat engines (see runPolicy). */
+    double coldFraction = 0.5;
 };
 
 /**

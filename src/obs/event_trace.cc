@@ -49,6 +49,10 @@ eventKindName(EventKind kind)
         return "quarantined";
       case EventKind::PageUnquarantined:
         return "unquarantined";
+      case EventKind::PolicyDemote:
+        return "policy_demote";
+      case EventKind::PolicyPromote:
+        return "policy_promote";
       case EventKind::Phase:
         return "phase";
     }
@@ -83,6 +87,9 @@ eventCategory(EventKind kind)
       case EventKind::PageQuarantined:
       case EventKind::PageUnquarantined:
         return kEvFault;
+      case EventKind::PolicyDemote:
+      case EventKind::PolicyPromote:
+        return kEvPolicy;
       case EventKind::Phase:
         return kEvPhase;
     }
@@ -110,6 +117,8 @@ categoryName(EventCategory cat)
         return "phase";
       case kEvFault:
         return "fault";
+      case kEvPolicy:
+        return "policy";
       default:
         return "all";
     }
@@ -146,6 +155,8 @@ parseEventMask(const std::string &spec, std::uint32_t *mask_out)
             mask |= kEvPhase;
         } else if (token == "fault") {
             mask |= kEvFault;
+        } else if (token == "policy") {
+            mask |= kEvPolicy;
         } else if (!token.empty()) {
             return false;
         }

@@ -59,6 +59,8 @@ enum class EventKind : std::uint8_t
                      //!< (addr = frame base pfn, value = frames)
     PageQuarantined, //!< demotion kept failing; page benched
     PageUnquarantined, //!< quarantine expired, page eligible again
+    PolicyDemote,   //!< tiering policy ordered a demotion
+    PolicyPromote,  //!< tiering policy ordered a promotion
     Phase           //!< TraceScope host-time phase (value = wall ns)
 };
 
@@ -75,6 +77,7 @@ enum EventCategory : std::uint32_t
     kEvPhase = 1u << 5,    //!< Phase
     kEvFault = 1u << 6,    //!< MigrationRetried/Aborted, FrameRetired,
                            //!< PageQuarantined/Unquarantined
+    kEvPolicy = 1u << 7,   //!< PolicyDemote, PolicyPromote
     kEvAll = 0xffffffffu
 };
 

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * lru-age: kstaled idle-age demotion with fault-driven promotion.
+ *
+ * Each decision period the policy runs a full kstaled scan (paying
+ * the scanner's modeled cost as its own overhead), then demotes the
+ * longest-idle unplaced pages -- most consecutive idle scans first
+ * -- up to the coldFraction budget.  Placed pages stay poisoned
+ * purely as the slow-tier emulation vehicle (see
+ * tiering_policy.hh); their poison-fault counters double as the
+ * promotion signal: a placed page whose measured access rate
+ * crosses promoteRateThreshold comes back to fast memory, the
+ * classic reactive recency policy Thermostat's Sec 2 argues against.
+ */
+
+#ifndef THERMOSTAT_POLICY_LRU_AGE_POLICY_HH
+#define THERMOSTAT_POLICY_LRU_AGE_POLICY_HH
+
+#include "policy/tiering_policy.hh"
+
+namespace thermostat
+{
+
+class LruAgePolicy : public TieringPolicy
+{
+  public:
+    explicit LruAgePolicy(const PolicyContext &ctx)
+        : TieringPolicy(ctx)
+    {
+    }
+
+    const std::string &name() const override;
+    void tick(Ns now) override;
+
+  private:
+    void runPeriod(Ns now);
+
+    Ns nextDecision_ = 0;
+    Ns lastDecision_ = 0;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_POLICY_LRU_AGE_POLICY_HH

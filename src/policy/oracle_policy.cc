@@ -1,0 +1,116 @@
+#include "policy/oracle_policy.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "workload/workload.hh"
+
+namespace thermostat
+{
+
+namespace
+{
+const std::string kName = "oracle";
+} // namespace
+
+const std::string &
+OraclePolicy::name() const
+{
+    return kName;
+}
+
+void
+OraclePolicy::tick(Ns now)
+{
+    ++stats_.ticks;
+    if (now < nextDecision_) {
+        return;
+    }
+    runPeriod(now);
+    nextDecision_ = now + params().decisionPeriod;
+}
+
+void
+OraclePolicy::runPeriod(Ns now)
+{
+    ++stats_.decisionPeriods;
+    const std::vector<RegionRate> rates =
+        workload() ? workload()->regionRates()
+                   : std::vector<RegionRate>{};
+    if (rates.empty()) {
+        if (!warned_) {
+            TSTAT_WARN("oracle policy: workload exposes no region "
+                       "rates; placing nothing");
+            warned_ = true;
+        }
+        return;
+    }
+
+    // Rank regions by true access density, coldest first.
+    struct Ranked
+    {
+        const Region *region;
+        double density;
+    };
+    std::vector<Ranked> ranked;
+    for (const RegionRate &rr : rates) {
+        const Region *region = space().findRegion(rr.region);
+        if (region == nullptr || region->mappedBytes == 0) {
+            continue;
+        }
+        ranked.push_back(
+            {region, rr.accessesPerSec /
+                         static_cast<double>(region->mappedBytes)});
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const Ranked &a, const Ranked &b) {
+                  if (a.density != b.density) {
+                      return a.density < b.density;
+                  }
+                  return a.region->base < b.region->base;
+              });
+
+    // Fill the budget from the coldest region up, in address order
+    // within each region.
+    struct Leaf
+    {
+        Addr base;
+        bool huge;
+        std::uint64_t bytes;
+    };
+    std::vector<Leaf> leaves;
+    space().pageTable().forEachLeaf([&](Addr base, Pte &, bool huge) {
+        if (isPlaced(base)) {
+            return;
+        }
+        leaves.push_back(
+            {base, huge,
+             huge ? kPageSize2M
+                  : static_cast<std::uint64_t>(kPageSize4K)});
+    });
+    std::sort(leaves.begin(), leaves.end(),
+              [](const Leaf &a, const Leaf &b) {
+                  return a.base < b.base;
+              });
+    const std::uint64_t budget = placementBudgetBytes();
+    bool full = false;
+    for (const Ranked &r : ranked) {
+        for (const Leaf &leaf : leaves) {
+            if (leaf.base < r.region->base ||
+                leaf.base >= r.region->end()) {
+                continue;
+            }
+            if (placedBytes_ + leaf.bytes > budget) {
+                full = true;
+                break;
+            }
+            placePage(leaf.base, leaf.huge, now);
+        }
+        if (full) {
+            break;
+        }
+    }
+}
+
+} // namespace thermostat

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * oracle: placement from the workload's true per-region rates.
+ *
+ * The simulator knows the ground truth no real kernel can see: each
+ * workload's configured traffic mixture (Workload::regionRates()).
+ * The oracle ranks regions by true access density (accesses per
+ * second per byte), fills the coldFraction budget from the coldest
+ * region up -- no profiling, no poison-fault counting, no
+ * misclassification -- and re-walks each decision period only to
+ * pick up newly mapped pages.  Its slowdown at a given cold
+ * fraction is the lower bound any online region-granular policy is
+ * chasing.  With a workload that exposes no rates (e.g. a bare
+ * TraceWorkload) it degrades gracefully: it warns once and places
+ * nothing.
+ */
+
+#ifndef THERMOSTAT_POLICY_ORACLE_POLICY_HH
+#define THERMOSTAT_POLICY_ORACLE_POLICY_HH
+
+#include "policy/tiering_policy.hh"
+
+namespace thermostat
+{
+
+class OraclePolicy : public TieringPolicy
+{
+  public:
+    explicit OraclePolicy(const PolicyContext &ctx)
+        : TieringPolicy(ctx)
+    {
+    }
+
+    const std::string &name() const override;
+    void tick(Ns now) override;
+
+  private:
+    void runPeriod(Ns now);
+
+    Ns nextDecision_ = 0;
+    bool warned_ = false;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_POLICY_ORACLE_POLICY_HH

@@ -1,0 +1,77 @@
+#include "policy/policy_factory.hh"
+
+#include "policy/hotness_policy.hh"
+#include "policy/lru_age_policy.hh"
+#include "policy/oracle_policy.hh"
+#include "policy/static_policy.hh"
+#include "policy/thermostat_policy.hh"
+
+namespace thermostat
+{
+
+namespace
+{
+
+using Maker =
+    std::unique_ptr<TieringPolicy> (*)(const PolicyContext &);
+
+template <typename P>
+std::unique_ptr<TieringPolicy>
+makeEngine(const PolicyContext &ctx)
+{
+    return std::make_unique<P>(ctx);
+}
+
+struct Entry
+{
+    const char *name;
+    Maker maker;
+};
+
+// Registration order is the order --list-policies prints.
+const Entry kMakers[] = {
+    {"thermostat", makeEngine<ThermostatPolicy>},
+    {"static", makeEngine<StaticColdestPolicy>},
+    {"lru-age", makeEngine<LruAgePolicy>},
+    {"hotness", makeEngine<HotnessPolicy>},
+    {"oracle", makeEngine<OraclePolicy>},
+};
+
+} // namespace
+
+const std::vector<std::string> &
+PolicyFactory::names()
+{
+    static const std::vector<std::string> kNames = [] {
+        std::vector<std::string> out;
+        for (const Entry &entry : kMakers) {
+            out.emplace_back(entry.name);
+        }
+        return out;
+    }();
+    return kNames;
+}
+
+bool
+PolicyFactory::known(const std::string &name)
+{
+    for (const Entry &entry : kMakers) {
+        if (name == entry.name) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::unique_ptr<TieringPolicy>
+PolicyFactory::make(const std::string &name, const PolicyContext &ctx)
+{
+    for (const Entry &entry : kMakers) {
+        if (name == entry.name) {
+            return entry.maker(ctx);
+        }
+    }
+    return nullptr;
+}
+
+} // namespace thermostat

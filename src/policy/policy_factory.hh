@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Name-keyed registry of tiering-policy engines.
+ *
+ * The factory is the one place that knows every concrete engine;
+ * drivers (thermostat_sim, the bench harnesses, tests) resolve a
+ * policy by name and otherwise program only against TieringPolicy.
+ * Adding an engine means one entry in kMakers (policy_factory.cc)
+ * -- the CLI listing, validation and the per-policy metric prefix
+ * all follow from it.
+ */
+
+#ifndef THERMOSTAT_POLICY_POLICY_FACTORY_HH
+#define THERMOSTAT_POLICY_POLICY_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "policy/tiering_policy.hh"
+
+namespace thermostat
+{
+
+class PolicyFactory
+{
+  public:
+    /** Registered engine names, in stable (registration) order. */
+    static const std::vector<std::string> &names();
+
+    /** Whether @p name is a registered engine. */
+    static bool known(const std::string &name);
+
+    /**
+     * Construct the engine registered under @p name; null when the
+     * name is unknown (callers surface the known() list).
+     */
+    static std::unique_ptr<TieringPolicy>
+    make(const std::string &name, const PolicyContext &ctx);
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_POLICY_POLICY_FACTORY_HH

@@ -1,0 +1,90 @@
+#include "policy/thermostat_policy.hh"
+
+#include "obs/metrics.hh"
+
+namespace thermostat
+{
+
+namespace
+{
+const std::string kName = "thermostat";
+} // namespace
+
+ThermostatPolicy::ThermostatPolicy(const PolicyContext &ctx)
+    : TieringPolicy(ctx),
+      // The seed derivation must stay in lockstep with the
+      // pre-policy driver: goldens pin the byte-identical output.
+      engine_(ctx.cgroup, ctx.space, ctx.trap, ctx.kstaled,
+              ctx.migrator, Rng(ctx.seed ^ 0x7e47a11ULL))
+{
+}
+
+const std::string &
+ThermostatPolicy::name() const
+{
+    return kName;
+}
+
+void
+ThermostatPolicy::tick(Ns now)
+{
+    ++stats_.ticks;
+    engine_.tick(now);
+    // Mirror the engine's counters into the generic PolicyStats so
+    // policy/thermostat/* reads the same truth as engine/*.
+    const EngineStats &es = engine_.stats();
+    stats_.decisionPeriods = es.periods;
+    stats_.demotionsOrdered = es.coldHugePlaced + es.coldBasePlaced;
+    stats_.promotionsOrdered = es.promotions + es.evacuationPromotions;
+    stats_.placementFailures = es.migrationFailures;
+    stats_.overheadTime = es.overheadTime;
+}
+
+std::uint64_t
+ThermostatPolicy::coldBytes() const
+{
+    return engine_.coldBytes();
+}
+
+bool
+ThermostatPolicy::isProfilingRange(Addr base) const
+{
+    return engine_.isProfilingRange(base);
+}
+
+const TimeSeries *
+ThermostatPolicy::slowRateSeries() const
+{
+    return &engine_.slowRateSeries();
+}
+
+void
+ThermostatPolicy::setMarkingQuantum(double quantum)
+{
+    engine_.setMarkingQuantum(quantum);
+}
+
+void
+ThermostatPolicy::setTracer(EventTracer *tracer)
+{
+    TieringPolicy::setTracer(tracer);
+    engine_.setTracer(tracer);
+}
+
+Ns
+ThermostatPolicy::takeOverhead()
+{
+    return engine_.takeOverhead();
+}
+
+void
+ThermostatPolicy::registerMetrics(MetricRegistry &registry)
+{
+    // The engine's metrics keep their historical "engine" prefix so
+    // existing dashboards and tests stay valid; the generic policy
+    // counters appear under policy/thermostat like every engine.
+    engine_.registerMetrics(registry, "engine");
+    TieringPolicy::registerMetrics(registry);
+}
+
+} // namespace thermostat

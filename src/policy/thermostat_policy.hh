@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The paper's engine behind the TieringPolicy interface.
+ *
+ * A thin adapter over core/thermostat.hh: every virtual forwards to
+ * the wrapped ThermostatEngine, which keeps its own RNG (seeded
+ * exactly as the pre-policy driver did) and its own cold sets, so a
+ * run through this adapter is byte-identical to the historical
+ * hardwired driver -- the golden tests pin that equivalence.
+ */
+
+#ifndef THERMOSTAT_POLICY_THERMOSTAT_POLICY_HH
+#define THERMOSTAT_POLICY_THERMOSTAT_POLICY_HH
+
+#include "core/thermostat.hh"
+#include "policy/tiering_policy.hh"
+
+namespace thermostat
+{
+
+class ThermostatPolicy : public TieringPolicy
+{
+  public:
+    explicit ThermostatPolicy(const PolicyContext &ctx);
+
+    const std::string &name() const override;
+    void tick(Ns now) override;
+    std::uint64_t coldBytes() const override;
+    bool isProfilingRange(Addr base) const override;
+    const TimeSeries *slowRateSeries() const override;
+    void setMarkingQuantum(double quantum) override;
+    void setTracer(EventTracer *tracer) override;
+    Ns takeOverhead() override;
+    void registerMetrics(MetricRegistry &registry) override;
+
+    /** The wrapped engine (tests and the driver's compat accessor). */
+    ThermostatEngine &engine() { return engine_; }
+    const ThermostatEngine &engine() const { return engine_; }
+
+  private:
+    ThermostatEngine engine_;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_POLICY_THERMOSTAT_POLICY_HH

@@ -1,0 +1,128 @@
+#include "policy/tiering_policy.hh"
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
+namespace thermostat
+{
+
+TieringPolicy::TieringPolicy(const PolicyContext &ctx)
+    : ctxCgroup_(ctx.cgroup),
+      ctxSpace_(ctx.space),
+      ctxTrap_(ctx.trap),
+      ctxKstaled_(ctx.kstaled),
+      ctxMigrator_(ctx.migrator),
+      params_(ctx.params),
+      workload_(ctx.workload)
+{
+}
+
+std::uint64_t
+TieringPolicy::coldBytes() const
+{
+    return placedHuge_.size() * kPageSize2M +
+           placedBase_.size() * kPageSize4K;
+}
+
+Ns
+TieringPolicy::takeOverhead()
+{
+    const Ns out = pendingOverhead_;
+    pendingOverhead_ = 0;
+    return out;
+}
+
+std::uint64_t
+TieringPolicy::placementBudgetBytes() const
+{
+    return static_cast<std::uint64_t>(
+        params_.coldFraction *
+        static_cast<double>(ctxSpace_.rssBytes()));
+}
+
+bool
+TieringPolicy::placePage(Addr base, bool huge, Ns now)
+{
+    ++stats_.demotionsOrdered;
+    if (tracer_) {
+        tracer_->record(EventKind::PolicyDemote, now, base, huge);
+    }
+    const MigrateResult res =
+        ctxMigrator_.migrate(base, Tier::Slow, now);
+    pendingOverhead_ += res.cost;
+    stats_.overheadTime += res.cost;
+    if (!res.moved) {
+        ++stats_.placementFailures;
+        return false;
+    }
+    // Poison after the move: the fault latency is the slow-access
+    // emulation, and its counter feeds fault-driven promotion.
+    const Ns poison_cost = ctxTrap_.poison(base);
+    pendingOverhead_ += poison_cost;
+    stats_.overheadTime += poison_cost;
+    if (huge) {
+        placedHuge_.insert(base);
+        placedBytes_ += kPageSize2M;
+    } else {
+        placedBase_.insert(base);
+        placedBytes_ += kPageSize4K;
+    }
+    return true;
+}
+
+bool
+TieringPolicy::promotePage(Addr base, bool huge, Ns now)
+{
+    ++stats_.promotionsOrdered;
+    if (tracer_) {
+        tracer_->record(EventKind::PolicyPromote, now, base, huge);
+    }
+    const MigrateResult res =
+        ctxMigrator_.migrate(base, Tier::Fast, now);
+    pendingOverhead_ += res.cost;
+    stats_.overheadTime += res.cost;
+    if (!res.moved) {
+        ++stats_.placementFailures;
+        return false;
+    }
+    const Ns unpoison_cost = ctxTrap_.unpoison(base);
+    pendingOverhead_ += unpoison_cost;
+    stats_.overheadTime += unpoison_cost;
+    if (huge) {
+        placedHuge_.erase(base);
+        placedBytes_ -= kPageSize2M;
+    } else {
+        placedBase_.erase(base);
+        placedBytes_ -= kPageSize4K;
+    }
+    return true;
+}
+
+void
+TieringPolicy::registerMetrics(MetricRegistry &registry)
+{
+    const std::string prefix = metricPrefix(name());
+    registry.addCallback(prefix + ".ticks", [this] {
+        return static_cast<double>(stats_.ticks);
+    });
+    registry.addCallback(prefix + ".decision_periods", [this] {
+        return static_cast<double>(stats_.decisionPeriods);
+    });
+    registry.addCallback(prefix + ".demotions_ordered", [this] {
+        return static_cast<double>(stats_.demotionsOrdered);
+    });
+    registry.addCallback(prefix + ".promotions_ordered", [this] {
+        return static_cast<double>(stats_.promotionsOrdered);
+    });
+    registry.addCallback(prefix + ".placement_failures", [this] {
+        return static_cast<double>(stats_.placementFailures);
+    });
+    registry.addCallback(prefix + ".overhead_ns", [this] {
+        return static_cast<double>(stats_.overheadTime);
+    });
+    registry.addCallback(prefix + ".cold_bytes", [this] {
+        return static_cast<double>(coldBytes());
+    });
+}
+
+} // namespace thermostat

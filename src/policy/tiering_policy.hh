@@ -1,0 +1,250 @@
+/**
+ * @file
+ * The pluggable tiering-policy interface.
+ *
+ * A TieringPolicy owns the *decision* side of two-tiered page
+ * management: which pages live in slow memory, when they move, and
+ * what monitoring cost that implies.  The mechanism side -- page
+ * tables, migration, poisoning, idle scanning -- stays in the
+ * shared components the policy receives via PolicyContext, so every
+ * engine runs on exactly the same machine model and its results are
+ * directly comparable.
+ *
+ * Engines behind this interface (see policy_factory.hh):
+ *
+ *   thermostat  the paper's engine (core/thermostat.hh), refactored
+ *               onto the interface with byte-identical output
+ *   static      pin the coldest-by-initial-rate fraction once,
+ *               never migrate (the paper's strawman)
+ *   lru-age     kstaled idle-age demotion + fault-driven promotion
+ *   hotness     access-frequency promotion/demotion in the style of
+ *               Nomad's transactional hot-page promotion
+ *   oracle      true per-region rates read from the workload: the
+ *               upper bound no online policy can beat at region
+ *               granularity
+ *
+ * Emulation-fidelity note: in BadgerTrapEmu mode the slow tier's
+ * latency is realized by the poison fault on each TLB miss (see
+ * sim/machine.hh), so every policy poisons the pages it places --
+ * exactly how the paper measures the naive baseline of Figure 1.
+ * Placement order is always migrate-then-poison, matching the
+ * lifecycle auditor's rule that whole huge pages are poisoned only
+ * while resident in slow memory.
+ */
+
+#ifndef THERMOSTAT_POLICY_TIERING_POLICY_HH
+#define THERMOSTAT_POLICY_TIERING_POLICY_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "obs/event_trace.hh"
+#include "sys/badger_trap.hh"
+#include "sys/kstaled.hh"
+#include "sys/mem_cgroup.hh"
+#include "sys/migration.hh"
+#include "vm/address_space.hh"
+
+namespace thermostat
+{
+
+class MetricRegistry;
+class Workload;
+
+/**
+ * Knobs shared by the non-Thermostat engines.  Thermostat itself is
+ * driven by ThermostatParams (the slowdown target is its knob; the
+ * cold fraction is an output); the comparison engines invert that:
+ * the cold fraction is the knob and the slowdown is the output.
+ */
+struct PolicyParams
+{
+    /** Fraction of the resident set to place in slow memory. */
+    double coldFraction = 0.5;
+
+    /** Re-evaluation period for the periodic engines. */
+    Ns decisionPeriod = 10 * kNsPerSec;
+
+    /** lru-age: consecutive idle scans before a page is demoted. */
+    unsigned idleScansToDemote = 3;
+
+    /**
+     * hotness: measured accesses/sec above which a placed page is
+     * promoted back to fast memory.
+     */
+    double promoteRateThreshold = 100.0;
+
+    /** hotness: max promotions per decision period. */
+    std::size_t promoteBatch = 64;
+};
+
+/** Generic per-policy counters, registered under policy/<name>. */
+struct PolicyStats
+{
+    Count ticks = 0;            //!< tick() calls
+    Count decisionPeriods = 0;  //!< placement rounds executed
+    Count demotionsOrdered = 0; //!< pages the policy asked to demote
+    Count promotionsOrdered = 0; //!< pages it asked to promote
+    Count placementFailures = 0; //!< orders the migrator refused
+    Ns overheadTime = 0;        //!< monitoring+migration CPU charged
+};
+
+/**
+ * Everything a policy may touch.  All references outlive the policy
+ * (the Simulation owns both); @p workload may be null when the
+ * driver cannot provide one (oracle degrades gracefully).
+ */
+struct PolicyContext
+{
+    MemCgroup &cgroup;
+    AddressSpace &space;
+    BadgerTrap &trap;
+    Kstaled &kstaled;
+    PageMigrator &migrator;
+    PolicyParams params;
+    Workload *workload = nullptr;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Abstract engine.  The driver calls tick() once per epoch; the
+ * policy decides placements/promotions and accounts its own CPU
+ * overhead, which the driver charges to the application via
+ * takeOverhead().
+ */
+class TieringPolicy
+{
+  public:
+    explicit TieringPolicy(const PolicyContext &ctx);
+    virtual ~TieringPolicy() = default;
+
+    TieringPolicy(const TieringPolicy &) = delete;
+    TieringPolicy &operator=(const TieringPolicy &) = delete;
+
+    /** Registered factory name ("thermostat", "static", ...). */
+    virtual const std::string &name() const = 0;
+
+    /** Advance to @p now; run any placement round that is due. */
+    virtual void tick(Ns now) = 0;
+
+    /**
+     * Access-feedback hook: when wantsAccessFeedback() is true the
+     * driver forwards every profiling-stream reference (page base,
+     * leaf size, kind, represented real accesses).  Policies that
+     * return false never pay the call.
+     */
+    virtual bool wantsAccessFeedback() const { return false; }
+    virtual void
+    onProfiledAccess(Addr base, bool huge, bool write, Count weight)
+    {
+        (void)base;
+        (void)huge;
+        (void)write;
+        (void)weight;
+    }
+
+    /** Bytes currently placed in slow memory by this policy. */
+    virtual std::uint64_t coldBytes() const;
+
+    /**
+     * True while the 2MB range at @p base is mid-profiling and must
+     * not be collapsed by khugepaged (Thermostat only).
+     */
+    virtual bool isProfilingRange(Addr base) const
+    {
+        (void)base;
+        return false;
+    }
+
+    /**
+     * Measured slow-memory access-rate series (Figure 3), when the
+     * engine maintains one; null otherwise.
+     */
+    virtual const TimeSeries *slowRateSeries() const { return nullptr; }
+
+    /**
+     * Simulation-fidelity shim: real accesses per profiling sample
+     * (see ThermostatEngine::setMarkingQuantum).
+     */
+    virtual void setMarkingQuantum(double quantum) { (void)quantum; }
+
+    /** Attach the lifecycle tracer (policy-decision events). */
+    virtual void setTracer(EventTracer *tracer) { tracer_ = tracer; }
+
+    /**
+     * Monitoring/migration CPU accumulated since the last call; the
+     * driver charges it to the application's epoch.
+     */
+    virtual Ns takeOverhead();
+
+    /**
+     * Register the generic PolicyStats counters under
+     * "policy/<name>" plus any engine-specific metrics.  Overrides
+     * must chain up.  Called exactly once per registry.
+     */
+    virtual void registerMetrics(MetricRegistry &registry);
+
+    /** Canonical metric prefix for a policy name. */
+    static std::string metricPrefix(const std::string &policy_name)
+    {
+        return "policy/" + policy_name;
+    }
+
+    const PolicyStats &stats() const { return stats_; }
+    const PolicyParams &params() const { return params_; }
+
+  protected:
+    /**
+     * Demote the leaf at @p base to slow memory and poison it (the
+     * emulation vehicle + misclassification counter).  Updates the
+     * placed set, stats and overhead; emits a PolicyDemote decision
+     * event.  @return whether the page moved.
+     */
+    bool placePage(Addr base, bool huge, Ns now);
+
+    /** Promote a placed page back and unpoison it. */
+    bool promotePage(Addr base, bool huge, Ns now);
+
+    /** Whether @p base is currently placed by this policy. */
+    bool isPlaced(Addr base) const
+    {
+        return placedHuge_.count(base) != 0 ||
+               placedBase_.count(base) != 0;
+    }
+
+    /** Target placed-bytes budget: coldFraction x current RSS. */
+    std::uint64_t placementBudgetBytes() const;
+
+    AddressSpace &space() { return ctxSpace_; }
+    BadgerTrap &trap() { return ctxTrap_; }
+    Kstaled &kstaled() { return ctxKstaled_; }
+    PageMigrator &migrator() { return ctxMigrator_; }
+    MemCgroup &cgroup() { return ctxCgroup_; }
+    Workload *workload() { return workload_; }
+    EventTracer *tracer() { return tracer_; }
+
+    /** Placed sets (leaf granularity, keyed by base address). */
+    std::unordered_set<Addr> placedHuge_;
+    std::unordered_set<Addr> placedBase_;
+    std::uint64_t placedBytes_ = 0;
+
+    PolicyStats stats_;
+    Ns pendingOverhead_ = 0;
+
+  private:
+    MemCgroup &ctxCgroup_;
+    AddressSpace &ctxSpace_;
+    BadgerTrap &ctxTrap_;
+    Kstaled &ctxKstaled_;
+    PageMigrator &ctxMigrator_;
+    PolicyParams params_;
+    Workload *workload_;
+    EventTracer *tracer_ = nullptr;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_POLICY_TIERING_POLICY_HH

@@ -2,6 +2,8 @@
 
 #include "common/logging.hh"
 #include "obs/json.hh"
+#include "policy/policy_factory.hh"
+#include "policy/thermostat_policy.hh"
 
 namespace thermostat
 {
@@ -20,14 +22,22 @@ Simulation::Simulation(std::unique_ptr<Workload> workload,
       khugepaged_(machine_.space(), machine_.tlb()),
       migrator_(machine_.space(), machine_.tlb(), &machine_.llc()),
       cgroup_("workload", config.params),
-      engine_(cgroup_, machine_.space(), machine_.trap(), kstaled_,
-              migrator_, Rng(config.seed ^ 0x7e47a11ULL)),
       rng_(config.seed),
       profileRng_(config.seed ^ 0x5aadddULL),
       tracer_(config.traceCapacity)
 {
     TSTAT_ASSERT(workload_ != nullptr, "Simulation without workload");
-    engine_.setMarkingQuantum(
+    policy_ = PolicyFactory::make(
+        config.policy,
+        PolicyContext{cgroup_, machine_.space(), machine_.trap(),
+                      kstaled_, migrator_, config.policyParams,
+                      workload_.get(), config.seed});
+    if (policy_ == nullptr) {
+        TSTAT_FATAL("unknown tiering policy '%s'",
+                    config.policy.c_str());
+    }
+    thermostat_ = dynamic_cast<ThermostatPolicy *>(policy_.get());
+    policy_->setMarkingQuantum(
         static_cast<double>(config.profileWeight));
     workload_->setup(machine_.space());
 
@@ -36,16 +46,16 @@ Simulation::Simulation(std::unique_ptr<Workload> workload,
     tracer_.setMask(config.traceMask);
     tracer_.setSink(
         [this](const TraceEvent &ev) { auditor_.onEvent(ev); });
-    engine_.setTracer(&tracer_);
+    policy_->setTracer(&tracer_);
     migrator_.setTracer(&tracer_);
     machine_.trap().setTracer(&tracer_);
     khugepaged_.setTracer(&tracer_);
     khugepaged_.setSkipFilter([this](Addr range) {
-        return engine_.isProfilingRange(range);
+        return policy_->isProfilingRange(range);
     });
 
     machine_.registerMetrics(metrics_, "machine");
-    engine_.registerMetrics(metrics_, "engine");
+    policy_->registerMetrics(metrics_);
     migrator_.registerMetrics(metrics_, "migrator");
     kstaled_.registerMetrics(metrics_, "kstaled");
     khugepaged_.registerMetrics(metrics_, "khugepaged");
@@ -58,6 +68,14 @@ Simulation::Simulation(std::unique_ptr<Workload> workload,
         migrator_.setFaultInjector(faults_.get());
         faults_->registerMetrics(metrics_, "faults");
     }
+}
+
+ThermostatEngine &
+Simulation::engine()
+{
+    TSTAT_ASSERT(thermostat_ != nullptr,
+                 "engine() requires the thermostat policy");
+    return thermostat_->engine();
 }
 
 void
@@ -136,8 +154,8 @@ Simulation::run()
             workload_->advance(now, machine_.space());
         }
         if (config_.thermostatEnabled) {
-            TraceScope scope(&tracer_, "engine_tick");
-            engine_.tick(now);
+            TraceScope scope(&tracer_, "policy_tick");
+            policy_->tick(now);
         }
         if (config_.khugepagedEnabled) {
             TraceScope scope(&tracer_, "khugepaged_tick");
@@ -146,7 +164,7 @@ Simulation::run()
         if (hook_) {
             hook_(*this, now);
         }
-        const Ns overhead = engine_.takeOverhead();
+        const Ns overhead = policy_->takeOverhead();
         if (recording) {
             overhead_total += overhead;
         }
@@ -169,6 +187,8 @@ Simulation::run()
         // the timing model.
         const bool pebs = config_.machine.countingMode ==
                           CountingMode::Pebs;
+        const bool feedback = config_.thermostatEnabled &&
+                              policy_->wantsAccessFeedback();
         const auto pebs_budget = static_cast<Count>(
             config_.pebsMaxRecordsPerSec * epoch_sec);
         Count pebs_records = 0;
@@ -182,6 +202,13 @@ Simulation::run()
                 wr.pte->setAccessed();
                 if (ref.type == AccessType::Write) {
                     wr.pte->setDirty();
+                }
+                if (feedback) {
+                    policy_->onProfiledAccess(
+                        wr.huge ? alignDown2M(ref.addr)
+                                : alignDown4K(ref.addr),
+                        wr.huge, ref.type == AccessType::Write,
+                        config_.profileWeight);
                 }
                 if (!wr.pte->poisoned()) {
                     continue;
@@ -235,7 +262,7 @@ Simulation::run()
             const std::uint64_t rss = machine_.space().rssBytes();
             if (rss > 0) {
                 cold_frac_sum +=
-                    static_cast<double>(engine_.coldBytes()) /
+                    static_cast<double>(policy_->coldBytes()) /
                     static_cast<double>(rss);
                 ++cold_frac_count;
             }
@@ -253,7 +280,7 @@ Simulation::run()
     result.finalFileBytes = machine_.space().fileBackedBytes();
     result.finalColdFraction =
         result.finalRssBytes > 0
-            ? static_cast<double>(engine_.coldBytes()) /
+            ? static_cast<double>(policy_->coldBytes()) /
                   static_cast<double>(result.finalRssBytes)
             : 0.0;
     result.avgColdFraction =
@@ -261,10 +288,12 @@ Simulation::run()
             ? cold_frac_sum / static_cast<double>(cold_frac_count)
             : 0.0;
     // Shift the engine's series into measurement time.
-    for (const auto &sample : engine_.slowRateSeries().samples()) {
-        if (sample.time >= warmup) {
-            result.engineSlowRate.append(sample.time - warmup,
-                                         sample.value);
+    if (const TimeSeries *series = policy_->slowRateSeries()) {
+        for (const auto &sample : series->samples()) {
+            if (sample.time >= warmup) {
+                result.engineSlowRate.append(sample.time - warmup,
+                                             sample.value);
+            }
         }
     }
 
@@ -291,7 +320,11 @@ Simulation::run()
     }
 
     result.migration = migrator_.stats();
-    result.engine = engine_.stats();
+    result.policyName = policy_->name();
+    result.policy = policy_->stats();
+    if (thermostat_ != nullptr) {
+        result.engine = thermostat_->engine().stats();
+    }
     result.trap = machine_.trap().stats();
     result.machineStats = machine_.stats();
     result.l1Tlb = machine_.tlb().l1().stats();

@@ -24,6 +24,7 @@
 #include "common/stats.hh"
 #include "core/thermostat.hh"
 #include "fault/fault_injector.hh"
+#include "policy/tiering_policy.hh"
 #include "obs/event_trace.hh"
 #include "obs/lifecycle_audit.hh"
 #include "obs/metrics.hh"
@@ -36,6 +37,8 @@
 
 namespace thermostat
 {
+
+class ThermostatPolicy;
 
 /** Experiment configuration. */
 struct SimConfig
@@ -66,6 +69,16 @@ struct SimConfig
 
     MachineConfig machine;
     ThermostatParams params;
+
+    /**
+     * Tiering engine to drive (a PolicyFactory name).  The default
+     * runs the paper's engine; the comparison engines take their
+     * knobs from policyParams.
+     */
+    std::string policy = "thermostat";
+    PolicyParams policyParams;
+
+    /** Master enable for the selected policy (false = baseline). */
     bool thermostatEnabled = true;
 
     /**
@@ -156,6 +169,12 @@ struct SimResult
     Count auditViolations = 0;
 
     MigrationStats migration;
+
+    /** Which policy produced this run and its generic counters. */
+    std::string policyName;
+    PolicyStats policy;
+
+    /** Thermostat-engine counters (zeroed under other policies). */
     EngineStats engine;
     BadgerTrapStats trap;
     MachineStats machineStats;
@@ -206,7 +225,16 @@ class Simulation
     Khugepaged &khugepaged() { return khugepaged_; }
     PageMigrator &migrator() { return migrator_; }
     MemCgroup &cgroup() { return cgroup_; }
-    ThermostatEngine &engine() { return engine_; }
+
+    /** The active tiering policy. */
+    TieringPolicy &policy() { return *policy_; }
+
+    /**
+     * Compatibility accessor for the paper's engine; asserts when
+     * the run uses a different policy.
+     */
+    ThermostatEngine &engine();
+
     const SimConfig &config() const { return config_; }
 
     /** Null unless the config's fault plan is non-empty. */
@@ -223,7 +251,12 @@ class Simulation
     Khugepaged khugepaged_;
     PageMigrator migrator_;
     MemCgroup cgroup_;
-    ThermostatEngine engine_;
+
+    /** The selected engine; thermostat_ caches the default engine's
+     *  concrete type for the compatibility accessor. */
+    std::unique_ptr<TieringPolicy> policy_;
+    ThermostatPolicy *thermostat_ = nullptr;
+
     Rng rng_;
     Rng profileRng_;
     Count pebsMonitoredHits_ = 0;

@@ -356,6 +356,20 @@ allWorkloadNames()
     return names;
 }
 
+bool
+isWorkloadName(const std::string &name)
+{
+    if (name == "redis-bursty") {
+        return true;
+    }
+    for (const std::string &known : allWorkloadNames()) {
+        if (name == known) {
+            return true;
+        }
+    }
+    return false;
+}
+
 std::unique_ptr<ComposedWorkload>
 makeWorkload(const std::string &name, std::uint64_t seed)
 {

@@ -91,6 +91,13 @@ std::unique_ptr<ComposedWorkload> makeWebSearch(std::uint64_t seed = 6);
 const std::vector<std::string> &allWorkloadNames();
 
 /**
+ * Whether @p name resolves to a workload: one of
+ * allWorkloadNames() or the "redis-bursty" variant.  CLIs validate
+ * against this before calling makeWorkload (which aborts).
+ */
+bool isWorkloadName(const std::string &name);
+
+/**
  * Factory by name ("aerospike", "cassandra", "mysql-tpcc", "redis",
  * "in-memory-analytics", "web-search").  YCSB-driven apps get the
  * paper's default mix (Aerospike read-heavy, Cassandra write-heavy).

@@ -1,5 +1,6 @@
 #include "workload/trace.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -177,22 +178,45 @@ RecordingWorkload::save(const std::string &path) const
     return true;
 }
 
-std::unique_ptr<TraceWorkload>
-TraceWorkload::load(const std::string &path)
+namespace
 {
+
+/** Build the diagnostic, warn, and hand it to the caller. */
+void
+loadError(std::string *error, const std::string &path,
+          const std::string &reason)
+{
+    const std::string message =
+        "trace load: " + reason + " in " + path;
+    TSTAT_WARN("%s", message.c_str());
+    if (error != nullptr) {
+        *error = message;
+    }
+}
+
+} // namespace
+
+std::unique_ptr<TraceWorkload>
+TraceWorkload::load(const std::string &path, std::string *error)
+{
+    errno = 0;
     FilePtr file(std::fopen(path.c_str(), "rb"));
     if (!file) {
-        TSTAT_WARN("trace load: cannot open %s", path.c_str());
+        loadError(error, path,
+                  std::string("cannot open (errno ") +
+                      std::to_string(errno) + ", " +
+                      std::strerror(errno) + ")");
         return nullptr;
     }
     TraceHeader header{};
     if (std::fread(&header, sizeof(header), 1, file.get()) != 1 ||
         std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
-        TSTAT_WARN("trace load: bad header in %s", path.c_str());
+        loadError(error, path, "bad header");
         return nullptr;
     }
     auto trace = std::unique_ptr<TraceWorkload>(new TraceWorkload());
     if (!readString(file.get(), header.nameLength, &trace->name_)) {
+        loadError(error, path, "truncated workload name");
         return nullptr;
     }
     trace->memRefRate_ = header.memRefRate;
@@ -205,6 +229,7 @@ TraceWorkload::load(const std::string &path)
                 1 ||
             !readString(file.get(), record.nameLength,
                         &spec.name)) {
+            loadError(error, path, "truncated region record");
             return nullptr;
         }
         spec.bytes = record.bytes;
@@ -218,8 +243,7 @@ TraceWorkload::load(const std::string &path)
         std::fread(trace->entries_.data(), sizeof(TraceEntry),
                    trace->entries_.size(),
                    file.get()) != trace->entries_.size()) {
-        TSTAT_WARN("trace load: truncated entries in %s",
-                   path.c_str());
+        loadError(error, path, "truncated entries");
         return nullptr;
     }
     return trace;

@@ -79,9 +79,13 @@ class RecordingWorkload : public Workload
 class TraceWorkload : public Workload
 {
   public:
-    /** Load a trace file; nullptr on parse/I/O failure. */
+    /**
+     * Load a trace file; nullptr on parse/I/O failure.  When
+     * @p error is non-null it receives a caller-printable
+     * diagnostic naming the path and, for I/O failures, the errno.
+     */
     static std::unique_ptr<TraceWorkload>
-    load(const std::string &path);
+    load(const std::string &path, std::string *error = nullptr);
 
     const std::string &name() const override { return name_; }
     void setup(AddressSpace &space) override;

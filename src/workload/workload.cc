@@ -165,4 +165,22 @@ ComposedWorkload::initialFileBytes() const
     return bytes;
 }
 
+std::vector<RegionRate>
+ComposedWorkload::regionRates() const
+{
+    std::vector<RegionRate> rates;
+    for (const RegionSpec &spec : regionSpecs_) {
+        double weight = 0.0;
+        for (const BoundComponent &bound : components_) {
+            if (bound.spec.region == spec.name) {
+                weight += bound.spec.weight;
+            }
+        }
+        const double share =
+            totalWeight_ > 0.0 ? weight / totalWeight_ : 0.0;
+        rates.push_back({spec.name, share * memRefRate_});
+    }
+    return rates;
+}
+
 } // namespace thermostat

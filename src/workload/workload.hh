@@ -59,6 +59,17 @@ struct GrowthSpec
     double bytesPerSec = 0.0;
 };
 
+/**
+ * Ground-truth access rate of one region (bursts/sec), summed over
+ * the traffic components targeting it.  Only the simulator can know
+ * this; the oracle policy reads it as its placement input.
+ */
+struct RegionRate
+{
+    std::string region;
+    double accessesPerSec = 0.0;
+};
+
 /** One traffic component of the mixture. */
 struct TrafficComponent
 {
@@ -100,6 +111,12 @@ class Workload
 
     /** Nominal run length used by the paper's figures. */
     virtual Ns naturalDuration() const { return 1200 * kNsPerSec; }
+
+    /**
+     * True per-region access rates, when the workload can expose
+     * them (oracle policies).  Default: unknown.
+     */
+    virtual std::vector<RegionRate> regionRates() const { return {}; }
 };
 
 /**
@@ -129,6 +146,8 @@ class ComposedWorkload : public Workload
     /** Total configured initial footprint (for Table 2). */
     std::uint64_t initialRssBytes() const;
     std::uint64_t initialFileBytes() const;
+
+    std::vector<RegionRate> regionRates() const override;
 
   private:
     struct BoundComponent

@@ -92,6 +92,31 @@ TEST(GoldenRuns, Fig03FamilyCsvFiles)
     }
 }
 
+/**
+ * The same run with the engine resolved through the policy factory
+ * by its registered name: the tiering-policy refactor must be
+ * byte-invisible against the fig03 goldens.
+ */
+TEST(GoldenRuns, ExplicitThermostatPolicyMatchesFig03Golden)
+{
+    SimConfig config = tinySimConfig(42);
+    config.duration = 120 * kNsPerSec;
+    config.policy = "thermostat";
+    Simulation sim(halfColdWorkload(), config);
+    const SimResult result = sim.run();
+    EXPECT_EQ(result.policyName, "thermostat");
+    EXPECT_EQ(result.auditViolations, 0u);
+
+    TempDir dir;
+    ASSERT_TRUE(writeSimResultCsv(result, dir.path()));
+    for (const char *name :
+         {"footprint.csv", "slow_rate.csv", "device_rate.csv",
+          "summary.csv"}) {
+        checkGolden(std::string("fig03_") + name,
+                    slurpFile(dir.file(name)));
+    }
+}
+
 /** Fig 11 family: slowdown-target sweep summary. */
 TEST(GoldenRuns, Fig11SlowdownTargetSweep)
 {

@@ -16,6 +16,7 @@
 #include "obs/json.hh"
 #include "obs/lifecycle_audit.hh"
 #include "obs/metrics.hh"
+#include "policy/policy_factory.hh"
 #include "sim/simulation.hh"
 #include "sys/migration.hh"
 
@@ -396,6 +397,35 @@ TEST(ObservabilityEndToEnd, SimulationIsAuditCleanAndExports)
     const std::string chrome = sim.tracer().toChromeTrace();
     EXPECT_TRUE(jsonWellFormed(chrome));
     EXPECT_NE(chrome.find("\"demoted\""), std::string::npos);
+}
+
+TEST(ObservabilityEndToEnd, EveryPolicyRegistersItsPrefixOnce)
+{
+    for (const std::string &name : PolicyFactory::names()) {
+        SCOPED_TRACE(name);
+        SimConfig config = tinySimConfig();
+        config.policy = name;
+        // Registration happens in the constructor; no run needed.
+        Simulation sim(halfColdWorkload(), config);
+        const std::string ticks =
+            TieringPolicy::metricPrefix(name) + ".ticks";
+        std::size_t hits = 0;
+        std::size_t foreign = 0;
+        for (const MetricSample &sample : sim.metrics().snapshot()) {
+            if (sample.name == ticks) {
+                ++hits;
+            }
+            if (sample.name.rfind("policy/", 0) == 0 &&
+                sample.name.rfind(
+                    TieringPolicy::metricPrefix(name) + ".", 0) !=
+                    0) {
+                ++foreign;
+            }
+        }
+        EXPECT_EQ(hits, 1u);
+        // Only the active policy's namespace exists.
+        EXPECT_EQ(foreign, 0u);
+    }
 }
 
 TEST(ObservabilityEndToEnd, KhugepagedRunIsAuditClean)

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tiering-policy subsystem tests: factory round-trips, per-policy
+ * determinism, budget adherence of the comparison engines, and the
+ * sanity ordering the comparison harness banks on -- at an equal
+ * cold fraction the oracle's slowdown lower-bounds Thermostat's,
+ * which beats naive static placement on a phase-shifting workload.
+ */
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness.hh"
+#include "policy/policy_factory.hh"
+#include "workload/workload.hh"
+
+namespace thermostat
+{
+namespace
+{
+
+using test::halfColdWorkload;
+using test::tinySimConfig;
+
+// ---------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------
+
+TEST(PolicyFactory, RegistersTheDocumentedEngines)
+{
+    const std::vector<std::string> want = {
+        "thermostat", "static", "lru-age", "hotness", "oracle"};
+    EXPECT_EQ(PolicyFactory::names(), want);
+    for (const std::string &name : want) {
+        EXPECT_TRUE(PolicyFactory::known(name)) << name;
+    }
+}
+
+TEST(PolicyFactory, RoundTripsEveryRegisteredName)
+{
+    for (const std::string &name : PolicyFactory::names()) {
+        SCOPED_TRACE(name);
+        SimConfig config = tinySimConfig();
+        config.policy = name;
+        Simulation sim(halfColdWorkload(), config);
+        EXPECT_EQ(sim.policy().name(), name);
+        EXPECT_EQ(TieringPolicy::metricPrefix(name),
+                  "policy/" + name);
+    }
+}
+
+TEST(PolicyFactory, UnknownNameIsRejected)
+{
+    EXPECT_FALSE(PolicyFactory::known("fifo"));
+    EXPECT_FALSE(PolicyFactory::known(""));
+
+    SimConfig config = tinySimConfig();
+    Simulation sim(halfColdWorkload(), config);
+    const PolicyContext ctx{sim.cgroup(),
+                            sim.machine().space(),
+                            sim.machine().trap(),
+                            sim.kstaled(),
+                            sim.migrator(),
+                            config.policyParams,
+                            &sim.workload(),
+                            config.seed};
+    EXPECT_EQ(PolicyFactory::make("fifo", ctx), nullptr);
+}
+
+// ---------------------------------------------------------------
+// Determinism and budget adherence
+// ---------------------------------------------------------------
+
+SimResult
+runHalfCold(const std::string &policy, std::uint64_t seed)
+{
+    SimConfig config = tinySimConfig(seed);
+    config.duration = 60 * kNsPerSec;
+    config.policy = policy;
+    config.policyParams.coldFraction = 0.4;
+    Simulation sim(halfColdWorkload(), config);
+    return sim.run();
+}
+
+TEST(PolicyDeterminism, TwoSeededRunsAreIdentical)
+{
+    for (const std::string &name : PolicyFactory::names()) {
+        SCOPED_TRACE(name);
+        const SimResult a = runHalfCold(name, 11);
+        const SimResult b = runHalfCold(name, 11);
+        EXPECT_EQ(a.slowdown, b.slowdown);
+        EXPECT_EQ(a.finalColdFraction, b.finalColdFraction);
+        EXPECT_EQ(a.avgColdFraction, b.avgColdFraction);
+        EXPECT_EQ(a.monitorOverheadFraction,
+                  b.monitorOverheadFraction);
+        EXPECT_EQ(a.policy.ticks, b.policy.ticks);
+        EXPECT_EQ(a.policy.decisionPeriods, b.policy.decisionPeriods);
+        EXPECT_EQ(a.policy.demotionsOrdered,
+                  b.policy.demotionsOrdered);
+        EXPECT_EQ(a.policy.promotionsOrdered,
+                  b.policy.promotionsOrdered);
+        EXPECT_EQ(a.policy.placementFailures,
+                  b.policy.placementFailures);
+    }
+}
+
+TEST(PolicyBehaviour, EveryEngineRunsAuditClean)
+{
+    for (const std::string &name : PolicyFactory::names()) {
+        SCOPED_TRACE(name);
+        const SimResult r = runHalfCold(name, 3);
+        EXPECT_EQ(r.auditViolations, 0u);
+        EXPECT_EQ(r.policyName, name);
+        EXPECT_GT(r.policy.ticks, 0u);
+    }
+}
+
+TEST(PolicyBehaviour, ComparisonEnginesRespectTheColdBudget)
+{
+    for (const std::string &name : PolicyFactory::names()) {
+        if (name == "thermostat") {
+            continue; // its cold fraction is an output, not a knob
+        }
+        SCOPED_TRACE(name);
+        const SimResult r = runHalfCold(name, 3);
+        // One 2MB leaf of slack: placement stops when the next leaf
+        // would overshoot the budget, so the fraction can only round
+        // down, but growth after placement can nudge it up slightly.
+        EXPECT_LE(r.finalColdFraction, 0.4 + 0.02);
+        EXPECT_GT(r.policy.demotionsOrdered, 0u);
+    }
+}
+
+TEST(PolicyBehaviour, BaselineRunPlacesNothing)
+{
+    for (const std::string &name : PolicyFactory::names()) {
+        SCOPED_TRACE(name);
+        SimConfig config = tinySimConfig(9);
+        config.duration = 30 * kNsPerSec;
+        config.policy = name;
+        config.thermostatEnabled = false;
+        Simulation sim(halfColdWorkload(), config);
+        const SimResult r = sim.run();
+        EXPECT_EQ(r.finalColdFraction, 0.0);
+        EXPECT_EQ(r.policy.demotionsOrdered, 0u);
+    }
+}
+
+// ---------------------------------------------------------------
+// Sanity ordering: oracle <= thermostat <= static slowdown
+// ---------------------------------------------------------------
+
+/**
+ * 128MB in three regions: a steadily hot half of the traffic, a
+ * "warm" region whose 16MB working window rotates every 10s, and a
+ * truly idle region.  The warm region is mapped first (lowest
+ * addresses) and with 4KB pages -- its window is far bigger than
+ * the TLB, so every reference to a poisoned warm page actually pays
+ * the poison fault.  A one-shot coldest-first ranking (count zero
+ * outside the current window, address-ascending tie break) pins the
+ * warm pages and then pays for every rotation, while the oracle
+ * sees the region's true rate and places only the idle region.
+ */
+std::unique_ptr<ComposedWorkload>
+phasedTriRegionWorkload()
+{
+    auto w = std::make_unique<ComposedWorkload>(
+        "tri-phase", 200.0e3, 0.8, 300 * kNsPerSec);
+    w->addRegion({"warm", 32_MiB, 0, false, false});
+    w->addRegion({"hot", 32_MiB, 0, true, false});
+    w->addRegion({"cold", 64_MiB, 0, true, false});
+
+    TrafficComponent hot;
+    hot.region = "hot";
+    hot.weight = 0.7;
+    hot.writeFraction = 0.2;
+    hot.burstLines = 4;
+    hot.pattern = std::make_unique<UniformPattern>(32_MiB);
+    w->addComponent(std::move(hot));
+
+    TrafficComponent warm;
+    warm.region = "warm";
+    warm.weight = 0.3;
+    warm.writeFraction = 0.2;
+    warm.burstLines = 4;
+    warm.pattern = std::make_unique<PhaseShiftPattern>(
+        std::make_unique<UniformPattern>(16_MiB), 10 * kNsPerSec,
+        8_MiB, 32_MiB);
+    w->addComponent(std::move(warm));
+    return w;
+}
+
+SimResult
+runTriRegion(const std::string &policy, double cold_fraction)
+{
+    SimConfig config = tinySimConfig(5);
+    config.duration = 240 * kNsPerSec;
+    config.policy = policy;
+    config.policyParams.coldFraction = cold_fraction;
+    config.params.tolerableSlowdownPct = 1.0;
+    Simulation sim(phasedTriRegionWorkload(), config);
+    return sim.run();
+}
+
+TEST(PolicyOrdering, OracleBoundsThermostatBoundsStatic)
+{
+    const SimResult thermo = runTriRegion("thermostat", 0.0);
+    ASSERT_GT(thermo.finalColdFraction, 0.05)
+        << "thermostat placed too little for the comparison to mean "
+           "anything";
+
+    // Steer the knob-driven engines to the cold fraction thermostat
+    // actually reached, capped below the idle region's share so the
+    // oracle never runs out of truly cold pages.
+    const double fraction =
+        std::min(thermo.finalColdFraction, 0.45);
+    const SimResult oracle = runTriRegion("oracle", fraction);
+    const SimResult naive = runTriRegion("static", fraction);
+
+    EXPECT_EQ(oracle.auditViolations, 0u);
+    EXPECT_EQ(naive.auditViolations, 0u);
+
+    // Absolute slack of 0.2% slowdown absorbs sampling noise without
+    // masking a real inversion (the oracle/static gap is >10x that).
+    const double slack = 0.002;
+    EXPECT_LE(oracle.slowdown, thermo.slowdown + slack);
+    EXPECT_LE(thermo.slowdown, naive.slowdown + slack);
+    EXPECT_LT(oracle.slowdown, naive.slowdown);
+}
+
+} // namespace
+} // namespace thermostat

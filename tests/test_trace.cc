@@ -209,7 +209,13 @@ TEST(TraceSimulation, ReplayDrivesThermostat)
 
 TEST(TraceIo, LoadMissingFileFails)
 {
-    EXPECT_EQ(TraceWorkload::load("/nonexistent.trace"), nullptr);
+    std::string error;
+    EXPECT_EQ(TraceWorkload::load("/nonexistent.trace", &error),
+              nullptr);
+    // The diagnostic names the path and carries the errno text.
+    EXPECT_NE(error.find("/nonexistent.trace"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
 }
 
 TEST(TraceIo, LoadGarbageFails)
@@ -220,7 +226,9 @@ TEST(TraceIo, LoadGarbageFails)
     ASSERT_NE(f, nullptr);
     std::fputs("this is not a trace", f);
     std::fclose(f);
-    EXPECT_EQ(TraceWorkload::load(path), nullptr);
+    std::string error;
+    EXPECT_EQ(TraceWorkload::load(path, &error), nullptr);
+    EXPECT_NE(error.find(path), std::string::npos) << error;
 }
 
 } // namespace

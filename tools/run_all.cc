@@ -55,7 +55,7 @@ const char *const kQuickBenches[] = {
     "abl_sample_fraction",   "abl_correction",
     "abl_slow_emu_mode",     "abl_hw_counting",
     "abl_spread_pages",      "abl_wear_leveling",
-    "micro_components",
+    "micro_components",      "policy_compare",
 };
 
 std::string

@@ -23,8 +23,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
+#include "policy/policy_factory.hh"
 #include "sim/app_tuning.hh"
 #include "sim/csv_export.hh"
 #include "sim/reporter.hh"
@@ -46,6 +48,12 @@ usage(const char *argv0)
         " redis |\n"
         "                     in-memory-analytics | web-search |"
         " redis-bursty\n"
+        "  --policy NAME      tiering engine (default thermostat;\n"
+        "                     see --list-policies)\n"
+        "  --cold-fraction F  slow-memory share for the comparison\n"
+        "                     engines (default 0.5)\n"
+        "  --list-policies    print registered policies and exit\n"
+        "  --list-workloads   print known workloads and exit\n"
         "  --target PCT       tolerable slowdown %% (default 3)\n"
         "  --duration SEC     measured seconds (default: natural)\n"
         "  --warmup SEC       warmup seconds (default 0)\n"
@@ -81,6 +89,35 @@ nextArg(int argc, char **argv, int &i)
     return argv[++i];
 }
 
+void
+printList(const std::vector<std::string> &names)
+{
+    for (const std::string &name : names) {
+        std::printf("%s\n", name.c_str());
+    }
+}
+
+/** All workload names the CLI accepts, in listing order. */
+std::vector<std::string>
+cliWorkloadNames()
+{
+    std::vector<std::string> names = allWorkloadNames();
+    names.push_back("redis-bursty");
+    return names;
+}
+
+[[noreturn]] void
+unknownName(const char *what, const std::string &name,
+            const std::vector<std::string> &known)
+{
+    std::fprintf(stderr, "unknown %s '%s'; known:\n", what,
+                 name.c_str());
+    for (const std::string &k : known) {
+        std::fprintf(stderr, "  %s\n", k.c_str());
+    }
+    std::exit(2);
+}
+
 } // namespace
 
 int
@@ -104,6 +141,17 @@ main(int argc, char **argv)
         const char *arg = argv[i];
         if (!std::strcmp(arg, "--workload")) {
             workload = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--policy")) {
+            config.policy = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--cold-fraction")) {
+            config.policyParams.coldFraction =
+                std::atof(nextArg(argc, argv, i));
+        } else if (!std::strcmp(arg, "--list-policies")) {
+            printList(PolicyFactory::names());
+            return 0;
+        } else if (!std::strcmp(arg, "--list-workloads")) {
+            printList(cliWorkloadNames());
+            return 0;
         } else if (!std::strcmp(arg, "--target")) {
             target = std::atof(nextArg(argc, argv, i));
         } else if (!std::strcmp(arg, "--duration")) {
@@ -157,6 +205,13 @@ main(int argc, char **argv)
     if (workload.empty()) {
         usage(argv[0]);
     }
+    if (!isWorkloadName(workload)) {
+        unknownName("workload", workload, cliWorkloadNames());
+    }
+    if (!PolicyFactory::known(config.policy)) {
+        unknownName("policy", config.policy,
+                    PolicyFactory::names());
+    }
 
     const bool bursty = workload == "redis-bursty";
     const std::string tuned_name = bursty ? "redis" : workload;
@@ -195,6 +250,7 @@ main(int argc, char **argv)
 
     TablePrinter table({"metric", "value"});
     table.addRow({"workload", r.workload});
+    table.addRow({"policy", r.policyName});
     table.addRow({"measured seconds",
                   formatNumber(static_cast<double>(r.duration) /
                                    kNsPerSec,

@@ -55,10 +55,21 @@ int
 doRecord(const std::string &workload, std::uint64_t refs,
          const std::string &out, std::uint64_t seed)
 {
+    if (!isWorkloadName(workload)) {
+        std::fprintf(stderr, "unknown workload '%s'; known:\n",
+                     workload.c_str());
+        for (const std::string &name : allWorkloadNames()) {
+            std::fprintf(stderr, "  %s\n", name.c_str());
+        }
+        std::fprintf(stderr, "  redis-bursty\n");
+        return 2;
+    }
     TieredMemory memory(TierConfig::dram(32ULL << 30),
                         TierConfig::slow(8ULL << 30));
     AddressSpace space(memory);
-    RecordingWorkload recorder(makeWorkload(workload, seed));
+    RecordingWorkload recorder(workload == "redis-bursty"
+                                   ? makeRedisBursty(seed)
+                                   : makeWorkload(workload, seed));
     recorder.setup(space);
     Rng rng(seed);
     for (std::uint64_t i = 0; i < refs; ++i) {
@@ -77,9 +88,10 @@ doRecord(const std::string &workload, std::uint64_t refs,
 int
 doInfo(const std::string &in)
 {
-    auto trace = TraceWorkload::load(in);
+    std::string error;
+    auto trace = TraceWorkload::load(in, &error);
     if (!trace) {
-        std::fprintf(stderr, "cannot load %s\n", in.c_str());
+        std::fprintf(stderr, "%s\n", error.c_str());
         return 1;
     }
     std::printf("trace: %s\n", in.c_str());
@@ -101,9 +113,10 @@ doInfo(const std::string &in)
 int
 doReplay(const std::string &in, double target, long duration_sec)
 {
-    auto trace = TraceWorkload::load(in);
+    std::string error;
+    auto trace = TraceWorkload::load(in, &error);
     if (!trace) {
-        std::fprintf(stderr, "cannot load %s\n", in.c_str());
+        std::fprintf(stderr, "%s\n", error.c_str());
         return 1;
     }
     SimConfig config;
