@@ -16,10 +16,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/flat_map.hh"
 
 using namespace thermostat;
 using namespace thermostat::bench;
@@ -49,9 +49,9 @@ main(int argc, char **argv)
     // Ground truth: per-huge-page access counts from the workload
     // stream itself (the paper measures it with performance
     // counters, Sec 3.3).
-    std::unordered_map<Addr, Count> true_counts;
-    std::unordered_map<Addr, unsigned> max_streak;
-    std::unordered_map<Addr, unsigned> cur_streak;
+    FlatMap<Addr, Count> true_counts;
+    FlatMap<Addr, unsigned> max_streak;
+    FlatMap<Addr, unsigned> cur_streak;
     for (const Addr base : huge_pages) {
         true_counts[base] = 0;
     }
@@ -64,7 +64,7 @@ main(int argc, char **argv)
             const MemRef ref = s.workload().sample(truth_rng);
             const auto it = true_counts.find(alignDown2M(ref.addr));
             if (it != true_counts.end()) {
-                ++it->second;
+                ++it->value;
             }
         }
         if (now % scan_period != 0) {

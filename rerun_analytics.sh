@@ -1,9 +1,17 @@
-#!/bin/bash
+#!/usr/bin/env bash
 # Post-recalibration partial re-run: fig03 executed before the
 # in-memory-analytics scan-stride/RDD-cache recalibration; its
 # analytics series below supersedes the one above.  (Every other
 # harness in this file already ran with the recalibrated model.)
-cd "$(dirname "$0")"
+set -euo pipefail
+cd "$(dirname "$0")" || exit
+
+if [[ ! -x build/bench/fig03_slowmem_rate ]]; then
+    echo "rerun_analytics.sh: build/bench/fig03_slowmem_rate not found;" \
+         "build the tree first (cmake -B build -S . && cmake --build build -j)" >&2
+    exit 2
+fi
+
 {
 echo ""
 echo "################################################################"

@@ -5,7 +5,7 @@
 # THERMOSTAT_JOBS; pass --quick to shorten everything, or benchmark
 # names to run a subset.  Exits non-zero when any benchmark fails.
 set -euo pipefail
-cd "$(dirname "$0")"
+cd "$(dirname "$0")" || exit
 
 if [[ ! -x build/tools/run_all ]]; then
     echo "run_benches.sh: build/tools/run_all not found;" \

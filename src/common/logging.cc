@@ -3,27 +3,37 @@
 #include <cstdarg>
 #include <vector>
 
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
+
 namespace thermostat
 {
 
 namespace
 {
 
-LogLevel g_level = LogLevel::Normal;
-LogSink g_sink = nullptr;
-void *g_sinkCtx = nullptr;
+// The log level and pluggable sink are process-wide mutable state
+// reachable from every pool worker; g_mutex makes them (and sink
+// invocation, see the header's sink contract) race-free, and the
+// annotations let clang -Wthread-safety prove no unlocked access.
+Mutex g_mutex;
+LogLevel g_level TSTAT_GUARDED_BY(g_mutex) = LogLevel::Normal;
+LogSink g_sink TSTAT_GUARDED_BY(g_mutex) = nullptr;
+void *g_sinkCtx TSTAT_GUARDED_BY(g_mutex) = nullptr;
 
 } // namespace
 
 LogLevel
 logLevel()
 {
+    MutexLock lock(&g_mutex);
     return g_level;
 }
 
 void
 setLogLevel(LogLevel level)
 {
+    MutexLock lock(&g_mutex);
     g_level = level;
 }
 
@@ -45,6 +55,7 @@ parseLogLevel(const std::string &name, LogLevel *level_out)
 void
 setLogSink(LogSink sink, void *ctx)
 {
+    MutexLock lock(&g_mutex);
     g_sink = sink;
     g_sinkCtx = ctx;
 }
@@ -126,6 +137,10 @@ fatalImpl(const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    // The sink runs under g_mutex (see the sink contract in the
+    // header): its own state needs no further locking, and messages
+    // from concurrent pool jobs never interleave.
+    MutexLock lock(&g_mutex);
     if (g_sink) {
         g_sink(LogKind::Warn, msg, g_sinkCtx);
         return;
@@ -136,6 +151,7 @@ warnImpl(const std::string &msg)
 void
 informImpl(const std::string &msg, LogLevel level)
 {
+    MutexLock lock(&g_mutex);
     if (static_cast<int>(g_level) < static_cast<int>(level)) {
         return;
     }

@@ -42,6 +42,12 @@ enum class LogKind : int { Warn = 0, Inform = 1, Verbose = 2 };
  * Receiver of warn()/inform()/verbose() messages; panic and fatal
  * always go to stderr regardless.  The sink replaces the default
  * stderr output entirely while installed.
+ *
+ * Sink contract: the sink is invoked under the logging layer's
+ * internal mutex, so concurrent warn()/inform() calls from pool
+ * workers are serialized and the sink needs no locking of its own --
+ * but it must not log or (un)install sinks itself (the mutex is not
+ * recursive).
  */
 using LogSink = void (*)(LogKind kind, const std::string &msg,
                          void *ctx);

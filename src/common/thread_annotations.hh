@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis annotation macros.
+ *
+ * These expand to Clang's `capability`-family attributes so that
+ * `-Wthread-safety` statically proves the locking discipline of the
+ * tree's intentionally-shared state (the ThreadPool queue and the
+ * pluggable log sink); on GCC and other compilers they compile away
+ * to nothing.  CI's static-analysis job builds with
+ * `clang++ -Wthread-safety -Werror`, making a data race on annotated
+ * state a compile error rather than a TSan lottery ticket.
+ *
+ * Use them through common/mutex.hh's annotated Mutex/MutexLock
+ * wrappers: libstdc++'s std::mutex and std::lock_guard carry no
+ * capability attributes, so guarding members with a raw std::mutex
+ * would make every access a false positive under the analysis.
+ *
+ * Naming follows the Clang documentation (and Abseil's macros of the
+ * same shape): GUARDED_BY on data, REQUIRES/EXCLUDES on functions,
+ * ACQUIRE/RELEASE on lock primitives.
+ */
+
+#ifndef THERMOSTAT_COMMON_THREAD_ANNOTATIONS_HH
+#define THERMOSTAT_COMMON_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__)
+#define TSTAT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TSTAT_THREAD_ANNOTATION(x) // no-op outside Clang
+#endif
+
+// NOLINTBEGIN(bugprone-macro-parentheses): attribute arguments are
+// lock expressions, not arithmetic; parenthesizing them changes the
+// attribute grammar.
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define TSTAT_CAPABILITY(x) TSTAT_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in dtor. */
+#define TSTAT_SCOPED_CAPABILITY \
+    TSTAT_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding the lock. */
+#define TSTAT_GUARDED_BY(x) TSTAT_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose *pointee* is guarded by the lock. */
+#define TSTAT_PT_GUARDED_BY(x) \
+    TSTAT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function callable only while holding the listed capabilities. */
+#define TSTAT_REQUIRES(...) \
+    TSTAT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function callable only while NOT holding the listed locks. */
+#define TSTAT_EXCLUDES(...) \
+    TSTAT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function that acquires the capability (no args = `this`). */
+#define TSTAT_ACQUIRE(...) \
+    TSTAT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the capability (no args = `this`). */
+#define TSTAT_RELEASE(...) \
+    TSTAT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function that acquires iff it returns the given value. */
+#define TSTAT_TRY_ACQUIRE(...) \
+    TSTAT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/**
+ * Runtime no-op telling the analysis the capability is held here;
+ * the escape hatch for condition-variable predicate lambdas, which
+ * run under the lock but are analyzed as plain functions.
+ */
+#define TSTAT_ASSERT_CAPABILITY(...) \
+    TSTAT_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+
+/** Function returning a reference to the named capability. */
+#define TSTAT_RETURN_CAPABILITY(x) \
+    TSTAT_THREAD_ANNOTATION(lock_returned(x))
+
+/** Opt a function out of the analysis entirely (last resort). */
+#define TSTAT_NO_THREAD_SAFETY_ANALYSIS \
+    TSTAT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// NOLINTEND(bugprone-macro-parentheses)
+
+#endif // THERMOSTAT_COMMON_THREAD_ANNOTATIONS_HH

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 namespace thermostat
 {
@@ -23,7 +24,7 @@ ThreadPool::~ThreadPool()
     // must not escape a destructor.
     drain();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         stopping_ = true;
     }
     workReady_.notify_all();
@@ -36,7 +37,7 @@ void
 ThreadPool::submit(std::function<void()> job)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         queue_.push_back(std::move(job));
         ++inFlight_;
     }
@@ -46,8 +47,11 @@ ThreadPool::submit(std::function<void()> job)
 void
 ThreadPool::drain()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+    MutexLock lock(&mutex_);
+    allDone_.wait(mutex_, [this] {
+        mutex_.assertHeld(); // predicate runs under the cv's lock
+        return inFlight_ == 0;
+    });
 }
 
 void
@@ -55,8 +59,11 @@ ThreadPool::wait()
 {
     std::exception_ptr error;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        allDone_.wait(lock, [this] { return inFlight_ == 0; });
+        MutexLock lock(&mutex_);
+        allDone_.wait(mutex_, [this] {
+            mutex_.assertHeld();
+            return inFlight_ == 0;
+        });
         std::swap(error, firstError_);
     }
     if (error) {
@@ -70,8 +77,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> job;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            workReady_.wait(lock, [this] {
+            MutexLock lock(&mutex_);
+            workReady_.wait(mutex_, [this] {
+                mutex_.assertHeld();
                 return stopping_ || !queue_.empty();
             });
             if (queue_.empty()) {
@@ -83,13 +91,13 @@ ThreadPool::workerLoop()
         try {
             job();
         } catch (...) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(&mutex_);
             if (!firstError_) {
                 firstError_ = std::current_exception();
             }
         }
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(&mutex_);
             --inFlight_;
             if (inFlight_ == 0) {
                 allDone_.notify_all();

@@ -22,9 +22,11 @@
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 
 namespace thermostat
 {
@@ -55,7 +57,7 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /** Enqueue one job. */
-    void submit(std::function<void()> job);
+    void submit(std::function<void()> job) TSTAT_EXCLUDES(mutex_);
 
     /**
      * Block until every submitted job has finished running.  If any
@@ -64,7 +66,7 @@ class ThreadPool
      * further submits afterwards.  The destructor drains without
      * rethrowing.
      */
-    void wait();
+    void wait() TSTAT_EXCLUDES(mutex_);
 
     unsigned threadCount() const
     {
@@ -79,17 +81,23 @@ class ThreadPool
     static unsigned defaultJobs();
 
   private:
-    void workerLoop();
-    void drain();
+    void workerLoop() TSTAT_EXCLUDES(mutex_);
+    void drain() TSTAT_EXCLUDES(mutex_);
 
-    std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable workReady_;  //!< queue gained a job / stop
-    std::condition_variable allDone_;    //!< everything drained
-    std::size_t inFlight_ = 0; //!< queued + currently executing
-    bool stopping_ = false;
-    std::exception_ptr firstError_; //!< first job exception, if any
+    std::vector<std::thread> workers_; //!< ctor/dtor thread only
+
+    // Everything below is the pool's shared state; Clang's
+    // -Wthread-safety proves every access happens under mutex_
+    // (common/mutex.hh explains the annotated-wrapper scheme).
+    Mutex mutex_;
+    // condition_variable_any waits on the annotated Mutex directly.
+    std::condition_variable_any workReady_; //!< job arrived / stop
+    std::condition_variable_any allDone_;   //!< everything drained
+    std::deque<std::function<void()>> queue_ TSTAT_GUARDED_BY(mutex_);
+    std::size_t inFlight_ TSTAT_GUARDED_BY(mutex_) =
+        0; //!< queued + currently executing
+    bool stopping_ TSTAT_GUARDED_BY(mutex_) = false;
+    std::exception_ptr firstError_ TSTAT_GUARDED_BY(mutex_);
 };
 
 } // namespace thermostat

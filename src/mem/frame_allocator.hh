@@ -118,6 +118,8 @@ class FrameAllocator
     std::vector<Pfn> freeHugeBlocks_;
 
     /** Blocks currently broken into 4KB frames, by block base PFN. */
+    // Touched only when a wear-retirement fault fires, never on the
+    // per-access path.  lint:allow(hot-path-unordered-map)
     std::unordered_map<Pfn, BrokenBlock> brokenBlocks_;
 
     /** Bases of retired blocks (including pending drains). */

@@ -73,6 +73,8 @@ class LifecycleAuditor
 
     void violation(const std::string &msg);
 
+    // Audit sink: fed per lifecycle *event* (sample/migrate/etc.),
+    // not per memory access.  lint:allow(hot-path-unordered-map)
     std::unordered_map<Addr, PageState> pages_;
     std::uint64_t demotedBytes_ = 0;
     std::uint64_t promotedBytes_ = 0;

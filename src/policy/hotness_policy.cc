@@ -63,9 +63,9 @@ HotnessPolicy::runPeriod(Ns now)
         if (it == window_.end()) {
             continue;
         }
-        if (static_cast<double>(it->second) / period_sec >=
+        if (static_cast<double>(it->value) / period_sec >=
             params().promoteRateThreshold) {
-            hot.push_back({base, true, it->second});
+            hot.push_back({base, true, it->value});
         }
     }
     for (const Addr base : placedBase_) {
@@ -73,9 +73,9 @@ HotnessPolicy::runPeriod(Ns now)
         if (it == window_.end()) {
             continue;
         }
-        if (static_cast<double>(it->second) / period_sec >=
+        if (static_cast<double>(it->value) / period_sec >=
             params().promoteRateThreshold) {
-            hot.push_back({base, false, it->second});
+            hot.push_back({base, false, it->value});
         }
     }
     std::sort(hot.begin(), hot.end(), [](const Hot &a, const Hot &b) {
@@ -104,7 +104,7 @@ HotnessPolicy::runPeriod(Ns now)
     };
     std::vector<Cold> cold;
     space().pageTable().forEachLeaf([&](Addr base, Pte &, bool huge) {
-        if (isPlaced(base) || window_.count(base) != 0) {
+        if (isPlaced(base) || window_.contains(base)) {
             return;
         }
         cold.push_back(

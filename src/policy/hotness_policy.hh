@@ -16,8 +16,7 @@
 #ifndef THERMOSTAT_POLICY_HOTNESS_POLICY_HH
 #define THERMOSTAT_POLICY_HOTNESS_POLICY_HH
 
-#include <unordered_map>
-
+#include "common/flat_map.hh"
 #include "policy/tiering_policy.hh"
 
 namespace thermostat
@@ -41,7 +40,7 @@ class HotnessPolicy : public TieringPolicy
   private:
     void runPeriod(Ns now);
 
-    std::unordered_map<Addr, Count> window_;
+    FlatMap<Addr, Count> window_; //!< fed per profiled access
     Ns nextDecision_ = 0;
     Ns lastDecision_ = 0;
 };

@@ -51,7 +51,7 @@ StaticColdestPolicy::placeOnce(Ns now)
     std::vector<Candidate> candidates;
     space().pageTable().forEachLeaf([&](Addr base, Pte &, bool huge) {
         const auto it = observed_.find(base);
-        const Count count = it == observed_.end() ? 0 : it->second;
+        const Count count = it == observed_.end() ? 0 : it->value;
         candidates.push_back(
             {base, huge, count,
              huge ? kPageSize2M

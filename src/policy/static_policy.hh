@@ -16,8 +16,7 @@
 #ifndef THERMOSTAT_POLICY_STATIC_POLICY_HH
 #define THERMOSTAT_POLICY_STATIC_POLICY_HH
 
-#include <unordered_map>
-
+#include "common/flat_map.hh"
 #include "policy/tiering_policy.hh"
 
 namespace thermostat
@@ -41,7 +40,7 @@ class StaticColdestPolicy : public TieringPolicy
   private:
     void placeOnce(Ns now);
 
-    std::unordered_map<Addr, Count> observed_;
+    FlatMap<Addr, Count> observed_; //!< fed per profiled access
     bool placed_ = false;
 };
 

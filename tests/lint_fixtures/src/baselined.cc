@@ -1,0 +1,8 @@
+// Fixture: pre-existing violation recorded in ../baseline.txt; lint
+// must count it as baselined, not fresh.
+#include <unordered_map>
+
+struct FixtureBaselined
+{
+    std::unordered_map<int, int> legacy_;
+};

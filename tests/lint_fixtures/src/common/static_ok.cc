@@ -1,0 +1,11 @@
+// Fixture: src/common/ owns the repo's synchronized mutable globals
+// -- mutable-global must stay quiet here.
+
+int g_fixtureCommonState = 0;
+
+int
+fixtureCommonBump()
+{
+    static int calls = 0;
+    return ++calls + ++g_fixtureCommonState;
+}

@@ -1,0 +1,9 @@
+// Fixture: src/obs/ is allowlisted for host-clock reads (run
+// timestamping only) -- ban-wall-clock must stay quiet here.
+#include <chrono>
+
+long
+fixtureStamp()
+{
+    return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,8 @@
+// Fixture: C library PRNG with hidden global state (banned).
+#include <cstdlib>
+
+int
+fixtureRoll()
+{
+    return rand() % 6;
+}

@@ -1,0 +1,8 @@
+// Fixture: metric registered with a CamelCase name (banned; names
+// are lowercase dot/slash-separated, see obs/metrics.hh).
+
+void
+fixtureRegister(MetricRegistry &registry)
+{
+    registry.counter("Cache.MissCount");
+}

@@ -1,0 +1,11 @@
+// Fixture: mutable global and static-local state outside common/
+// (banned; breaks one-Simulation-per-thread isolation).
+
+int g_fixtureCalls = 0;
+
+int
+fixtureBump()
+{
+    static int localCount = 0;
+    return ++localCount + ++g_fixtureCalls;
+}

@@ -1,0 +1,10 @@
+// Fixture: raw std::thread outside common/thread_pool (banned; all
+// parallelism goes through ThreadPool).
+#include <thread>
+
+void
+fixtureSpawn(void (*fn)())
+{
+    std::thread worker(fn);
+    worker.join();
+}

@@ -1,0 +1,10 @@
+// Fixture: seeds an RNG from hardware entropy (banned; streams must
+// derive from the run seed via common/rng.hh).
+#include <random>
+
+unsigned
+fixtureSeed()
+{
+    std::random_device rd;
+    return rd();
+}

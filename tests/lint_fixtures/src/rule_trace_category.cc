@@ -1,0 +1,8 @@
+// Fixture: event mask naming a category outside the registered set
+// (banned; see obs/event_trace.hh).
+
+unsigned
+fixtureMask()
+{
+    return parseEventMask("sample,bogus");
+}

@@ -1,0 +1,8 @@
+// Fixture: std::unordered_map on a simulator path (banned; per-page
+// tables use common/flat_map.hh).
+#include <unordered_map>
+
+struct FixtureTable
+{
+    std::unordered_map<unsigned long, unsigned> counts;
+};

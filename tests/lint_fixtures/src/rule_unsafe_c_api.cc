@@ -1,0 +1,9 @@
+// Fixture: unbounded C string copy (banned; use snprintf or
+// std::string).
+#include <cstring>
+
+void
+fixtureCopy(char *dst, const char *src)
+{
+    strcpy(dst, src);
+}

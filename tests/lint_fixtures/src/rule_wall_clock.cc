@@ -1,0 +1,10 @@
+// Fixture: host wall-clock read inside the simulator (banned; use
+// simulated Ns).
+#include <chrono>
+
+long
+fixtureNowNs()
+{
+    const auto now = std::chrono::system_clock::now();
+    return now.time_since_epoch().count();
+}

@@ -1,0 +1,13 @@
+// Fixture: inline lint:allow markers, both placement forms (own
+// preceding comment line and trailing same-line comment).
+#include <cstdlib>
+#include <unordered_map>
+
+// Cold path, rebuilt once per run.  lint:allow(hot-path-unordered-map)
+std::unordered_map<int, int> fixture_legacy_table;
+
+int
+fixtureLegacyRoll()
+{
+    return rand() % 6; // seeded upstream  lint:allow(ban-c-random)
+}

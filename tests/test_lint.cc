@@ -1,0 +1,196 @@
+/**
+ * @file
+ * End-to-end tests for tools/lint/thermostat_lint: every rule class
+ * fires on its seeded fixture (non-zero exit), allowlisted paths and
+ * inline/baseline suppressions stay quiet, the JSON report keeps its
+ * schema, and the repository itself lints clean.
+ *
+ * Fixtures live under tests/lint_fixtures/, which the lint tool's
+ * tree walk skips so the deliberate violations never pollute a real
+ * run; the tests pass fixture paths explicitly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <sys/wait.h>
+
+#ifndef THERMOSTAT_LINT_BIN
+#error "build must define THERMOSTAT_LINT_BIN"
+#endif
+#ifndef THERMOSTAT_LINT_FIXTURES
+#error "build must define THERMOSTAT_LINT_FIXTURES"
+#endif
+#ifndef THERMOSTAT_REPO_ROOT
+#error "build must define THERMOSTAT_REPO_ROOT"
+#endif
+
+namespace
+{
+
+struct LintResult
+{
+    int exitCode = -1;
+    std::string output;
+};
+
+/** Run the lint binary with @p args, capturing stdout+stderr. */
+LintResult
+runLint(const std::string &args)
+{
+    const std::string cmd =
+        std::string("'") + THERMOSTAT_LINT_BIN + "' " + args + " 2>&1";
+    std::FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe) {
+        ADD_FAILURE() << "popen failed for: " << cmd;
+        return {};
+    }
+    LintResult result;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+        result.output.append(buf, n);
+    }
+    const int status = pclose(pipe);
+    result.exitCode =
+        WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return result;
+}
+
+std::string
+fixturesRoot()
+{
+    return std::string("--root '") + THERMOSTAT_LINT_FIXTURES + "' ";
+}
+
+} // namespace
+
+// Each rule class must make the lint exit non-zero on its seeded
+// violation, and name the rule in the diagnostic.
+TEST(Lint, EachRuleClassFiresOnSeededViolation)
+{
+    const std::vector<std::pair<std::string, std::string>> cases = {
+        {"src/rule_random_device.cc", "ban-random-device"},
+        {"src/rule_c_random.cc", "ban-c-random"},
+        {"src/rule_wall_clock.cc", "ban-wall-clock"},
+        {"src/rule_naked_thread.cc", "ban-naked-thread"},
+        {"src/rule_mutable_global.cc", "mutable-global"},
+        {"src/rule_metric_name.cc", "metric-name-style"},
+        {"src/rule_trace_category.cc", "trace-category"},
+        {"src/rule_unsafe_c_api.cc", "unsafe-c-api"},
+        {"src/rule_unordered_map.cc", "hot-path-unordered-map"},
+    };
+    for (const auto &[file, rule] : cases) {
+        const LintResult r = runLint(fixturesRoot() + file);
+        EXPECT_EQ(r.exitCode, 1)
+            << file << " should fail lint\n" << r.output;
+        EXPECT_NE(r.output.find("[" + rule + "]"), std::string::npos)
+            << file << " should report " << rule << "\n" << r.output;
+    }
+}
+
+// Path scoping: obs/ may read the host clock, common/ may own
+// mutable globals; neither fixture may produce a finding.
+TEST(Lint, AllowlistedPathsAreClean)
+{
+    for (const char *file :
+         {"src/obs/wall_clock_ok.cc", "src/common/static_ok.cc"}) {
+        const LintResult r = runLint(fixturesRoot() + file);
+        EXPECT_EQ(r.exitCode, 0)
+            << file << " should lint clean\n" << r.output;
+        EXPECT_NE(r.output.find("0 findings"), std::string::npos)
+            << r.output;
+    }
+}
+
+// Inline `lint:allow(<rule>)` markers suppress on the same line and
+// on the immediately preceding comment line.
+TEST(Lint, InlineSuppressionSilencesBothPlacements)
+{
+    const LintResult r = runLint(fixturesRoot() + "src/suppressed_ok.cc");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("0 findings"), std::string::npos)
+        << r.output;
+}
+
+// A baseline entry absorbs its finding (exit 0, counted as
+// baselined); without the baseline the same file fails.
+TEST(Lint, BaselineAbsorbsRecordedFinding)
+{
+    const std::string baseline = std::string("--baseline '") +
+                                 THERMOSTAT_LINT_FIXTURES +
+                                 "/baseline.txt' ";
+    const LintResult with =
+        runLint(fixturesRoot() + baseline + "src/baselined.cc");
+    EXPECT_EQ(with.exitCode, 0) << with.output;
+    EXPECT_NE(with.output.find("(1 baselined)"), std::string::npos)
+        << with.output;
+
+    const LintResult without =
+        runLint(fixturesRoot() + "src/baselined.cc");
+    EXPECT_EQ(without.exitCode, 1) << without.output;
+}
+
+// Stale baseline entries are reported so the baseline only shrinks.
+TEST(Lint, UnusedBaselineEntriesAreFlagged)
+{
+    const std::string baseline = std::string("--baseline '") +
+                                 THERMOSTAT_LINT_FIXTURES +
+                                 "/baseline.txt' ";
+    const LintResult r =
+        runLint(fixturesRoot() + baseline + "src/obs");
+    EXPECT_EQ(r.exitCode, 0) << r.output; // no fresh findings
+    EXPECT_NE(r.output.find("unused baseline entry"),
+              std::string::npos)
+        << r.output;
+}
+
+// The machine-readable report keeps its schema: version, counters,
+// and per-finding file/line/rule/message/snippet keys.
+TEST(Lint, JsonReportSchema)
+{
+    const LintResult r =
+        runLint(fixturesRoot() + "--json src/rule_unordered_map.cc");
+    EXPECT_EQ(r.exitCode, 1) << r.output;
+    for (const char *key :
+         {"\"version\": 1", "\"checkedFiles\": 1",
+          "\"baselinedFindings\": 0", "\"findings\"", "\"file\"",
+          "\"line\"", "\"rule\": \"hot-path-unordered-map\"",
+          "\"message\"", "\"snippet\"",
+          "\"unusedBaselineEntries\": []"}) {
+        EXPECT_NE(r.output.find(key), std::string::npos)
+            << "missing " << key << " in\n" << r.output;
+    }
+}
+
+// --list-rules names every rule the fixtures exercise.
+TEST(Lint, ListRulesNamesEveryRule)
+{
+    const LintResult r = runLint("--list-rules");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    for (const char *rule :
+         {"ban-random-device", "ban-c-random", "ban-wall-clock",
+          "ban-naked-thread", "mutable-global", "metric-name-style",
+          "trace-category", "unsafe-c-api",
+          "hot-path-unordered-map"}) {
+        EXPECT_NE(r.output.find(rule), std::string::npos)
+            << "missing rule " << rule << "\n" << r.output;
+    }
+}
+
+// The acceptance gate: the repository at HEAD lints clean with the
+// checked-in baseline (tools/lint/lint_baseline.txt picked up via
+// --root).
+TEST(Lint, RepositoryAtHeadIsClean)
+{
+    const LintResult r =
+        runLint(std::string("--root '") + THERMOSTAT_REPO_ROOT + "'");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_EQ(r.output.find("unused baseline entry"),
+              std::string::npos)
+        << r.output;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Build (if needed) and run thermostat_lint over the repository with
+# the checked-in suppression baseline.  Extra arguments are passed
+# through (e.g. --json, --list-rules, or explicit paths).
+# Exit status mirrors the tool: 0 clean, 1 findings, 2 error.
+set -euo pipefail
+cd "$(dirname "$0")/../.." || exit
+
+build_dir="${BUILD_DIR:-build}"
+lint_bin="$build_dir/tools/lint/thermostat_lint"
+
+if [[ ! -x "$lint_bin" ]]; then
+    cmake -B "$build_dir" -S . >/dev/null
+    cmake --build "$build_dir" --target thermostat_lint -j"$(nproc)" >/dev/null
+fi
+
+exec "$lint_bin" --root . "$@"

@@ -1,0 +1,803 @@
+/**
+ * @file
+ * thermostat_lint: repo-specific determinism/concurrency/convention
+ * analyzer (see DESIGN.md, "Static analysis & determinism
+ * enforcement").
+ *
+ * The reproduction's headline guarantees -- bit-identical parallel
+ * sweeps, byte-identical golden runs, per-policy determinism -- are
+ * enforced at runtime by tests, which only fire *after* a stray
+ * `std::random_device` or unsynchronized global has already skewed a
+ * run.  This tool bans those bug classes at lint time, before any
+ * simulation executes.
+ *
+ * It is deliberately a fast, self-contained, line-oriented scanner
+ * (comments and string-literal bodies are stripped before rule
+ * matching; no compiler, no external deps) rather than an AST tool:
+ * every rule is a repo convention with a textual signature, and the
+ * suppression baseline + inline `lint:allow(<rule>)` markers absorb
+ * the rare heuristic false positive.
+ *
+ * Usage:
+ *   thermostat_lint [--root DIR] [--baseline FILE] [--json]
+ *                   [--out FILE] [--list-rules] [paths...]
+ *
+ * Paths default to src bench tools tests under --root (default ".").
+ * Exit status: 0 clean, 1 non-baselined findings, 2 usage/IO error.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------------
+
+/** Path scoping: a rule applies when rel matches a prefix in
+ * `include` (empty = everywhere) and no prefix in `exclude`. */
+struct RuleScope
+{
+    std::vector<std::string> include;
+    std::vector<std::string> exclude;
+};
+
+struct RuleInfo
+{
+    const char *id;
+    const char *summary;
+    RuleScope scope;
+};
+
+// Keep ids stable: they are referenced by the suppression baseline,
+// inline lint:allow markers, tests/lint_fixtures, and DESIGN.md.
+const std::vector<RuleInfo> kRules = {
+    {"ban-random-device",
+     "std::random_device is nondeterministic; derive streams from "
+     "the run seed via common/rng.hh",
+     {{"src/", "bench/", "tools/"}, {}}},
+    {"ban-c-random",
+     "rand()/srand()/random()/drand48() share hidden global state; "
+     "use common/rng.hh streams",
+     {{"src/", "bench/", "tools/"}, {}}},
+    {"ban-wall-clock",
+     "wall-clock reads in the simulator break run reproducibility; "
+     "use simulated Ns (obs/ may timestamp host phases)",
+     {{"src/"}, {"src/obs/"}}},
+    {"ban-naked-thread",
+     "raw std::thread/std::async outside common/thread_pool; all "
+     "parallelism goes through ThreadPool",
+     {{"src/", "bench/", "tools/"}, {"src/common/thread_pool."}}},
+    {"mutable-global",
+     "mutable global/static-local state outside common/ breaks the "
+     "one-Simulation-per-thread isolation contract",
+     {{"src/"}, {"src/common/"}}},
+    {"metric-name-style",
+     "metric names are lowercase dot/slash-separated "
+     "(component/name.leaf); see obs/metrics.hh",
+     {{"src/", "bench/", "tools/"}, {}}},
+    {"trace-category",
+     "event-mask literals must use registered categories "
+     "(sample,poison,classify,migrate,correct,phase,fault,policy,"
+     "all,none)",
+     {{"src/", "bench/", "tools/"}, {}}},
+    {"unsafe-c-api",
+     "banned unbounded C string API (strcpy/strcat/sprintf/vsprintf/"
+     "gets/strtok); use snprintf or std::string",
+     {{}, {}}},
+    {"hot-path-unordered-map",
+     "std::unordered_map on simulator/bench paths; per-page tables "
+     "use common/flat_map.hh (baseline cold paths with a "
+     "justification)",
+     {{"src/", "bench/"}, {}}},
+};
+
+const RuleInfo *
+findRule(const std::string &id)
+{
+    for (const RuleInfo &r : kRules) {
+        if (id == r.id) {
+            return &r;
+        }
+    }
+    return nullptr;
+}
+
+bool
+ruleApplies(const RuleInfo &rule, const std::string &rel)
+{
+    for (const std::string &prefix : rule.scope.exclude) {
+        if (rel.rfind(prefix, 0) == 0) {
+            return false;
+        }
+    }
+    if (rule.scope.include.empty()) {
+        return true;
+    }
+    for (const std::string &prefix : rule.scope.include) {
+        if (rel.rfind(prefix, 0) == 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// Source model
+// ---------------------------------------------------------------------------
+
+/** One physical line: raw text, comment/literal-stripped code view,
+ * and the bodies of the double-quoted literals on the line. */
+struct LineView
+{
+    std::string raw;
+    std::string code;
+    std::vector<std::string> literals;
+};
+
+/**
+ * Split @p text into LineViews.  The code view keeps string/char
+ * literal *delimiters* but blanks their bodies, and blanks comments
+ * entirely, so rule regexes never match inside either.  Raw-string
+ * literals are handled as plain strings (good enough for this tree:
+ * the scanner's consumers are conventions, not a parser).
+ */
+std::vector<LineView>
+splitLines(const std::string &text)
+{
+    std::vector<LineView> lines;
+    bool in_block_comment = false;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        const std::size_t end =
+            eol == std::string::npos ? text.size() : eol;
+        LineView line;
+        line.raw = text.substr(pos, end - pos);
+        std::string &code = line.code;
+        code.reserve(line.raw.size());
+        for (std::size_t i = 0; i < line.raw.size();) {
+            const char c = line.raw[i];
+            if (in_block_comment) {
+                if (c == '*' && i + 1 < line.raw.size() &&
+                    line.raw[i + 1] == '/') {
+                    in_block_comment = false;
+                    i += 2;
+                } else {
+                    ++i;
+                }
+                continue;
+            }
+            if (c == '/' && i + 1 < line.raw.size()) {
+                if (line.raw[i + 1] == '/') {
+                    break; // line comment: drop the rest
+                }
+                if (line.raw[i + 1] == '*') {
+                    in_block_comment = true;
+                    i += 2;
+                    continue;
+                }
+            }
+            if (c == '"' || c == '\'') {
+                const char quote = c;
+                std::string body;
+                std::size_t j = i + 1;
+                bool closed = false;
+                while (j < line.raw.size()) {
+                    if (line.raw[j] == '\\' &&
+                        j + 1 < line.raw.size()) {
+                        body += line.raw[j];
+                        body += line.raw[j + 1];
+                        j += 2;
+                        continue;
+                    }
+                    if (line.raw[j] == quote) {
+                        closed = true;
+                        break;
+                    }
+                    body += line.raw[j];
+                    ++j;
+                }
+                code += quote;
+                code.append(body.size(), ' ');
+                if (closed) {
+                    code += quote;
+                    if (quote == '"') {
+                        line.literals.push_back(body);
+                    }
+                    i = j + 1;
+                } else {
+                    i = line.raw.size(); // unterminated: eat line
+                }
+                continue;
+            }
+            code += c;
+            ++i;
+        }
+        lines.push_back(std::move(line));
+        if (eol == std::string::npos) {
+            break;
+        }
+        pos = eol + 1;
+    }
+    return lines;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) {
+        ++b;
+    }
+    while (e > b &&
+           std::isspace(static_cast<unsigned char>(s[e - 1]))) {
+        --e;
+    }
+    return s.substr(b, e - b);
+}
+
+// ---------------------------------------------------------------------------
+// Findings and suppression
+// ---------------------------------------------------------------------------
+
+struct Finding
+{
+    std::string file; //!< root-relative path
+    std::size_t line = 0;
+    std::string rule;
+    std::string message;
+    std::string snippet; //!< trimmed raw source line
+};
+
+/** Baseline entry key: rule|path|trimmed-line-content.  Content (not
+ * line number) keys the entry so unrelated edits don't churn it. */
+std::string
+baselineKey(const std::string &rule, const std::string &file,
+            const std::string &snippet)
+{
+    return rule + "|" + file + "|" + snippet;
+}
+
+struct Baseline
+{
+    std::set<std::string> entries;
+    std::set<std::string> used;
+};
+
+bool
+loadBaseline(const fs::path &path, Baseline *out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return false;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string t = trim(line);
+        if (t.empty() || t[0] == '#') {
+            continue;
+        }
+        out->entries.insert(t);
+    }
+    return true;
+}
+
+/** `lint:allow(<rule>)` suppresses a rule on its own line and, so
+ * the marker fits the 79-column style as a standalone comment, on
+ * the line immediately after it. */
+bool
+inlineSuppressed(const std::vector<LineView> &lines,
+                 std::size_t index, const char *rule)
+{
+    const std::string marker = std::string("lint:allow(") + rule + ")";
+    if (lines[index].raw.find(marker) != std::string::npos) {
+        return true;
+    }
+    return index > 0 &&
+           lines[index - 1].raw.find(marker) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Rule implementations
+// ---------------------------------------------------------------------------
+
+const std::set<std::string> kTraceCategories = {
+    "all",     "none",    "sample", "poison", "classify",
+    "migrate", "correct", "phase",  "fault",  "policy"};
+
+bool
+validMetricLiteral(const std::string &lit)
+{
+    // Leading '.' is the "suffix appended to a prefix" form
+    // (registry.addCallback(prefix + ".ticks", ...)).
+    static const std::regex re(
+        R"(^\.?[a-z0-9_]+([./][a-z0-9_]+)*$)");
+    return std::regex_match(lit, re);
+}
+
+bool
+validTraceCategoryList(const std::string &lit)
+{
+    std::size_t start = 0;
+    while (start <= lit.size()) {
+        std::size_t end = lit.find(',', start);
+        if (end == std::string::npos) {
+            end = lit.size();
+        }
+        const std::string token = lit.substr(start, end - start);
+        if (!token.empty() &&
+            kTraceCategories.find(token) == kTraceCategories.end()) {
+            return false;
+        }
+        if (end == lit.size()) {
+            break;
+        }
+        start = end + 1;
+    }
+    return true;
+}
+
+/**
+ * mutable-global helper: true when the statement starting at line
+ * @p index with a bare `static` keyword declares a variable rather
+ * than a function.  A declarator whose first `(`/`=`/`;` terminator
+ * is `(` is a function (or ctor-style init, which this tree does not
+ * use for statics).  The repo's gem5-style declarations break the
+ * line after the return type, so continuation lines are joined until
+ * a terminator appears.
+ */
+bool
+staticDeclaresVariable(const std::vector<LineView> &lines,
+                       std::size_t index)
+{
+    std::string code = lines[index].code;
+    for (std::size_t next = index + 1;
+         next < lines.size() && next < index + 4 &&
+         code.find_first_of("=;({") == std::string::npos;
+         ++next) {
+        code += " " + lines[next].code;
+    }
+    const std::size_t paren = code.find('(');
+    const std::size_t assign = code.find('=');
+    const std::size_t semi = code.find(';');
+    const std::size_t first_end = std::min(assign, semi);
+    if (paren != std::string::npos && paren < first_end) {
+        return false; // function declaration/definition
+    }
+    return true;
+}
+
+void
+scanLine(const std::string &rel,
+         const std::vector<LineView> &lines, std::size_t index,
+         std::vector<Finding> *findings)
+{
+    const LineView &line = lines[index];
+    const std::size_t lineno = index + 1;
+    struct Pattern
+    {
+        const char *rule;
+        std::regex re;
+        const char *what;
+    };
+    // Compiled once; matched against the code view only, so
+    // comments and literal bodies can't trigger them.
+    static const std::vector<Pattern> kPatterns = [] {
+        std::vector<Pattern> p;
+        p.push_back({"ban-random-device",
+                     std::regex(R"(\bstd\s*::\s*random_device\b)"),
+                     "std::random_device"});
+        p.push_back({"ban-c-random",
+                     std::regex(R"(\b(rand|srand|random|srandom|drand48|lrand48)\s*\()"),
+                     "C random API"});
+        p.push_back({"ban-wall-clock",
+                     std::regex(R"(\b(system_clock|steady_clock|high_resolution_clock)\b)"),
+                     "std::chrono wall clock"});
+        p.push_back({"ban-wall-clock",
+                     std::regex(R"(\btime\s*\(\s*(nullptr|NULL|0)\s*\))"),
+                     "time()"});
+        p.push_back({"ban-wall-clock",
+                     std::regex(R"(\b(gettimeofday|clock_gettime)\s*\()"),
+                     "POSIX wall clock"});
+        p.push_back({"ban-naked-thread",
+                     std::regex(R"(\bstd\s*::\s*(thread|jthread|async)\b)"),
+                     "raw thread primitive"});
+        p.push_back({"ban-naked-thread",
+                     std::regex(R"(\bpthread_create\s*\()"),
+                     "pthread_create"});
+        p.push_back({"unsafe-c-api",
+                     std::regex(R"(\b(strcpy|strcat|sprintf|vsprintf|gets|strtok)\s*\()"),
+                     "unbounded C string API"});
+        p.push_back({"hot-path-unordered-map",
+                     std::regex(R"(\bstd\s*::\s*unordered_map\s*<)"),
+                     "std::unordered_map"});
+        return p;
+    }();
+
+    auto add = [&](const char *rule, const std::string &message) {
+        const RuleInfo *info = findRule(rule);
+        if (!info || !ruleApplies(*info, rel)) {
+            return;
+        }
+        if (inlineSuppressed(lines, index, rule)) {
+            return;
+        }
+        findings->push_back(
+            {rel, lineno, rule, message, trim(line.raw)});
+    };
+
+    for (const Pattern &p : kPatterns) {
+        if (std::regex_search(line.code, p.re)) {
+            const RuleInfo *info = findRule(p.rule);
+            add(p.rule, std::string(p.what) + ": " +
+                            (info ? info->summary : ""));
+        }
+    }
+
+    // mutable-global: `static` locals/members that are not
+    // const/constexpr, plus namespace-scope g_* definitions.
+    static const std::regex kStatic(R"(^\s*static\s+)");
+    static const std::regex kStaticConst(
+        R"(^\s*static\s+(const|constexpr|thread_local\s+const)\b)");
+    if (std::regex_search(line.code, kStatic) &&
+        !std::regex_search(line.code, kStaticConst) &&
+        staticDeclaresVariable(lines, index)) {
+        add("mutable-global", "mutable static: " +
+                                  std::string(findRule("mutable-global")
+                                                  ->summary));
+    }
+    static const std::regex kGlobal(
+        R"(^\s*[A-Za-z_][\w:<>,\s*&]*[\s*&]g_\w+\s*(=|;))");
+    static const std::regex kConstGlobal(R"(\b(const|constexpr)\b)");
+    if (std::regex_search(line.code, kGlobal) &&
+        !std::regex_search(line.code, kConstGlobal)) {
+        add("mutable-global", "mutable g_* global: " +
+                                  std::string(findRule("mutable-global")
+                                                  ->summary));
+    }
+
+    // metric-name-style: literals at registration call sites.
+    if (line.code.find(".counter(") != std::string::npos ||
+        line.code.find(".gauge(") != std::string::npos ||
+        line.code.find(".histogram(") != std::string::npos ||
+        line.code.find("addCallback(") != std::string::npos) {
+        for (const std::string &lit : line.literals) {
+            if (!validMetricLiteral(lit)) {
+                add("metric-name-style",
+                    "metric name \"" + lit + "\" is not lowercase "
+                    "dot/slash-separated (component/name.leaf)");
+            }
+        }
+    }
+
+    // trace-category: literal masks must use registered categories.
+    if (line.code.find("parseEventMask(") != std::string::npos) {
+        for (const std::string &lit : line.literals) {
+            if (!validTraceCategoryList(lit)) {
+                add("trace-category",
+                    "\"" + lit + "\" contains a category outside "
+                    "the registered set (see obs/event_trace.hh)");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File walking
+// ---------------------------------------------------------------------------
+
+bool
+lintableExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".hpp" || ext == ".h";
+}
+
+/** Directories never descended into on a tree walk.  lint_fixtures
+ * holds deliberate violations for tests/test_lint.cc; explicitly
+ * listed files are still scanned. */
+bool
+skippedDir(const fs::path &p)
+{
+    const std::string name = p.filename().string();
+    return name == "lint_fixtures" || name == ".git" ||
+           name.rfind("build", 0) == 0;
+}
+
+void
+collectFiles(const fs::path &path, std::vector<fs::path> *out)
+{
+    std::error_code ec;
+    if (fs::is_regular_file(path, ec)) {
+        if (lintableExtension(path)) {
+            out->push_back(path);
+        }
+        return;
+    }
+    if (!fs::is_directory(path, ec)) {
+        return;
+    }
+    std::vector<fs::path> sub;
+    for (const auto &entry : fs::directory_iterator(path, ec)) {
+        sub.push_back(entry.path());
+    }
+    std::sort(sub.begin(), sub.end());
+    for (const fs::path &p : sub) {
+        if (fs::is_directory(p, ec)) {
+            if (!skippedDir(p)) {
+                collectFiles(p, out);
+            }
+        } else if (lintableExtension(p)) {
+            out->push_back(p);
+        }
+    }
+}
+
+std::string
+relativeTo(const fs::path &file, const fs::path &root)
+{
+    std::error_code ec;
+    fs::path rel = fs::relative(file, root, ec);
+    if (ec || rel.empty()) {
+        rel = file;
+    }
+    return rel.generic_string();
+}
+
+// ---------------------------------------------------------------------------
+// Output
+// ---------------------------------------------------------------------------
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonReport(const std::vector<Finding> &findings,
+           std::size_t baselined, std::size_t files,
+           const std::vector<std::string> &unused_baseline)
+{
+    std::ostringstream os;
+    os << "{\n  \"version\": 1,\n";
+    os << "  \"checkedFiles\": " << files << ",\n";
+    os << "  \"baselinedFindings\": " << baselined << ",\n";
+    os << "  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        os << (i ? ",\n    {" : "\n    {");
+        os << "\"file\": \"" << jsonEscape(f.file) << "\", ";
+        os << "\"line\": " << f.line << ", ";
+        os << "\"rule\": \"" << jsonEscape(f.rule) << "\", ";
+        os << "\"message\": \"" << jsonEscape(f.message) << "\", ";
+        os << "\"snippet\": \"" << jsonEscape(f.snippet) << "\"}";
+    }
+    os << (findings.empty() ? "],\n" : "\n  ],\n");
+    os << "  \"unusedBaselineEntries\": [";
+    for (std::size_t i = 0; i < unused_baseline.size(); ++i) {
+        os << (i ? ", " : "") << "\"" << jsonEscape(unused_baseline[i])
+           << "\"";
+    }
+    os << "]\n}\n";
+    return os.str();
+}
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(to,
+                 "usage: thermostat_lint [--root DIR] [--baseline FILE]\n"
+                 "                       [--json] [--out FILE]\n"
+                 "                       [--list-rules] [paths...]\n"
+                 "\n"
+                 "Scans paths (default: src bench tools tests under\n"
+                 "--root) for determinism/concurrency/convention\n"
+                 "violations.  Exit: 0 clean, 1 findings, 2 error.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = ".";
+    fs::path baseline_path;
+    bool baseline_set = false;
+    bool json = false;
+    std::string out_path;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "thermostat_lint: %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--root") {
+            root = next("--root");
+        } else if (arg == "--baseline") {
+            baseline_path = next("--baseline");
+            baseline_set = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--out") {
+            out_path = next("--out");
+        } else if (arg == "--list-rules") {
+            for (const RuleInfo &r : kRules) {
+                std::printf("%-24s %s\n", r.id, r.summary);
+            }
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr,
+                         "thermostat_lint: unknown option %s\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    std::error_code ec;
+    if (!fs::is_directory(root, ec)) {
+        std::fprintf(stderr, "thermostat_lint: --root %s: not a directory\n",
+                     root.string().c_str());
+        return 2;
+    }
+    if (paths.empty()) {
+        for (const char *d : {"src", "bench", "tools", "tests"}) {
+            if (fs::is_directory(root / d, ec)) {
+                paths.push_back(d);
+            }
+        }
+    }
+
+    Baseline baseline;
+    if (!baseline_set) {
+        baseline_path = root / "tools" / "lint" / "lint_baseline.txt";
+    }
+    if (fs::exists(baseline_path, ec)) {
+        if (!loadBaseline(baseline_path, &baseline)) {
+            std::fprintf(stderr,
+                         "thermostat_lint: cannot read baseline %s\n",
+                         baseline_path.string().c_str());
+            return 2;
+        }
+    } else if (baseline_set) {
+        std::fprintf(stderr, "thermostat_lint: baseline %s not found\n",
+                     baseline_path.string().c_str());
+        return 2;
+    }
+
+    std::vector<fs::path> files;
+    for (const std::string &p : paths) {
+        fs::path full = fs::path(p).is_absolute() ? fs::path(p)
+                                                  : root / p;
+        if (!fs::exists(full, ec)) {
+            std::fprintf(stderr, "thermostat_lint: %s: no such path\n",
+                         full.string().c_str());
+            return 2;
+        }
+        collectFiles(full, &files);
+    }
+
+    std::vector<Finding> fresh;
+    std::size_t baselined = 0;
+    for (const fs::path &file : files) {
+        std::ifstream in(file, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "thermostat_lint: cannot read %s\n",
+                         file.string().c_str());
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        const std::string rel = relativeTo(file, root);
+        const std::vector<LineView> lines = splitLines(buf.str());
+        std::vector<Finding> file_findings;
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+            scanLine(rel, lines, i, &file_findings);
+        }
+        for (Finding &f : file_findings) {
+            const std::string key =
+                baselineKey(f.rule, f.file, f.snippet);
+            if (baseline.entries.count(key)) {
+                baseline.used.insert(key);
+                ++baselined;
+            } else {
+                fresh.push_back(std::move(f));
+            }
+        }
+    }
+
+    std::vector<std::string> unused_baseline;
+    for (const std::string &entry : baseline.entries) {
+        if (!baseline.used.count(entry)) {
+            unused_baseline.push_back(entry);
+        }
+    }
+
+    std::string report;
+    if (json) {
+        report = jsonReport(fresh, baselined, files.size(),
+                            unused_baseline);
+    } else {
+        std::ostringstream os;
+        for (const Finding &f : fresh) {
+            os << f.file << ":" << f.line << ": error: [" << f.rule
+               << "] " << f.message << "\n    " << f.snippet << "\n";
+        }
+        for (const std::string &entry : unused_baseline) {
+            os << "warning: unused baseline entry: " << entry << "\n";
+        }
+        os << files.size() << " files checked, " << fresh.size()
+           << " finding" << (fresh.size() == 1 ? "" : "s") << " ("
+           << baselined << " baselined)\n";
+        report = os.str();
+    }
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "thermostat_lint: cannot write %s\n",
+                         out_path.c_str());
+            return 2;
+        }
+        out << report;
+    } else {
+        std::fputs(report.c_str(), stdout);
+    }
+    return fresh.empty() ? 0 : 1;
+}
