@@ -12,7 +12,10 @@
  *  - tlb_miss_4k: large 4KB-mapped footprint, walks + LLC misses.
  *  - poisoned:    BadgerTrap faults on a monitored working set.
  *  - slow_tier:   LLC misses served by the slow device model.
- *  - sim_epoch:   full Simulation timing-stream epochs (web-search).
+ *  - sim_epoch:   full Simulation timing-stream epochs (web-search),
+ *                 access-sampling telemetry off.
+ *  - sim_epoch_sampled: the same epochs with the default sampling
+ *                 period, bounding the telemetry tap's overhead.
  */
 
 #include <chrono>
@@ -175,14 +178,17 @@ benchSlowTier(std::uint64_t accesses)
 }
 
 ScenarioResult
-benchSimEpoch(std::uint64_t accesses)
+benchSimEpochWithSampler(const std::string &name,
+                         std::uint64_t accesses,
+                         Count sample_period)
 {
     SimConfig config = standardConfig("web-search", 3.0, 0);
+    config.sampler.period = sample_period;
     const auto epochs = static_cast<Ns>(
         accesses / config.samplesPerEpoch + 1);
     config.duration = epochs * config.epoch;
     ScenarioResult result;
-    result.name = "sim_epoch";
+    result.name = name;
     result.accesses = epochs * config.samplesPerEpoch;
     result.seconds = 1e300;
     for (int rep = 0; rep < 3; ++rep) {
@@ -199,6 +205,22 @@ benchSimEpoch(std::uint64_t accesses)
                 static_cast<unsigned long long>(result.accesses),
                 result.seconds, result.accessesPerSec());
     return result;
+}
+
+ScenarioResult
+benchSimEpoch(std::uint64_t accesses)
+{
+    // Sampling off: the historical baseline scenario.
+    return benchSimEpochWithSampler("sim_epoch", accesses, 0);
+}
+
+ScenarioResult
+benchSimEpochSampled(std::uint64_t accesses)
+{
+    // Default telemetry settings; the acceptance bound holds this
+    // within 5% of sim_epoch (the tap is one branch per access).
+    return benchSimEpochWithSampler("sim_epoch_sampled", accesses,
+                                    AccessSamplerConfig{}.period);
 }
 
 } // namespace
@@ -233,6 +255,8 @@ main(int argc, char **argv)
         {"poisoned", benchPoisoned, scale * 500'000},
         {"slow_tier", benchSlowTier, scale * 1'000'000},
         {"sim_epoch", benchSimEpoch, scale * 200'000},
+        {"sim_epoch_sampled", benchSimEpochSampled,
+         scale * 200'000},
     };
     std::vector<ScenarioResult> results;
     for (const Scenario &s : scenarios) {

@@ -3,7 +3,11 @@
 # (tools/run_all): headline experiments at full durations,
 # ablations/microbenches in quick mode.  Worker count honors
 # THERMOSTAT_JOBS; pass --quick to shorten everything, or benchmark
-# names to run a subset.  Exits non-zero when any benchmark fails.
+# names to run a subset.  After the artifact run, re-times the
+# hot-path microbenchmark and gates it against the committed
+# BENCH_hotpath.json baseline with tools/perf_diff (generous local
+# tolerance; CI's perf-smoke job runs the same gate).  Exits
+# non-zero when any benchmark fails or the perf gate regresses.
 set -euo pipefail
 cd "$(dirname "$0")" || exit
 
@@ -13,4 +17,17 @@ if [[ ! -x build/tools/run_all ]]; then
     exit 2
 fi
 
-exec ./build/tools/run_all --bench-dir build/bench "$@"
+./build/tools/run_all --bench-dir build/bench "$@"
+
+# Perf-regression gate: a fresh quick hotpath run diffed against
+# the committed baseline.
+if [[ -x build/tools/perf_diff && -x build/bench/bench_hotpath ]]; then
+    echo
+    echo "== perf gate: bench_hotpath vs committed baseline =="
+    ./build/bench/bench_hotpath --quick --out BENCH_hotpath.fresh.json
+    ./build/tools/perf_diff \
+        --baseline BENCH_hotpath.json \
+        --fresh BENCH_hotpath.fresh.json \
+        --threshold 50 \
+        --json BENCH_hotpath.verdict.json
+fi

@@ -1,0 +1,187 @@
+#include "obs/access_sampler.hh"
+
+#include <algorithm>
+
+#include "obs/metrics.hh"
+
+namespace thermostat
+{
+
+AccessSampler::AccessSampler(const AccessSamplerConfig &config,
+                             std::uint64_t run_seed)
+    : config_(config), rng_(run_seed ^ config.seedSalt)
+{
+    if (enabled()) {
+        gap_ = nextGap();
+    }
+}
+
+std::uint64_t
+AccessSampler::nextGap()
+{
+    // Randomized inter-sample gap with mean `period`: uniform on
+    // [1, 2*period - 1].  Integer-only (no libm), so the gap
+    // sequence is bit-identical on every platform, and the jitter
+    // breaks lockstep aliasing with strided access patterns the
+    // same way hardware PEBS randomization does.
+    const Count period = config_.period;
+    if (period <= 1) {
+        return 1;
+    }
+    return 1 + rng_.nextBounded(2 * period - 1);
+}
+
+void
+AccessSampler::record(const AccessSample &sample)
+{
+    ++sampled_;
+    if (sample.write) {
+        ++sampledWrites_;
+    }
+    if (sample.slowTier) {
+        ++sampledSlow_;
+    }
+
+    pageWeight_[sample.pageBase] += sample.weight;
+    regionWeight_[alignDown2M(sample.pageBase)] += sample.weight;
+
+    // Order-sensitive stream digest: hash the sample into a rolling
+    // FNV/SplitMix mix so tests can assert two runs produced the
+    // exact same sample sequence without storing it.
+    std::uint64_t word = sample.pageBase;
+    word = word * 0x100000001b3ULL + sample.weight;
+    word ^= (sample.huge ? 1ULL : 0) | (sample.write ? 2ULL : 0) |
+            (sample.slowTier ? 4ULL : 0);
+    std::uint64_t state = digest_ ^ word;
+    digest_ = splitMix64(state);
+
+    if (config_.keepRecords) {
+        if (records_.size() < config_.maxRecords) {
+            records_.push_back(sample);
+        } else if (!records_.empty()) {
+            records_[recordHead_] = sample;
+            recordHead_ = (recordHead_ + 1) % records_.size();
+            ++recordsDropped_;
+        }
+    }
+    if (hook_) {
+        hook_(sample);
+    }
+    gap_ = nextGap();
+}
+
+std::vector<AccessSample>
+AccessSampler::records() const
+{
+    // Un-rotate the ring: recordHead_ marks the oldest entry once
+    // the ring has wrapped (it is 0 before that).
+    std::vector<AccessSample> out;
+    out.reserve(records_.size());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        out.push_back(
+            records_[(recordHead_ + i) % records_.size()]);
+    }
+    return out;
+}
+
+std::uint64_t
+AccessSampler::pageWeight(Addr page_base) const
+{
+    const auto it = pageWeight_.find(page_base);
+    return it != pageWeight_.end() ? it->value : 0;
+}
+
+std::uint64_t
+AccessSampler::regionWeight(Addr region_base) const
+{
+    const auto it = regionWeight_.find(region_base);
+    return it != regionWeight_.end() ? it->value : 0;
+}
+
+Log2Histogram
+AccessSampler::pageHotnessHistogram() const
+{
+    Log2Histogram histogram;
+    for (const auto &slot : pageWeight_) {
+        histogram.add(slot.value);
+    }
+    return histogram;
+}
+
+Log2Histogram
+AccessSampler::regionHotnessHistogram() const
+{
+    Log2Histogram histogram;
+    for (const auto &slot : regionWeight_) {
+        histogram.add(slot.value);
+    }
+    return histogram;
+}
+
+std::vector<AccessSampler::RegionRank>
+AccessSampler::hottestRegions(std::size_t n) const
+{
+    std::vector<RegionRank> ranks;
+    ranks.reserve(regionWeight_.size());
+    for (const auto &slot : regionWeight_) {
+        ranks.push_back({slot.key, slot.value});
+    }
+    std::sort(ranks.begin(), ranks.end(),
+              [](const RegionRank &a, const RegionRank &b) {
+                  if (a.weight != b.weight) {
+                      return a.weight > b.weight;
+                  }
+                  return a.base < b.base;
+              });
+    if (ranks.size() > n) {
+        ranks.resize(n);
+    }
+    return ranks;
+}
+
+void
+AccessSampler::registerMetrics(MetricRegistry &registry,
+                               const std::string &prefix) const
+{
+    registry.addCallback(prefix + ".offered", [this] {
+        return static_cast<double>(offered_);
+    });
+    registry.addCallback(prefix + ".sampled", [this] {
+        return static_cast<double>(sampled_);
+    });
+    registry.addCallback(prefix + ".sampled_writes", [this] {
+        return static_cast<double>(sampledWrites_);
+    });
+    registry.addCallback(prefix + ".sampled_slow", [this] {
+        return static_cast<double>(sampledSlow_);
+    });
+    registry.addCallback(prefix + ".pages_seen", [this] {
+        return static_cast<double>(pageWeight_.size());
+    });
+    registry.addCallback(prefix + ".regions_seen", [this] {
+        return static_cast<double>(regionWeight_.size());
+    });
+    registry.addCallback(prefix + ".records_dropped", [this] {
+        return static_cast<double>(recordsDropped_);
+    });
+}
+
+void
+AccessSampler::reset()
+{
+    offered_ = 0;
+    sampled_ = 0;
+    sampledWrites_ = 0;
+    sampledSlow_ = 0;
+    digest_ = 0x9e3779b97f4a7c15ULL;
+    pageWeight_.clear();
+    regionWeight_.clear();
+    records_.clear();
+    recordHead_ = 0;
+    recordsDropped_ = 0;
+    if (enabled()) {
+        gap_ = nextGap();
+    }
+}
+
+} // namespace thermostat

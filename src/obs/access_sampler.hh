@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Deterministic PEBS-style access sampling.
+ *
+ * The AccessSampler taps the timing stream inside Machine::access
+ * and keeps a statistically representative view of it: every access
+ * is offered, roughly one in `period` is recorded.  Sampling gaps
+ * are drawn geometrically from the sampler's own xoshiro stream
+ * (seeded from the run seed), so a fixed seed yields a byte-stable
+ * sample stream, the hot path pays one decrement-and-branch per
+ * access, and the shared workload/simulation RNG streams are never
+ * perturbed -- golden runs stay byte-identical with the sampler
+ * enabled.
+ *
+ * What the samples feed:
+ *  - per-page (4KB-base) hotness counts in an open-addressing
+ *    FlatMap, exportable as a Log2Histogram of per-page weights;
+ *  - per-region (2MB-aligned) counts, the granularity Thermostat
+ *    places at;
+ *  - an optional callback (the TieringPolicy access-feedback hook)
+ *    so adaptive policies can consume a sampled view of the real
+ *    access stream instead of the synthetic profiling stream
+ *    (ROADMAP item 5's sampled-feedback source).
+ *
+ * This mirrors the paper's Sec 6.1.2 PEBS discussion: a record rate
+ * of 1/period with no interrupt cost modeled here (the simulated
+ * cost of hardware sampling is modeled separately by
+ * CountingMode::Pebs in the profiling stream).
+ */
+
+#ifndef THERMOSTAT_OBS_ACCESS_SAMPLER_HH
+#define THERMOSTAT_OBS_ACCESS_SAMPLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/flat_map.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace thermostat
+{
+
+class MetricRegistry;
+
+/** One recorded sample of the timing stream. */
+struct AccessSample
+{
+    Addr pageBase = 0; //!< 4KB-aligned virtual page base
+    bool huge = false; //!< leaf size at the sampled address
+    bool write = false;
+    bool slowTier = false;
+    Count weight = 0; //!< real accesses this sample represents
+};
+
+/** Sampler configuration (SimConfig.sampler). */
+struct AccessSamplerConfig
+{
+    /**
+     * Mean accesses per recorded sample; 0 disables the sampler
+     * entirely (the Machine tap is never installed).
+     */
+    Count period = 64;
+
+    /** Salt mixed into the run seed for the sampler's own stream. */
+    std::uint64_t seedSalt = 0x5a3b1e5ULL;
+
+    /**
+     * Keep the raw sample records (for export/tests) in addition to
+     * the aggregate tables.  Bounded by maxRecords.
+     */
+    bool keepRecords = false;
+
+    /** Raw-record cap; older records are dropped FIFO. */
+    std::size_t maxRecords = 1u << 16;
+};
+
+/**
+ * The sampler.  Not thread-safe: one instance per Simulation, same
+ * as every other per-run component.
+ */
+class AccessSampler
+{
+  public:
+    using SampleHook = std::function<void(const AccessSample &)>;
+
+    AccessSampler(const AccessSamplerConfig &config,
+                  std::uint64_t run_seed);
+
+    bool enabled() const { return config_.period != 0; }
+    Count period() const { return config_.period; }
+
+    /**
+     * Hot-path tap: decrement the geometric gap; record when it
+     * expires.  Inline so the common (skip) case is one predictable
+     * branch.
+     */
+    void
+    onAccess(Addr page_base, bool huge, bool write, bool slow_tier,
+             Count weight)
+    {
+        ++offered_;
+        if (--gap_ > 0) {
+            return;
+        }
+        record({page_base, huge, write, slow_tier, weight});
+    }
+
+    /** Sampled-feedback consumer (e.g. the policy feedback shim). */
+    void setHook(SampleHook hook) { hook_ = std::move(hook); }
+
+    // -- Aggregate views -------------------------------------------------
+
+    std::uint64_t offered() const { return offered_; }
+    std::uint64_t sampled() const { return sampled_; }
+    std::uint64_t sampledWrites() const { return sampledWrites_; }
+    std::uint64_t sampledSlow() const { return sampledSlow_; }
+
+    /** Distinct 4KB pages observed. */
+    std::size_t pagesSeen() const { return pageWeight_.size(); }
+    /** Distinct 2MB regions observed. */
+    std::size_t regionsSeen() const { return regionWeight_.size(); }
+
+    /** Sampled weight attributed to one 4KB page base. */
+    std::uint64_t pageWeight(Addr page_base) const;
+    /** Sampled weight attributed to one 2MB-aligned region. */
+    std::uint64_t regionWeight(Addr region_base) const;
+
+    /**
+     * Histogram of per-page sampled weights: the hotness skew of
+     * everything observed so far (one entry per distinct page).
+     */
+    Log2Histogram pageHotnessHistogram() const;
+    /** Same at 2MB-region granularity. */
+    Log2Histogram regionHotnessHistogram() const;
+
+    /** Raw records, oldest first (empty unless keepRecords). */
+    std::vector<AccessSample> records() const;
+    std::uint64_t recordsDropped() const { return recordsDropped_; }
+
+    /**
+     * Deterministic digest of the whole sample stream (order
+     * sensitive); two runs with the same seed must agree.
+     */
+    std::uint64_t streamDigest() const { return digest_; }
+
+    /** Top-N hottest regions by sampled weight (ties by address). */
+    struct RegionRank
+    {
+        Addr base = 0;
+        std::uint64_t weight = 0;
+    };
+    std::vector<RegionRank> hottestRegions(std::size_t n) const;
+
+    /** Counters under "<prefix>.": offered/sampled/pages/regions. */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
+
+    /** Drop all aggregates and re-arm the gap (epoch reuse). */
+    void reset();
+
+  private:
+    void record(const AccessSample &sample);
+
+    /** Draw the next geometric inter-sample gap (>= 1). */
+    std::uint64_t nextGap();
+
+    AccessSamplerConfig config_;
+    Rng rng_;
+    std::uint64_t gap_ = 1;
+
+    std::uint64_t offered_ = 0;
+    std::uint64_t sampled_ = 0;
+    std::uint64_t sampledWrites_ = 0;
+    std::uint64_t sampledSlow_ = 0;
+    std::uint64_t digest_ = 0x9e3779b97f4a7c15ULL;
+
+    FlatMap<Addr, std::uint64_t> pageWeight_;
+    FlatMap<Addr, std::uint64_t> regionWeight_;
+
+    std::vector<AccessSample> records_;
+    std::size_t recordHead_ = 0; //!< FIFO start when ring is full
+    std::uint64_t recordsDropped_ = 0;
+
+    SampleHook hook_;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_OBS_ACCESS_SAMPLER_HH

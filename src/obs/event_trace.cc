@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "obs/json.hh"
+#include "obs/metrics.hh"
 
 namespace thermostat
 {
@@ -196,6 +197,17 @@ EventTracer::emit(const TraceEvent &event)
     }
     if (count_ == buffer_.size()) {
         ++dropped_;
+        if (!overflowWarned_) {
+            overflowWarned_ = true;
+            TSTAT_WARN(
+                "event ring overflowed at capacity %zu; oldest "
+                "events are being dropped from exports (see "
+                "trace/dropped_events; sink consumers such as the "
+                "lifecycle auditor still see the full stream). "
+                "Raise SimConfig.traceCapacity or narrow "
+                "--trace-events to keep the full trace.",
+                buffer_.size());
+        }
     } else {
         ++count_;
     }
@@ -223,6 +235,18 @@ EventTracer::clear()
     count_ = 0;
     dropped_ = 0;
     totalEmitted_ = 0;
+    overflowWarned_ = false;
+}
+
+void
+EventTracer::registerMetrics(MetricRegistry &registry) const
+{
+    registry.addCallback("trace/emitted_events", [this] {
+        return static_cast<double>(totalEmitted_);
+    });
+    registry.addCallback("trace/dropped_events", [this] {
+        return static_cast<double>(dropped_);
+    });
 }
 
 std::string
@@ -281,16 +305,20 @@ EventTracer::toChromeTrace() const
     w.key("traceEvents");
     w.beginArray();
 
-    auto processMeta = [&w](std::uint64_t pid, const char *name) {
+    // Perfetto/chrome://tracing label tracks via metadata records;
+    // without both process_name and thread_name the UI shows bare
+    // pid/tid numbers.
+    auto meta = [&w](const char *meta_name, std::uint64_t pid,
+                     std::uint64_t tid, const char *name) {
         w.beginObject();
         w.key("name");
-        w.value("process_name");
+        w.value(meta_name);
         w.key("ph");
         w.value("M");
         w.key("pid");
         w.value(pid);
         w.key("tid");
-        w.value(std::uint64_t{1});
+        w.value(tid);
         w.key("args");
         w.beginObject();
         w.key("name");
@@ -298,8 +326,10 @@ EventTracer::toChromeTrace() const
         w.endObject();
         w.endObject();
     };
-    processMeta(1, "simulation");
-    processMeta(2, "host");
+    meta("process_name", 1, 1, "simulation");
+    meta("thread_name", 1, 1, "page lifecycle");
+    meta("process_name", 2, 1, "host");
+    meta("thread_name", 2, 1, "simulator phases");
 
     for (const TraceEvent &ev : evs) {
         const bool phase = ev.kind == EventKind::Phase;

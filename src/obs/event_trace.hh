@@ -33,6 +33,8 @@
 namespace thermostat
 {
 
+class MetricRegistry;
+
 /** What happened to a page (or which engine phase ran). */
 enum class EventKind : std::uint8_t
 {
@@ -143,6 +145,14 @@ class EventTracer
     /** Events offered to emit(), masked or not. */
     std::uint64_t totalEmitted() const { return totalEmitted_; }
 
+    /**
+     * Register "trace/emitted_events" and "trace/dropped_events"
+     * so ring overflow is visible in every metrics dump (a nonzero
+     * drop count means the *export* is incomplete; sink consumers
+     * like the LifecycleAuditor still saw every event).
+     */
+    void registerMetrics(MetricRegistry &registry) const;
+
     /** Ring contents, oldest first. */
     std::vector<TraceEvent> events() const;
 
@@ -171,6 +181,7 @@ class EventTracer
     std::size_t head_ = 0;  //!< next write position
     std::size_t count_ = 0; //!< valid entries
     std::uint64_t dropped_ = 0;
+    bool overflowWarned_ = false;
     std::uint64_t totalEmitted_ = 0;
     std::uint32_t mask_ = kEvAll;
     Ns simTime_ = 0;

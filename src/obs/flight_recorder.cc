@@ -1,0 +1,149 @@
+#include "obs/flight_recorder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+
+namespace thermostat
+{
+
+namespace
+{
+
+double
+toSeconds(Ns time)
+{
+    return static_cast<double>(time) /
+           static_cast<double>(kNsPerSec);
+}
+
+} // namespace
+
+EpochFlightRecorder::EpochFlightRecorder(
+    std::vector<std::string> columns, std::size_t capacity)
+    : columns_(std::move(columns)),
+      capacity_(std::max<std::size_t>(capacity, 1))
+{
+    rows_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void
+EpochFlightRecorder::append(Ns time,
+                            const std::vector<double> &values)
+{
+    TSTAT_ASSERT(values.size() == columns_.size(),
+                 "flight row has %zu values for %zu columns",
+                 values.size(), columns_.size());
+    ++appended_;
+    if (rows_.size() < capacity_) {
+        rows_.push_back({time, values});
+        return;
+    }
+    rows_[head_] = {time, values};
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+}
+
+std::vector<EpochRow>
+EpochFlightRecorder::rows() const
+{
+    std::vector<EpochRow> out;
+    out.reserve(rows_.size());
+    const std::size_t start =
+        rows_.size() < capacity_ ? 0 : head_;
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        out.push_back(rows_[(start + i) % rows_.size()]);
+    }
+    return out;
+}
+
+int
+EpochFlightRecorder::columnIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+        if (columns_[i] == name) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+std::string
+EpochFlightRecorder::toJsonl() const
+{
+    std::string out;
+    for (const EpochRow &row : rows()) {
+        JsonWriter w;
+        w.beginObject();
+        w.key("t_sec");
+        w.value(toSeconds(row.time));
+        for (std::size_t i = 0; i < columns_.size(); ++i) {
+            w.key(columns_[i]);
+            w.value(row.values[i]);
+        }
+        w.endObject();
+        out += w.str();
+        out += '\n';
+    }
+    JsonWriter meta;
+    meta.beginObject();
+    meta.key("meta");
+    meta.beginObject();
+    meta.key("rows");
+    meta.value(static_cast<std::uint64_t>(rows_.size()));
+    meta.key("appended");
+    meta.value(appended_);
+    meta.key("dropped");
+    meta.value(dropped_);
+    meta.key("capacity");
+    meta.value(static_cast<std::uint64_t>(capacity_));
+    meta.endObject();
+    meta.endObject();
+    out += meta.str();
+    out += '\n';
+    return out;
+}
+
+std::string
+EpochFlightRecorder::toCsv() const
+{
+    std::string out = "t_sec";
+    for (const std::string &column : columns_) {
+        out += ',';
+        out += column;
+    }
+    out += '\n';
+    for (const EpochRow &row : rows()) {
+        out += jsonNumber(toSeconds(row.time));
+        for (const double value : row.values) {
+            out += ',';
+            out += jsonNumber(value);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+void
+EpochFlightRecorder::registerMetrics(MetricRegistry &registry) const
+{
+    registry.addCallback("flight/rows", [this] {
+        return static_cast<double>(rows_.size());
+    });
+    registry.addCallback("flight/dropped_rows", [this] {
+        return static_cast<double>(dropped_);
+    });
+}
+
+void
+EpochFlightRecorder::clear()
+{
+    rows_.clear();
+    head_ = 0;
+    appended_ = 0;
+    dropped_ = 0;
+}
+
+} // namespace thermostat

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Per-epoch flight recorder: a bounded ring of metric rows.
+ *
+ * Every simulated epoch appends one row of named columns (epoch
+ * slowdown, migration deltas, fault counts, sampler tallies, ...),
+ * so a run yields a full time-series instead of one end-of-run
+ * snapshot -- the raw material for per-tenant SLO accounting and
+ * for the adaptive meta-policy's feedback loop (ROADMAP items 1
+ * and 5).  The ring is bounded: memory stays O(capacity) however
+ * long the run, the newest rows win on wrap, and the drop count is
+ * reported so truncation is never silent.
+ *
+ * Exports are deterministic functions of the row data (no wall
+ * clock, no iteration over unordered containers): a fixed seed
+ * produces byte-identical JSONL/CSV across runs and regardless of
+ * THERMOSTAT_JOBS.
+ */
+
+#ifndef THERMOSTAT_OBS_FLIGHT_RECORDER_HH
+#define THERMOSTAT_OBS_FLIGHT_RECORDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace thermostat
+{
+
+class MetricRegistry;
+
+/** One recorded epoch. */
+struct EpochRow
+{
+    Ns time = 0; //!< epoch end, measurement time
+    std::vector<double> values;
+};
+
+class EpochFlightRecorder
+{
+  public:
+    /**
+     * @param columns Column names, fixed for the recorder's life;
+     *        every append must supply exactly this many values.
+     * @param capacity Ring size in rows (>= 1).
+     */
+    EpochFlightRecorder(std::vector<std::string> columns,
+                        std::size_t capacity = 1u << 12);
+
+    const std::vector<std::string> &columns() const
+    {
+        return columns_;
+    }
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return rows_.size(); }
+    /** Rows lost to ring wrap (oldest-first eviction). */
+    std::uint64_t droppedRows() const { return dropped_; }
+    std::uint64_t totalAppended() const { return appended_; }
+
+    /** Append one epoch; values.size() must match columns(). */
+    void append(Ns time, const std::vector<double> &values);
+
+    /** Retained rows, oldest first. */
+    std::vector<EpochRow> rows() const;
+
+    /** Column index by name; -1 when unknown. */
+    int columnIndex(const std::string &name) const;
+
+    /**
+     * One JSON object per row: {"t_sec": ..., "<col>": ...}.  A
+     * trailing meta line reports schema + drop accounting.
+     */
+    std::string toJsonl() const;
+
+    /** CSV with a `t_sec` column prepended to the schema. */
+    std::string toCsv() const;
+
+    /** "flight/rows", "flight/dropped_rows" gauges. */
+    void registerMetrics(MetricRegistry &registry) const;
+
+    void clear();
+
+  private:
+    std::vector<std::string> columns_;
+    std::size_t capacity_;
+    std::vector<EpochRow> rows_; //!< ring storage
+    std::size_t head_ = 0;       //!< next write position once full
+    std::uint64_t appended_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_OBS_FLIGHT_RECORDER_HH

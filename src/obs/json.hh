@@ -13,7 +13,10 @@
 #define THERMOSTAT_OBS_JSON_HH
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace thermostat
 {
@@ -30,6 +33,67 @@ std::string jsonNumber(double value);
  * escapes or malformed numbers.
  */
 bool jsonWellFormed(const std::string &text);
+
+/**
+ * Parsed JSON value: a small immutable DOM for tools that consume
+ * the exporters' output (tools/perf_diff compares BENCH_*.json
+ * baselines).  Object member order is not preserved (members are
+ * name-sorted); numbers are doubles, matching what JsonWriter
+ * emits.  Accessors return fallbacks instead of throwing so
+ * comparison tools can probe optional fields cheaply.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool(bool fallback = false) const;
+    double asNumber(double fallback = 0.0) const;
+    const std::string &asString() const;
+
+    /** Array elements (empty unless isArray()). */
+    const std::vector<JsonValue> &elements() const;
+
+    /** Object member lookup; null-kind sentinel when absent. */
+    const JsonValue &member(const std::string &name) const;
+    bool hasMember(const std::string &name) const;
+    const std::map<std::string, JsonValue> &members() const;
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::map<std::string, JsonValue> object_;
+};
+
+/**
+ * Parse one complete JSON document.  On failure returns false and
+ * sets @p error to a position-prefixed message; @p out is then
+ * unspecified.
+ */
+bool parseJson(const std::string &text, JsonValue *out,
+               std::string *error);
 
 /**
  * Append-only JSON builder.  The caller is responsible for calling

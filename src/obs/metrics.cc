@@ -131,6 +131,73 @@ MetricRegistry::dumpText() const
     return os.str();
 }
 
+namespace
+{
+
+/** Prometheus metric name: [a-z0-9_] with a namespace prefix. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "thermostat_";
+    for (const char c : name) {
+        if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+            c == '_') {
+            out += c;
+        } else if (c >= 'A' && c <= 'Z') {
+            out += static_cast<char>(c - 'A' + 'a');
+        } else {
+            out += '_';
+        }
+    }
+    return out;
+}
+
+/** Prometheus sample value; exposition uses decimal or sci form. */
+std::string
+promNumber(double value)
+{
+    return jsonNumber(value);
+}
+
+} // namespace
+
+std::string
+MetricRegistry::dumpPrometheus() const
+{
+    std::ostringstream os;
+    for (const auto &[name, e] : entries_) {
+        const std::string prom = promName(name);
+        if (e.counter) {
+            os << "# TYPE " << prom << " counter\n";
+            os << prom << " "
+               << promNumber(static_cast<double>(e.counter->value()))
+               << "\n";
+        } else if (e.gauge) {
+            os << "# TYPE " << prom << " gauge\n";
+            os << prom << " " << promNumber(e.gauge->value())
+               << "\n";
+        } else if (e.histogram) {
+            os << "# TYPE " << prom << " summary\n";
+            os << prom << "{quantile=\"0.5\"} "
+               << promNumber(static_cast<double>(
+                      e.histogram->percentile(0.5)))
+               << "\n";
+            os << prom << "{quantile=\"0.99\"} "
+               << promNumber(static_cast<double>(
+                      e.histogram->percentile(0.99)))
+               << "\n";
+            os << prom << "_count "
+               << promNumber(static_cast<double>(
+                      e.histogram->totalSamples()))
+               << "\n";
+        } else {
+            os << "# TYPE " << prom << " gauge\n";
+            os << prom << " " << promNumber(e.callback()) << "\n";
+        }
+    }
+    return os.str();
+}
+
 std::string
 MetricRegistry::dumpJson() const
 {

@@ -105,6 +105,16 @@ class MetricRegistry
     /** Hierarchical JSON object keyed by dotted-name components. */
     std::string dumpJson() const;
 
+    /**
+     * Prometheus text exposition format (version 0.0.4): one
+     * `# TYPE`-annotated family per metric, names sanitized to
+     * [a-z0-9_] with a "thermostat_" prefix.  Counters export as
+     * `counter`, gauges/callbacks as `gauge`, histograms as
+     * `summary` (quantile-labeled p50/p99 plus `_count`), so any
+     * run's metrics can be scraped or diffed with stock tooling.
+     */
+    std::string dumpPrometheus() const;
+
   private:
     struct Entry
     {

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Hierarchical phase profiler for the simulator's own hot loops.
+ *
+ * ProfileScope is an RAII wall-clock timer; nested scopes build a
+ * call tree rooted at "run" (epoch -> policy_tick -> migrate, ...).
+ * Each node tracks invocation count and total host nanoseconds;
+ * self time is total minus the children's totals, computed at
+ * export.  The JSON export is a nested tree, so a profile answers
+ * "where does a run spend its host time" at a glance -- the tool
+ * for chasing the ROADMAP's single-run throughput target.
+ *
+ * Host wall-clock reads are confined to obs/ by the lint rules
+ * (ban-wall-clock): simulated results never depend on these
+ * timings, so profiling on/off cannot perturb golden runs.
+ *
+ * Not thread-safe: one Profiler per Simulation, like the tracer.
+ * A disabled profiler's scopes cost one branch.
+ */
+
+#ifndef THERMOSTAT_OBS_PROFILER_HH
+#define THERMOSTAT_OBS_PROFILER_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace thermostat
+{
+
+class Profiler
+{
+  public:
+    /** One tree node; index 0 is the root ("run"). */
+    struct Node
+    {
+        std::string name;
+        int parent = -1;
+        std::vector<int> children;
+        std::uint64_t count = 0;
+        Ns totalNs = 0;
+    };
+
+    explicit Profiler(bool enabled = true);
+
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+
+    /**
+     * Enter the child named @p name of the current node (created on
+     * first use); returns a token for leave().  The name pointer
+     * must outlive the profiler (static literals).
+     */
+    int enter(const char *name);
+    void leave(int node, Ns elapsed);
+
+    /** Host ns since profiler construction (monotonic). */
+    Ns now() const;
+
+    // -- Read side -------------------------------------------------------
+
+    const std::vector<Node> &nodes() const { return nodes_; }
+    const Node &root() const { return nodes_[0]; }
+
+    /** Sum of @p node's direct children's totals. */
+    Ns childrenTotal(const Node &node) const;
+
+    /** Total minus children (never negative). */
+    Ns selfNs(const Node &node) const;
+
+    /**
+     * Nested JSON: {"name","count","total_ns","self_ns",
+     * "children":[...]}.  Children appear in first-entry order.
+     */
+    std::string toJson() const;
+
+    /** Indented "name  count  total  self" lines for consoles. */
+    std::string toText() const;
+
+    /** Drop all samples, keep the tree shape reset to just root. */
+    void clear();
+
+  private:
+    int findOrAddChild(int parent, const char *name);
+    void writeNode(int index, std::string &out, int depth) const;
+
+    bool enabled_;
+    std::vector<Node> nodes_;
+    int current_ = 0;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+/**
+ * RAII scope: enters on construction, accumulates elapsed host time
+ * on destruction.  Null profiler or disabled profiler = no-op.
+ */
+class ProfileScope
+{
+  public:
+    ProfileScope(Profiler *profiler, const char *name)
+        : profiler_(profiler != nullptr && profiler->enabled()
+                        ? profiler
+                        : nullptr)
+    {
+        if (profiler_ != nullptr) {
+            node_ = profiler_->enter(name);
+            begin_ = profiler_->now();
+        }
+    }
+
+    ~ProfileScope()
+    {
+        if (profiler_ != nullptr) {
+            profiler_->leave(node_, profiler_->now() - begin_);
+        }
+    }
+
+    ProfileScope(const ProfileScope &) = delete;
+    ProfileScope &operator=(const ProfileScope &) = delete;
+
+  private:
+    Profiler *profiler_;
+    int node_ = 0;
+    Ns begin_ = 0;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_OBS_PROFILER_HH

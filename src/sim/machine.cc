@@ -1,5 +1,6 @@
 #include "sim/machine.hh"
 
+#include "obs/access_sampler.hh"
 #include "obs/metrics.hh"
 
 #include <cmath>
@@ -173,6 +174,12 @@ Machine::access(Addr vaddr, AccessType type, Count weight,
     stats_.weightedAccesses += weight;
     stats_.actualTime += out.actualLatency * weight;
     stats_.baselineTime += out.baselineLatency * weight;
+    if (sampler_ != nullptr) {
+        // Telemetry tap: observe-only, own RNG stream; placement
+        // after tier resolution so the sample carries the tier.
+        sampler_->onAccess(alignDown4K(vaddr), huge, write,
+                           tier == Tier::Slow, weight);
+    }
     return out;
 }
 

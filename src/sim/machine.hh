@@ -37,6 +37,7 @@
 namespace thermostat
 {
 
+class AccessSampler;
 class MetricRegistry;
 
 /** How slow memory is realized (paper Sec 4.2). */
@@ -152,6 +153,17 @@ class Machine
     /** Weighted slow-tier accesses since the last call. */
     Count takeSlowAccessCount();
 
+    /**
+     * Attach the telemetry tap: every access() is offered to the
+     * sampler after its tier is resolved.  Null (the default)
+     * removes the tap; the sampler only observes, so attaching one
+     * cannot change simulated results.
+     */
+    void setAccessSampler(AccessSampler *sampler)
+    {
+        sampler_ = sampler;
+    }
+
     /** Effective (overlapped) latency helpers, for tests. */
     Ns effectiveWalkLatency(bool huge) const;
 
@@ -185,6 +197,7 @@ class Machine
     EffectiveCosts costs_;
     MachineStats stats_;
     Count slowAccessWindow_ = 0;
+    AccessSampler *sampler_ = nullptr;
 };
 
 } // namespace thermostat

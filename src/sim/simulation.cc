@@ -8,6 +8,23 @@
 namespace thermostat
 {
 
+namespace
+{
+
+/** Flight-recorder schema: one row per measured epoch. */
+std::vector<std::string>
+flightColumns()
+{
+    return {"slowdown",      "actual_ns",  "baseline_ns",
+            "overhead_ns",   "slow_accesses", "demote_bytes",
+            "promote_bytes", "demotions",  "promotions",
+            "migration_retries", "copy_aborts", "wear_writes",
+            "trap_faults",   "cold_bytes", "rss_bytes",
+            "sampled",       "sampled_slow"};
+}
+
+} // namespace
+
 Simulation::Simulation(std::unique_ptr<Workload> workload,
                        const SimConfig &config)
     : config_(config),
@@ -24,7 +41,9 @@ Simulation::Simulation(std::unique_ptr<Workload> workload,
       cgroup_("workload", config.params),
       rng_(config.seed),
       profileRng_(config.seed ^ 0x5aadddULL),
-      tracer_(config.traceCapacity)
+      tracer_(config.traceCapacity),
+      flight_(flightColumns(), config.flightCapacity),
+      profiler_(config.profilerEnabled)
 {
     TSTAT_ASSERT(workload_ != nullptr, "Simulation without workload");
     policy_ = PolicyFactory::make(
@@ -59,6 +78,35 @@ Simulation::Simulation(std::unique_ptr<Workload> workload,
     migrator_.registerMetrics(metrics_, "migrator");
     kstaled_.registerMetrics(metrics_, "kstaled");
     khugepaged_.registerMetrics(metrics_, "khugepaged");
+    tracer_.registerMetrics(metrics_);
+    flight_.registerMetrics(metrics_);
+
+    // Sampled telemetry: the tap observes the timing stream from its
+    // own seeded RNG stream, so attaching it cannot change results.
+    if (config_.sampler.period != 0) {
+        sampler_ = std::make_unique<AccessSampler>(config_.sampler,
+                                                   config_.seed);
+        machine_.setAccessSampler(sampler_.get());
+        sampler_->registerMetrics(metrics_, "sampler");
+        if (config_.samplerFeedback &&
+            policy_->wantsAccessFeedback()) {
+            // Each sample stands for ~period offered accesses; scale
+            // the feedback weight so the policy sees calibrated
+            // magnitudes (an explicit experiment: this changes what
+            // feedback-driven policies observe).
+            const Count period = config_.sampler.period;
+            sampler_->setHook(
+                [this, period](const AccessSample &s) {
+                    policy_->onProfiledAccess(
+                        s.huge ? alignDown2M(s.pageBase)
+                               : s.pageBase,
+                        s.huge, s.write, s.weight * period);
+                });
+        }
+    }
+    migrator_.setProfiler(&profiler_);
+    kstaled_.setProfiler(&profiler_);
+    khugepaged_.setProfiler(&profiler_);
 
     // Fault injection: attached only when a plan is configured, so
     // fault-free runs execute exactly the pre-fault code paths.
@@ -76,6 +124,62 @@ Simulation::engine()
     TSTAT_ASSERT(thermostat_ != nullptr,
                  "engine() requires the thermostat policy");
     return thermostat_->engine();
+}
+
+Simulation::EpochBase
+Simulation::epochBase()
+{
+    EpochBase base;
+    const MigrationStats &mig = migrator_.stats();
+    base.bytesDemoted = mig.bytesDemoted;
+    base.bytesPromoted = mig.bytesPromoted;
+    base.demotionsOrdered = mig.hugeDemotions + mig.baseDemotions;
+    base.promotionsOrdered = mig.hugePromotions + mig.basePromotions;
+    base.retries = mig.retries;
+    base.copyAborts = mig.copyAborts;
+    base.slowWear = machine_.memory().slow().totalWear();
+    base.weightedFaults = machine_.trap().stats().weightedFaults;
+    if (sampler_ != nullptr) {
+        base.sampled = sampler_->sampled();
+        base.sampledSlow = sampler_->sampledSlow();
+    }
+    return base;
+}
+
+void
+Simulation::recordEpoch(Ns at, const EpochBase &base, Ns actual,
+                        Ns baseline, Ns work, Ns overhead,
+                        Count weight, Count slow_accesses)
+{
+    const EpochBase now = epochBase();
+    const double w = static_cast<double>(weight);
+    const double actual_ns = static_cast<double>(work) +
+                             static_cast<double>(actual) * w +
+                             static_cast<double>(overhead);
+    const double baseline_ns = static_cast<double>(work) +
+                               static_cast<double>(baseline) * w;
+    const double slowdown =
+        baseline_ns > 0.0 ? actual_ns / baseline_ns - 1.0 : 0.0;
+    const auto delta = [](std::uint64_t a, std::uint64_t b) {
+        return static_cast<double>(a - b);
+    };
+    flight_.append(
+        at,
+        {slowdown, actual_ns, baseline_ns,
+         static_cast<double>(overhead),
+         static_cast<double>(slow_accesses),
+         delta(now.bytesDemoted, base.bytesDemoted),
+         delta(now.bytesPromoted, base.bytesPromoted),
+         delta(now.demotionsOrdered, base.demotionsOrdered),
+         delta(now.promotionsOrdered, base.promotionsOrdered),
+         delta(now.retries, base.retries),
+         delta(now.copyAborts, base.copyAborts),
+         delta(now.slowWear, base.slowWear),
+         delta(now.weightedFaults, base.weightedFaults),
+         static_cast<double>(policy_->coldBytes()),
+         static_cast<double>(machine_.space().rssBytes()),
+         delta(now.sampled, base.sampled),
+         delta(now.sampledSlow, base.sampledSlow)});
 }
 
 void
@@ -140,8 +244,10 @@ Simulation::run()
 
     const Ns warmup = config_.warmup;
     for (Ns now = 0; now < warmup + duration; now += config_.epoch) {
+        ProfileScope epoch_scope(&profiler_, "epoch");
         const bool recording = now >= warmup;
         const Ns rec_time = recording ? now - warmup : 0;
+        const EpochBase epoch_base = epochBase();
         tracer_.setSimTime(now);
         if (faults_ != nullptr) {
             // Latch the slow tier's degradation state for this
@@ -151,14 +257,17 @@ Simulation::run()
         }
         {
             TraceScope scope(&tracer_, "workload_advance");
+            ProfileScope pscope(&profiler_, "workload_advance");
             workload_->advance(now, machine_.space());
         }
         if (config_.thermostatEnabled) {
             TraceScope scope(&tracer_, "policy_tick");
+            ProfileScope pscope(&profiler_, "policy_tick");
             policy_->tick(now);
         }
         if (config_.khugepagedEnabled) {
             TraceScope scope(&tracer_, "khugepaged_tick");
+            ProfileScope pscope(&profiler_, "khugepaged_tick");
             khugepaged_.tick(now);
         }
         if (hook_) {
@@ -173,6 +282,7 @@ Simulation::run()
         Ns epoch_baseline = 0;
         {
             TraceScope scope(&tracer_, "timing_stream");
+            ProfileScope pscope(&profiler_, "timing_stream");
             for (unsigned i = 0; i < config_.samplesPerEpoch; ++i) {
                 const MemRef ref = workload_->sample(rng_);
                 const AccessOutcome out =
@@ -194,6 +304,7 @@ Simulation::run()
         Count pebs_records = 0;
         {
             TraceScope scope(&tracer_, "profile_stream");
+            ProfileScope pscope(&profiler_, "profile_stream");
             for (std::uint64_t i = 0; i < profile_samples; ++i) {
                 const MemRef ref = workload_->sample(profileRng_);
                 WalkResult wr =
@@ -240,6 +351,9 @@ Simulation::run()
         if (!recording) {
             continue;
         }
+        recordEpoch(rec_time + config_.epoch, epoch_base,
+                    epoch_actual, epoch_baseline, work_per_epoch,
+                    overhead, weight, slow_accesses);
         const double actual_mem =
             static_cast<double>(epoch_actual) *
             static_cast<double>(weight);

@@ -25,9 +25,12 @@
 #include "core/thermostat.hh"
 #include "fault/fault_injector.hh"
 #include "policy/tiering_policy.hh"
+#include "obs/access_sampler.hh"
 #include "obs/event_trace.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/lifecycle_audit.hh"
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "sim/machine.hh"
 #include "sys/khugepaged.hh"
 #include "sys/kstaled.hh"
@@ -116,6 +119,28 @@ struct SimConfig
      * run is byte-identical to a build without the fault subsystem.
      */
     FaultPlan faultPlan;
+
+    /**
+     * Sampled access telemetry (obs/access_sampler.hh).  On by
+     * default: the sampler draws from its own seeded stream and
+     * only observes, so golden runs stay byte-identical.  Set
+     * sampler.period = 0 to remove the Machine tap entirely.
+     */
+    AccessSamplerConfig sampler;
+
+    /**
+     * Route sampled accesses into the active policy's
+     * access-feedback hook (scaled by the sampling period).  Off by
+     * default: it changes what feedback-driven policies see, so
+     * enabling it is an explicit experiment (ROADMAP item 5).
+     */
+    bool samplerFeedback = false;
+
+    /** Flight-recorder ring capacity in epochs. */
+    std::size_t flightCapacity = 1u << 12;
+
+    /** Host-time phase profiler (obs/profiler.hh). */
+    bool profilerEnabled = true;
 };
 
 /** One per-report-interval metric snapshot. */
@@ -209,6 +234,24 @@ class Simulation
     EventTracer &tracer() { return tracer_; }
     const LifecycleAuditor &auditor() const { return auditor_; }
 
+    /** Null when config.sampler.period == 0. */
+    AccessSampler *accessSampler() { return sampler_.get(); }
+    const AccessSampler *accessSampler() const
+    {
+        return sampler_.get();
+    }
+
+    /** Per-epoch time-series ring (always recording). */
+    EpochFlightRecorder &flightRecorder() { return flight_; }
+    const EpochFlightRecorder &flightRecorder() const
+    {
+        return flight_;
+    }
+
+    /** Host-time phase profile of this run. */
+    Profiler &profiler() { return profiler_; }
+    const Profiler &profiler() const { return profiler_; }
+
     /** Per-report-interval metric snapshots captured by run(). */
     const std::vector<MetricSnapshot> &snapshots() const
     {
@@ -243,6 +286,29 @@ class Simulation
   private:
     void recordFootprint(SimResult &result, Ns now);
 
+    /** Cumulative counters latched to compute per-epoch deltas. */
+    struct EpochBase
+    {
+        std::uint64_t bytesDemoted = 0;
+        std::uint64_t bytesPromoted = 0;
+        Count demotionsOrdered = 0;
+        Count promotionsOrdered = 0;
+        Count retries = 0;
+        Count copyAborts = 0;
+        Count slowWear = 0;
+        Count weightedFaults = 0;
+        std::uint64_t sampled = 0;
+        std::uint64_t sampledSlow = 0;
+    };
+
+    /** Snapshot the cumulative counters feeding the flight rows. */
+    EpochBase epochBase();
+
+    /** Append one flight-recorder row for the epoch ending @p at. */
+    void recordEpoch(Ns at, const EpochBase &base, Ns actual,
+                     Ns baseline, Ns work, Ns overhead,
+                     Count weight, Count slow_accesses);
+
     SimConfig config_;
     std::unique_ptr<Workload> workload_;
     std::unique_ptr<FaultInjector> faults_;
@@ -266,6 +332,10 @@ class Simulation
     EventTracer tracer_;
     LifecycleAuditor auditor_;
     std::vector<MetricSnapshot> snapshots_;
+
+    std::unique_ptr<AccessSampler> sampler_;
+    EpochFlightRecorder flight_;
+    Profiler profiler_;
 };
 
 } // namespace thermostat

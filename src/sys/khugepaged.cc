@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 
 namespace thermostat
 {
@@ -30,6 +31,7 @@ Khugepaged::tick(Ns now)
 unsigned
 Khugepaged::runPass()
 {
+    ProfileScope pscope(profiler_, "khugepaged_pass");
     ++stats_.passes;
 
     // Gather the 2MB-aligned ranges that currently hold 4KB leaves.

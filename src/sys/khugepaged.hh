@@ -27,6 +27,7 @@ namespace thermostat
 {
 
 class MetricRegistry;
+class Profiler;
 
 /** Scan parameters (mirroring khugepaged's pages_to_scan knob). */
 struct KhugepagedConfig
@@ -78,6 +79,9 @@ class Khugepaged
      */
     void setTracer(EventTracer *tracer) { tracer_ = tracer; }
 
+    /** Host-time profiler: passes run under "khugepaged_pass". */
+    void setProfiler(Profiler *profiler) { profiler_ = profiler; }
+
     /** Expose the counters under "<prefix>." in @p registry. */
     void registerMetrics(MetricRegistry &registry,
                          const std::string &prefix) const;
@@ -99,6 +103,7 @@ class Khugepaged
     KhugepagedConfig config_;
     KhugepagedStats stats_;
     EventTracer *tracer_ = nullptr;
+    Profiler *profiler_ = nullptr;
     std::function<bool(Addr)> skip_;
     Ns nextPass_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "sys/kstaled.hh"
 
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 
 #include "common/logging.hh"
 
@@ -37,6 +38,7 @@ Kstaled::visitPage(Addr base, Pte &pte, ScanStats &stats)
 ScanStats
 Kstaled::scanAll()
 {
+    ProfileScope pscope(profiler_, "kstaled_scan");
     ScanStats stats;
     space_.pageTable().forEachLeaf(
         [this, &stats](Addr base, Pte &pte, bool) {
@@ -50,6 +52,7 @@ Kstaled::scanAll()
 ScanStats
 Kstaled::scanPages(const std::vector<Addr> &pages)
 {
+    ProfileScope pscope(profiler_, "kstaled_scan");
     ScanStats stats;
     for (const Addr base : pages) {
         WalkResult wr = space_.pageTable().walk(base);

@@ -26,6 +26,7 @@ namespace thermostat
 {
 
 class MetricRegistry;
+class Profiler;
 
 /** Scanner cost model and hotness definition. */
 struct KstaledConfig
@@ -114,6 +115,9 @@ class Kstaled
     void registerMetrics(MetricRegistry &registry,
                          const std::string &prefix) const;
 
+    /** Host-time profiler: scan passes run under "kstaled_scan". */
+    void setProfiler(Profiler *profiler) { profiler_ = profiler; }
+
     /** Forget all idle state (e.g. after migration reshuffles). */
     void reset();
 
@@ -126,6 +130,7 @@ class Kstaled
     TlbHierarchy &tlb_;
     KstaledConfig config_;
     FlatMap<Addr, PageIdleState> pageState_;
+    Profiler *profiler_ = nullptr;
     Ns totalCost_ = 0;
     Count scanCount_ = 0;
 };

@@ -26,6 +26,7 @@ namespace thermostat
 
 class FaultInjector;
 class MetricRegistry;
+class Profiler;
 
 /** Migration cost model. */
 struct MigrationConfig
@@ -114,6 +115,12 @@ class PageMigrator
      */
     void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
 
+    /**
+     * Attach the host-time phase profiler: each migrate() call runs
+     * under a "migrate" scope (observe-only, like the tracer).
+     */
+    void setProfiler(Profiler *profiler) { profiler_ = profiler; }
+
     /** Expose the counters under "<prefix>." in @p registry. */
     void registerMetrics(MetricRegistry &registry,
                          const std::string &prefix) const;
@@ -143,6 +150,7 @@ class PageMigrator
     MigrationStats stats_;
     EventTracer *tracer_ = nullptr;
     FaultInjector *faults_ = nullptr;
+    Profiler *profiler_ = nullptr;
     RateMeter demotionMeter_;  //!< records bytes, not pages
     RateMeter promotionMeter_;
 };

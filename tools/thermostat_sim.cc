@@ -7,16 +7,22 @@
  *                  [--counting badgertrap|cmbit|pebs] \
  *                  [--thp on|off] [--spread] [--no-thermostat] \
  *                  [--csv DIR] [--metrics-out FILE] \
+ *                  [--metrics-format json|prom] \
  *                  [--trace-out FILE] [--trace-events MASK] \
+ *                  [--flight-out FILE] [--profile-out FILE] \
+ *                  [--sample-period N] [--sampler-feedback] \
  *                  [--fault-plan SPEC] \
  *                  [--log-level quiet|normal|verbose]
  *
  * Prints the run summary and, with --csv, writes the plot series
  * (footprint.csv, slow_rate.csv, device_rate.csv, summary.csv).
- * --metrics-out dumps the hierarchical metric registry as JSON;
+ * --metrics-out dumps the metric registry (hierarchical JSON, or
+ * Prometheus text exposition with --metrics-format prom);
  * --trace-out exports the page-lifecycle event trace as Chrome
  * trace-event JSON (open in Perfetto / chrome://tracing), or as
- * JSONL when FILE ends in .jsonl.
+ * JSONL when FILE ends in .jsonl.  --flight-out writes the
+ * per-epoch flight-recorder ring (JSONL, or CSV when FILE ends in
+ * .csv); --profile-out writes the host-time phase profile tree.
  */
 
 #include <cstdio>
@@ -65,9 +71,19 @@ usage(const char *argv0)
         "  --khugepaged       run the khugepaged recovery daemon\n"
         "  --no-thermostat    baseline run, engine disabled\n"
         "  --csv DIR          write plot series into DIR\n"
-        "  --metrics-out FILE write metric registry dump (JSON)\n"
+        "  --metrics-out FILE write metric registry dump\n"
+        "  --metrics-format F json (default) | prom (Prometheus\n"
+        "                     text exposition)\n"
         "  --trace-out FILE   write event trace (Chrome JSON, or\n"
         "                     JSONL if FILE ends in .jsonl)\n"
+        "  --flight-out FILE  write per-epoch flight recorder\n"
+        "                     (JSONL, or CSV if FILE ends in .csv)\n"
+        "  --profile-out FILE write host-time phase profile (JSON)\n"
+        "  --sample-period N  telemetry sampling period (mean\n"
+        "                     accesses per sample; 0 disables;\n"
+        "                     default 64)\n"
+        "  --sampler-feedback route sampled accesses into the\n"
+        "                     policy's access-feedback hook\n"
         "  --trace-events M   comma list of sample,poison,classify,\n"
         "                     migrate,correct,fault,phase | all |"
         " none\n"
@@ -135,7 +151,10 @@ main(int argc, char **argv)
     std::string counting = "badgertrap";
     std::string thp = "on";
     std::string metrics_out;
+    std::string metrics_format = "json";
     std::string trace_out;
+    std::string flight_out;
+    std::string profile_out;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -177,8 +196,23 @@ main(int argc, char **argv)
             csv_dir = nextArg(argc, argv, i);
         } else if (!std::strcmp(arg, "--metrics-out")) {
             metrics_out = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--metrics-format")) {
+            metrics_format = nextArg(argc, argv, i);
+            if (metrics_format != "json" &&
+                metrics_format != "prom") {
+                usage(argv[0]);
+            }
         } else if (!std::strcmp(arg, "--trace-out")) {
             trace_out = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--flight-out")) {
+            flight_out = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--profile-out")) {
+            profile_out = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--sample-period")) {
+            config.sampler.period = static_cast<Count>(
+                std::atoll(nextArg(argc, argv, i)));
+        } else if (!std::strcmp(arg, "--sampler-feedback")) {
+            config.samplerFeedback = true;
         } else if (!std::strcmp(arg, "--fault-plan")) {
             std::string error;
             if (!FaultPlan::parse(nextArg(argc, argv, i),
@@ -293,8 +327,29 @@ main(int argc, char **argv)
     }
     table.print();
 
-    if (!metrics_out.empty() &&
-        !EventTracer::writeFile(metrics_out, sim.metricsJson())) {
+    if (!metrics_out.empty()) {
+        const std::string text =
+            metrics_format == "prom"
+                ? sim.metrics().dumpPrometheus()
+                : sim.metricsJson();
+        if (!EventTracer::writeFile(metrics_out, text)) {
+            return 1;
+        }
+    }
+    if (!flight_out.empty()) {
+        const bool csv =
+            flight_out.size() >= 4 &&
+            flight_out.compare(flight_out.size() - 4, 4, ".csv") == 0;
+        const std::string text = csv
+                                     ? sim.flightRecorder().toCsv()
+                                     : sim.flightRecorder().toJsonl();
+        if (!EventTracer::writeFile(flight_out, text)) {
+            return 1;
+        }
+    }
+    if (!profile_out.empty() &&
+        !EventTracer::writeFile(profile_out,
+                                sim.profiler().toJson())) {
         return 1;
     }
     if (!trace_out.empty()) {
