@@ -16,6 +16,10 @@
  *                 access-sampling telemetry off.
  *  - sim_epoch_sampled: the same epochs with the default sampling
  *                 period, bounding the telemetry tap's overhead.
+ *  - sim_epoch_sharded{2,4,8}: the sim_epoch loop with the sharded
+ *                 epoch pipeline at 2/4/8 worker threads; together
+ *                 with sim_epoch (serial) these trace the scaling
+ *                 curve the perf gate tracks per PR.
  */
 
 #include <chrono>
@@ -180,10 +184,12 @@ benchSlowTier(std::uint64_t accesses)
 ScenarioResult
 benchSimEpochWithSampler(const std::string &name,
                          std::uint64_t accesses,
-                         Count sample_period)
+                         Count sample_period,
+                         unsigned shards = 1)
 {
     SimConfig config = standardConfig("web-search", 3.0, 0);
     config.sampler.period = sample_period;
+    config.shards = shards;
     const auto epochs = static_cast<Ns>(
         accesses / config.samplesPerEpoch + 1);
     config.duration = epochs * config.epoch;
@@ -223,6 +229,17 @@ benchSimEpochSampled(std::uint64_t accesses)
                                     AccessSamplerConfig{}.period);
 }
 
+/** Sharded epoch pipeline at @p shards worker threads (same work
+ *  as sim_epoch; results are byte-identical by construction). */
+template <unsigned Shards>
+ScenarioResult
+benchSimEpochSharded(std::uint64_t accesses)
+{
+    return benchSimEpochWithSampler(
+        "sim_epoch_sharded" + std::to_string(Shards), accesses, 0,
+        Shards);
+}
+
 } // namespace
 
 int
@@ -256,6 +273,12 @@ main(int argc, char **argv)
         {"slow_tier", benchSlowTier, scale * 1'000'000},
         {"sim_epoch", benchSimEpoch, scale * 200'000},
         {"sim_epoch_sampled", benchSimEpochSampled,
+         scale * 200'000},
+        {"sim_epoch_sharded2", benchSimEpochSharded<2>,
+         scale * 200'000},
+        {"sim_epoch_sharded4", benchSimEpochSharded<4>,
+         scale * 200'000},
+        {"sim_epoch_sharded8", benchSimEpochSharded<8>,
          scale * 200'000},
     };
     std::vector<ScenarioResult> results;

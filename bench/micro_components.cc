@@ -146,7 +146,7 @@ BM_KstaledScanPerPte(benchmark::State &state)
     TieredMemory memory(TierConfig::dram(256_MiB),
                         TierConfig::slow(64_MiB));
     AddressSpace space(memory);
-    TlbHierarchy tlb({64, 4}, {1024, 8});
+    TlbShards tlb({64, 4}, {1024, 8});
     Kstaled kstaled(space, tlb);
     space.mapRegion("heap", 128_MiB);
     for (auto _ : state) {

@@ -8,8 +8,23 @@
 # BENCH_hotpath.json baseline with tools/perf_diff (generous local
 # tolerance; CI's perf-smoke job runs the same gate).  Exits
 # non-zero when any benchmark fails or the perf gate regresses.
+#
+# --update-baseline: after an intended performance change, prints
+# the same delta table and then rewrites BENCH_hotpath.json with the
+# fresh run (commit the result).
 set -euo pipefail
 cd "$(dirname "$0")" || exit
+
+update_baseline=0
+args=()
+for arg in "$@"; do
+    if [[ "$arg" == "--update-baseline" ]]; then
+        update_baseline=1
+    else
+        args+=("$arg")
+    fi
+done
+set -- ${args[@]+"${args[@]}"}
 
 if [[ ! -x build/tools/run_all ]]; then
     echo "run_benches.sh: build/tools/run_all not found;" \
@@ -25,9 +40,14 @@ if [[ -x build/tools/perf_diff && -x build/bench/bench_hotpath ]]; then
     echo
     echo "== perf gate: bench_hotpath vs committed baseline =="
     ./build/bench/bench_hotpath --quick --out BENCH_hotpath.fresh.json
+    gate_flags=()
+    if [[ "$update_baseline" == 1 ]]; then
+        gate_flags+=(--update-baseline)
+    fi
     ./build/tools/perf_diff \
         --baseline BENCH_hotpath.json \
         --fresh BENCH_hotpath.fresh.json \
         --threshold 50 \
-        --json BENCH_hotpath.verdict.json
+        --json BENCH_hotpath.verdict.json \
+        ${gate_flags[@]+"${gate_flags[@]}"}
 fi

@@ -108,4 +108,107 @@ LastLevelCache::registerMetrics(MetricRegistry &registry,
                          [this] { return stats_.missRatio(); });
 }
 
+LlcConfig
+LlcShards::sliceConfig(const LlcConfig &config)
+{
+    LlcConfig slice = config;
+    const std::uint64_t lane_lines =
+        config.sizeBytes / kMachineLanes / config.lineSize;
+    const std::uint64_t lines = std::max<std::uint64_t>(
+        config.ways, lane_lines - (lane_lines % config.ways));
+    slice.sizeBytes = lines * config.lineSize;
+    return slice;
+}
+
+LlcShards::LlcShards(const LlcConfig &config)
+    : config_(config), laneConfig_(sliceConfig(config))
+{
+    lanes_.reserve(kMachineLanes);
+    for (unsigned lane = 0; lane < kMachineLanes; ++lane) {
+        lanes_.emplace_back(laneConfig_);
+    }
+}
+
+bool
+LlcShards::contains(Addr paddr) const
+{
+    for (const LastLevelCache &lane : lanes_) {
+        if (lane.contains(paddr)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+LlcShards::flushAll()
+{
+    for (LastLevelCache &lane : lanes_) {
+        lane.flushAll();
+    }
+}
+
+void
+LlcShards::invalidateFrame(Pfn pfn)
+{
+    for (LastLevelCache &lane : lanes_) {
+        lane.invalidateFrame(pfn);
+    }
+}
+
+LlcStats
+LlcShards::stats() const
+{
+    LlcStats merged;
+    for (const LastLevelCache &lane : lanes_) {
+        merged.hits += lane.stats().hits;
+        merged.misses += lane.stats().misses;
+        merged.writebacks += lane.stats().writebacks;
+    }
+    return merged;
+}
+
+void
+LlcShards::resetStats()
+{
+    for (LastLevelCache &lane : lanes_) {
+        lane.resetStats();
+    }
+}
+
+Count
+LlcShards::frameMisses(Pfn huge_frame_base) const
+{
+    Count total = 0;
+    for (const LastLevelCache &lane : lanes_) {
+        total += lane.frameMisses(huge_frame_base);
+    }
+    return total;
+}
+
+void
+LlcShards::clearFrameMisses()
+{
+    for (LastLevelCache &lane : lanes_) {
+        lane.clearFrameMisses();
+    }
+}
+
+void
+LlcShards::registerMetrics(MetricRegistry &registry,
+                           const std::string &prefix) const
+{
+    registry.addCallback(prefix + ".hits", [this] {
+        return static_cast<double>(stats().hits);
+    });
+    registry.addCallback(prefix + ".misses", [this] {
+        return static_cast<double>(stats().misses);
+    });
+    registry.addCallback(prefix + ".writebacks", [this] {
+        return static_cast<double>(stats().writebacks);
+    });
+    registry.addCallback(prefix + ".miss_ratio",
+                         [this] { return stats().missRatio(); });
+}
+
 } // namespace thermostat

@@ -150,6 +150,74 @@ class LastLevelCache
     FlatMap<Pfn, Count> frameMisses_;
 };
 
+/**
+ * Address-hash lane router over kMachineLanes independent LLC
+ * slices.
+ *
+ * The LLC is physically indexed but the lane split follows the
+ * *virtual* 2MB region being accessed (laneOf in common/types.hh),
+ * matching the TLB and page-counter sharding: the lane is chosen by
+ * the caller from the access's virtual address, so the slice
+ * assignment survives migration between frames.  Each slice gets an
+ * even share of the aggregate capacity.  A frame is only ever cached
+ * in the lane owning its mapping, so maintenance by frame
+ * (invalidateFrame) broadcasts and hits at most one lane; contains()
+ * probes all lanes.  Results are fixed by the slicing, not by the
+ * worker count executing the lanes.
+ */
+class LlcShards
+{
+  public:
+    explicit LlcShards(const LlcConfig &config);
+
+    /** Access @p paddr in @p lane (the accessing vaddr's lane). */
+    bool
+    access(unsigned lane, Addr paddr, AccessType type)
+    {
+        return lanes_[lane].access(paddr, type);
+    }
+
+    /** Hit in any lane without side effects? (test helper) */
+    bool contains(Addr paddr) const;
+
+    /** Drop every line in every lane. */
+    void flushAll();
+
+    /** Invalidate all lines of one 4KB frame, in every lane. */
+    void invalidateFrame(Pfn pfn);
+
+    LastLevelCache &lane(unsigned lane) { return lanes_[lane]; }
+    const LastLevelCache &lane(unsigned lane) const
+    {
+        return lanes_[lane];
+    }
+
+    /** Aggregate geometry (what the machine was configured with). */
+    const LlcConfig &config() const { return config_; }
+    /** Per-lane slice geometry (all lanes are identical). */
+    const LlcConfig &laneConfig() const { return laneConfig_; }
+
+    /** Lane-summed counters. */
+    LlcStats stats() const;
+    void resetStats();
+
+    /** Lane-summed ground-truth frame misses. */
+    Count frameMisses(Pfn huge_frame_base) const;
+    void clearFrameMisses();
+
+    /** Register lane-summed counters under "<prefix>.". */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
+
+    /** Divide the aggregate geometry into one lane's slice. */
+    static LlcConfig sliceConfig(const LlcConfig &config);
+
+  private:
+    LlcConfig config_;     //!< aggregate geometry
+    LlcConfig laneConfig_; //!< per-lane slice geometry
+    std::vector<LastLevelCache> lanes_; //!< kMachineLanes slices
+};
+
 inline bool
 LastLevelCache::access(Addr paddr, AccessType type)
 {

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Structure-of-arrays per-page counter store.
+ *
+ * The page-granular metadata the hot phases maintain (BadgerTrap
+ * fault counts, sampler hotness weights) used to live in one
+ * FlatMap<Addr, Count> per component.  That shape is fine for point
+ * lookups but poor for the two things the epoch pipeline actually
+ * does with it: streaming every counter (histograms, resets,
+ * classification input) and updating counters from concurrent lane
+ * workers.  PageCounterShard splits the map into an index
+ * (page -> dense slot) plus parallel dense arrays of pages and
+ * counts, so scans are linear array walks and each machine lane can
+ * own one shard outright -- no synchronization, deterministic
+ * content per lane regardless of worker count.
+ *
+ * Slots are append-only (counters are reset, not erased, matching
+ * how BadgerTrap and the sampler use their maps), which keeps the
+ * dense arrays stable and the per-lane insertion order deterministic.
+ */
+
+#ifndef THERMOSTAT_COMMON_PAGE_COUNTERS_HH
+#define THERMOSTAT_COMMON_PAGE_COUNTERS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/flat_map.hh"
+#include "common/types.hh"
+
+namespace thermostat
+{
+
+/** One lane's worth of page counters (see file comment). */
+class PageCounterShard
+{
+  public:
+    /** Add @p weight to @p page's counter, creating it at 0. */
+    void
+    add(Addr page, Count weight)
+    {
+        counts_[slotOf(page)] += weight;
+    }
+
+    /** Set @p page's counter to @p value, creating the slot. */
+    void
+    set(Addr page, Count value)
+    {
+        counts_[slotOf(page)] = value;
+    }
+
+    /** The counter, or 0 when the page was never tracked. */
+    Count
+    get(Addr page) const
+    {
+        const auto it = index_.find(page);
+        return it == index_.end() ? 0 : counts_[it->value];
+    }
+
+    /** Whether @p page has a slot (even if its count is 0). */
+    bool
+    tracked(Addr page) const
+    {
+        return index_.find(page) != index_.end();
+    }
+
+    std::size_t size() const { return pages_.size(); }
+    bool empty() const { return pages_.empty(); }
+
+    /** Dense views for batched scans; parallel arrays. */
+    const std::vector<Addr> &pages() const { return pages_; }
+    const std::vector<Count> &counts() const { return counts_; }
+
+    /** Zero every counter, keeping the slots. */
+    void
+    resetCounts()
+    {
+        for (Count &c : counts_) {
+            c = 0;
+        }
+    }
+
+    /** Drop everything. */
+    void
+    clear()
+    {
+        index_.clear();
+        pages_.clear();
+        counts_.clear();
+    }
+
+  private:
+    std::uint32_t
+    slotOf(Addr page)
+    {
+        const auto it = index_.find(page);
+        if (it != index_.end()) {
+            return it->value;
+        }
+        const auto slot = static_cast<std::uint32_t>(pages_.size());
+        index_[page] = slot;
+        pages_.push_back(page);
+        counts_.push_back(0);
+        return slot;
+    }
+
+    FlatMap<Addr, std::uint32_t> index_;
+    std::vector<Addr> pages_;  //!< slot -> page base
+    std::vector<Count> counts_; //!< slot -> counter
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_COMMON_PAGE_COUNTERS_HH

@@ -1,5 +1,6 @@
 #include "common/thread_pool.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 #include <utility>
@@ -69,6 +70,28 @@ ThreadPool::wait()
     if (error) {
         std::rethrow_exception(error);
     }
+}
+
+void
+ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                        std::size_t grainsize,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (begin >= end) {
+        return;
+    }
+    if (grainsize == 0) {
+        grainsize = 1;
+    }
+    for (std::size_t lo = begin; lo < end; lo += grainsize) {
+        const std::size_t hi = std::min(end, lo + grainsize);
+        submit([lo, hi, &fn] {
+            for (std::size_t i = lo; i < hi; ++i) {
+                fn(i);
+            }
+        });
+    }
+    wait();
 }
 
 void

@@ -74,6 +74,19 @@ class ThreadPool
     }
 
     /**
+     * Run fn(i) for every i in [begin, end), batched into chunks of
+     * at most @p grainsize indices per job, and block until all are
+     * done.  Exceptions propagate like wait(): the first one thrown
+     * by any fn call is rethrown here.  fn must be safe to call
+     * concurrently for distinct indices; within one chunk indices
+     * run in increasing order.
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     std::size_t grainsize,
+                     const std::function<void(std::size_t)> &fn)
+        TSTAT_EXCLUDES(mutex_);
+
+    /**
      * Worker count from the environment: THERMOSTAT_JOBS when set to
      * a positive integer, else std::thread::hardware_concurrency()
      * (minimum 1).

@@ -119,6 +119,28 @@ subpageIndex(Addr addr)
                                  (kSubpagesPerHuge - 1));
 }
 
+/**
+ * Number of address-hash lanes the per-run machine state is split
+ * into.  The lane count is a fixed semantic constant, independent of
+ * how many worker threads (`--shards`) execute the lanes: results
+ * are defined per lane, so any worker count from 1 to kMachineLanes
+ * produces bit-identical output.
+ */
+constexpr unsigned kMachineLanes = 8;
+
+/**
+ * Lane owning @p addr.  Keyed by the 2MB region so a huge page and
+ * all of its 4KB subpages land in the same lane across THP split and
+ * collapse; the Fibonacci hash spreads adjacent regions across
+ * lanes.
+ */
+constexpr unsigned
+laneOf(Addr addr)
+{
+    return static_cast<unsigned>(
+        (vpn2M(addr) * 0x9e3779b97f4a7c15ULL) >> 61);
+}
+
 /** Whether a memory reference reads or writes its target. */
 enum class AccessType : std::uint8_t { Read, Write };
 

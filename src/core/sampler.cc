@@ -92,12 +92,7 @@ Sampler::poisonSubpages(Addr huge_base, unsigned budget)
     page.huge = true;
 
     page.accessed.reserve(kSubpagesPerHuge);
-    for (unsigned i = 0; i < kSubpagesPerHuge; ++i) {
-        const Addr sub = huge_base + i * kPageSize4K;
-        if (kstaled_.testAndClearAccessed(sub)) {
-            page.accessed.push_back(sub);
-        }
-    }
+    kstaled_.testAndClearRegion(huge_base, page.accessed);
     page.accessedSubpages =
         static_cast<unsigned>(page.accessed.size());
 

@@ -76,6 +76,22 @@ class MemoryTier
         }
     }
 
+    /**
+     * Fold a batch of lane-deferred access traffic into the tier
+     * counters (Machine::syncDeviceState): the access-count and byte
+     * fields of @p delta, accumulated lane-locally, land here in one
+     * addition each.  Migration fields are ignored -- migrations are
+     * recorded serially at their source.
+     */
+    void
+    applyDeferred(const TierStats &delta)
+    {
+        stats_.reads += delta.reads;
+        stats_.writes += delta.writes;
+        stats_.bytesRead += delta.bytesRead;
+        stats_.bytesWritten += delta.bytesWritten;
+    }
+
     /** Record migration traffic landing in / leaving this tier. */
     void recordMigrationIn(std::uint64_t bytes);
     void recordMigrationOut(std::uint64_t bytes);

@@ -9,15 +9,23 @@ namespace thermostat
 
 AccessSampler::AccessSampler(const AccessSamplerConfig &config,
                              std::uint64_t run_seed)
-    : config_(config), rng_(run_seed ^ config.seedSalt)
+    : config_(config)
 {
-    if (enabled()) {
-        gap_ = nextGap();
+    // One independent, deterministically derived stream per lane:
+    // splitmix the salted run seed forward once per lane so the lane
+    // streams are decorrelated but fully determined by the run seed.
+    std::uint64_t state = run_seed ^ config.seedSalt;
+    for (unsigned lane = 0; lane < kMachineLanes; ++lane) {
+        LaneState &ls = lanes_[lane];
+        ls.rng = Rng(splitMix64(state));
+        if (enabled()) {
+            ls.gap = nextGap(ls);
+        }
     }
 }
 
 std::uint64_t
-AccessSampler::nextGap()
+AccessSampler::nextGap(LaneState &lane)
 {
     // Randomized inter-sample gap with mean `period`: uniform on
     // [1, 2*period - 1].  Integer-only (no libm), so the gap
@@ -28,22 +36,23 @@ AccessSampler::nextGap()
     if (period <= 1) {
         return 1;
     }
-    return 1 + rng_.nextBounded(2 * period - 1);
+    return 1 + lane.rng.nextBounded(2 * period - 1);
 }
 
 void
-AccessSampler::record(const AccessSample &sample)
+AccessSampler::record(LaneState &lane, const AccessSample &sample)
 {
-    ++sampled_;
+    ++lane.sampled;
     if (sample.write) {
-        ++sampledWrites_;
+        ++lane.sampledWrites;
     }
     if (sample.slowTier) {
-        ++sampledSlow_;
+        ++lane.sampledSlow;
     }
 
-    pageWeight_[sample.pageBase] += sample.weight;
-    regionWeight_[alignDown2M(sample.pageBase)] += sample.weight;
+    lane.pageWeight.add(sample.pageBase, sample.weight);
+    lane.regionWeight.add(alignDown2M(sample.pageBase),
+                          sample.weight);
 
     // Order-sensitive stream digest: hash the sample into a rolling
     // FNV/SplitMix mix so tests can assert two runs produced the
@@ -52,34 +61,118 @@ AccessSampler::record(const AccessSample &sample)
     word = word * 0x100000001b3ULL + sample.weight;
     word ^= (sample.huge ? 1ULL : 0) | (sample.write ? 2ULL : 0) |
             (sample.slowTier ? 4ULL : 0);
-    std::uint64_t state = digest_ ^ word;
-    digest_ = splitMix64(state);
+    std::uint64_t state = lane.digest ^ word;
+    lane.digest = splitMix64(state);
 
     if (config_.keepRecords) {
-        if (records_.size() < config_.maxRecords) {
-            records_.push_back(sample);
-        } else if (!records_.empty()) {
-            records_[recordHead_] = sample;
-            recordHead_ = (recordHead_ + 1) % records_.size();
-            ++recordsDropped_;
+        if (lane.records.size() < config_.maxRecords) {
+            lane.records.push_back(sample);
+        } else if (!lane.records.empty()) {
+            lane.records[lane.recordHead] = sample;
+            lane.recordHead =
+                (lane.recordHead + 1) % lane.records.size();
+            ++lane.recordsDropped;
         }
     }
     if (hook_) {
         hook_(sample);
     }
-    gap_ = nextGap();
+    lane.gap = nextGap(lane);
+}
+
+std::uint64_t
+AccessSampler::offered() const
+{
+    std::uint64_t n = 0;
+    for (const LaneState &lane : lanes_) {
+        n += lane.offered;
+    }
+    return n;
+}
+
+std::uint64_t
+AccessSampler::sampled() const
+{
+    std::uint64_t n = 0;
+    for (const LaneState &lane : lanes_) {
+        n += lane.sampled;
+    }
+    return n;
+}
+
+std::uint64_t
+AccessSampler::sampledWrites() const
+{
+    std::uint64_t n = 0;
+    for (const LaneState &lane : lanes_) {
+        n += lane.sampledWrites;
+    }
+    return n;
+}
+
+std::uint64_t
+AccessSampler::sampledSlow() const
+{
+    std::uint64_t n = 0;
+    for (const LaneState &lane : lanes_) {
+        n += lane.sampledSlow;
+    }
+    return n;
+}
+
+std::size_t
+AccessSampler::pagesSeen() const
+{
+    std::size_t n = 0;
+    for (const LaneState &lane : lanes_) {
+        n += lane.pageWeight.size();
+    }
+    return n;
+}
+
+std::size_t
+AccessSampler::regionsSeen() const
+{
+    std::size_t n = 0;
+    for (const LaneState &lane : lanes_) {
+        n += lane.regionWeight.size();
+    }
+    return n;
+}
+
+std::uint64_t
+AccessSampler::recordsDropped() const
+{
+    std::uint64_t n = 0;
+    for (const LaneState &lane : lanes_) {
+        n += lane.recordsDropped;
+    }
+    return n;
+}
+
+std::uint64_t
+AccessSampler::streamDigest() const
+{
+    std::uint64_t digest = 0x9e3779b97f4a7c15ULL;
+    for (const LaneState &lane : lanes_) {
+        std::uint64_t state = digest ^ lane.digest;
+        digest = splitMix64(state);
+    }
+    return digest;
 }
 
 std::vector<AccessSample>
 AccessSampler::records() const
 {
-    // Un-rotate the ring: recordHead_ marks the oldest entry once
-    // the ring has wrapped (it is 0 before that).
+    // Lane-major; within a lane, un-rotate the ring (recordHead
+    // marks the oldest entry once the ring has wrapped).
     std::vector<AccessSample> out;
-    out.reserve(records_.size());
-    for (std::size_t i = 0; i < records_.size(); ++i) {
-        out.push_back(
-            records_[(recordHead_ + i) % records_.size()]);
+    for (const LaneState &lane : lanes_) {
+        for (std::size_t i = 0; i < lane.records.size(); ++i) {
+            out.push_back(
+                lane.records[(lane.recordHead + i) %
+                             lane.records.size()]);
+        }
     }
     return out;
 }
@@ -87,23 +180,23 @@ AccessSampler::records() const
 std::uint64_t
 AccessSampler::pageWeight(Addr page_base) const
 {
-    const auto it = pageWeight_.find(page_base);
-    return it != pageWeight_.end() ? it->value : 0;
+    return lanes_[laneOf(page_base)].pageWeight.get(page_base);
 }
 
 std::uint64_t
 AccessSampler::regionWeight(Addr region_base) const
 {
-    const auto it = regionWeight_.find(region_base);
-    return it != regionWeight_.end() ? it->value : 0;
+    return lanes_[laneOf(region_base)].regionWeight.get(region_base);
 }
 
 Log2Histogram
 AccessSampler::pageHotnessHistogram() const
 {
     Log2Histogram histogram;
-    for (const auto &slot : pageWeight_) {
-        histogram.add(slot.value);
+    for (const LaneState &lane : lanes_) {
+        for (const Count weight : lane.pageWeight.counts()) {
+            histogram.add(weight);
+        }
     }
     return histogram;
 }
@@ -112,8 +205,10 @@ Log2Histogram
 AccessSampler::regionHotnessHistogram() const
 {
     Log2Histogram histogram;
-    for (const auto &slot : regionWeight_) {
-        histogram.add(slot.value);
+    for (const LaneState &lane : lanes_) {
+        for (const Count weight : lane.regionWeight.counts()) {
+            histogram.add(weight);
+        }
     }
     return histogram;
 }
@@ -122,9 +217,14 @@ std::vector<AccessSampler::RegionRank>
 AccessSampler::hottestRegions(std::size_t n) const
 {
     std::vector<RegionRank> ranks;
-    ranks.reserve(regionWeight_.size());
-    for (const auto &slot : regionWeight_) {
-        ranks.push_back({slot.key, slot.value});
+    ranks.reserve(regionsSeen());
+    for (const LaneState &lane : lanes_) {
+        const std::vector<Addr> &bases = lane.regionWeight.pages();
+        const std::vector<Count> &weights =
+            lane.regionWeight.counts();
+        for (std::size_t i = 0; i < bases.size(); ++i) {
+            ranks.push_back({bases[i], weights[i]});
+        }
     }
     std::sort(ranks.begin(), ranks.end(),
               [](const RegionRank &a, const RegionRank &b) {
@@ -144,43 +244,45 @@ AccessSampler::registerMetrics(MetricRegistry &registry,
                                const std::string &prefix) const
 {
     registry.addCallback(prefix + ".offered", [this] {
-        return static_cast<double>(offered_);
+        return static_cast<double>(offered());
     });
     registry.addCallback(prefix + ".sampled", [this] {
-        return static_cast<double>(sampled_);
+        return static_cast<double>(sampled());
     });
     registry.addCallback(prefix + ".sampled_writes", [this] {
-        return static_cast<double>(sampledWrites_);
+        return static_cast<double>(sampledWrites());
     });
     registry.addCallback(prefix + ".sampled_slow", [this] {
-        return static_cast<double>(sampledSlow_);
+        return static_cast<double>(sampledSlow());
     });
     registry.addCallback(prefix + ".pages_seen", [this] {
-        return static_cast<double>(pageWeight_.size());
+        return static_cast<double>(pagesSeen());
     });
     registry.addCallback(prefix + ".regions_seen", [this] {
-        return static_cast<double>(regionWeight_.size());
+        return static_cast<double>(regionsSeen());
     });
     registry.addCallback(prefix + ".records_dropped", [this] {
-        return static_cast<double>(recordsDropped_);
+        return static_cast<double>(recordsDropped());
     });
 }
 
 void
 AccessSampler::reset()
 {
-    offered_ = 0;
-    sampled_ = 0;
-    sampledWrites_ = 0;
-    sampledSlow_ = 0;
-    digest_ = 0x9e3779b97f4a7c15ULL;
-    pageWeight_.clear();
-    regionWeight_.clear();
-    records_.clear();
-    recordHead_ = 0;
-    recordsDropped_ = 0;
-    if (enabled()) {
-        gap_ = nextGap();
+    for (LaneState &lane : lanes_) {
+        lane.offered = 0;
+        lane.sampled = 0;
+        lane.sampledWrites = 0;
+        lane.sampledSlow = 0;
+        lane.digest = 0x9e3779b97f4a7c15ULL;
+        lane.pageWeight.clear();
+        lane.regionWeight.clear();
+        lane.records.clear();
+        lane.recordHead = 0;
+        lane.recordsDropped = 0;
+        if (enabled()) {
+            lane.gap = nextGap(lane);
+        }
     }
 }
 

@@ -36,7 +36,9 @@
 #include <string>
 #include <vector>
 
-#include "common/flat_map.hh"
+#include <array>
+
+#include "common/page_counters.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -70,17 +72,24 @@ struct AccessSamplerConfig
 
     /**
      * Keep the raw sample records (for export/tests) in addition to
-     * the aggregate tables.  Bounded by maxRecords.
+     * the aggregate tables.  Bounded by maxRecords per lane.
      */
     bool keepRecords = false;
 
-    /** Raw-record cap; older records are dropped FIFO. */
+    /** Raw-record cap per lane; older records are dropped FIFO. */
     std::size_t maxRecords = 1u << 16;
 };
 
 /**
- * The sampler.  Not thread-safe: one instance per Simulation, same
- * as every other per-run component.
+ * The sampler.  One instance per Simulation; internally sharded by
+ * machine lane (laneOf of the sampled page), so each lane owns its
+ * own xoshiro gap stream, counters, SoA weight shards and record
+ * ring.  Concurrent onAccess calls are safe for *distinct lanes*
+ * (which is how the sharded epoch pipeline drives it); the per-lane
+ * sample streams -- and therefore every merged view -- depend only
+ * on the lane split, not on the worker count.  The feedback hook is
+ * the exception: when installed, the caller must drive the sampler
+ * serially (Simulation drops to the serial timing path).
  */
 class AccessSampler
 {
@@ -102,27 +111,31 @@ class AccessSampler
     onAccess(Addr page_base, bool huge, bool write, bool slow_tier,
              Count weight)
     {
-        ++offered_;
-        if (--gap_ > 0) {
+        LaneState &lane = lanes_[laneOf(page_base)];
+        ++lane.offered;
+        if (--lane.gap > 0) {
             return;
         }
-        record({page_base, huge, write, slow_tier, weight});
+        record(lane, {page_base, huge, write, slow_tier, weight});
     }
 
     /** Sampled-feedback consumer (e.g. the policy feedback shim). */
     void setHook(SampleHook hook) { hook_ = std::move(hook); }
 
+    /** Whether a feedback hook is installed (forces serial driving). */
+    bool hasHook() const { return static_cast<bool>(hook_); }
+
     // -- Aggregate views -------------------------------------------------
 
-    std::uint64_t offered() const { return offered_; }
-    std::uint64_t sampled() const { return sampled_; }
-    std::uint64_t sampledWrites() const { return sampledWrites_; }
-    std::uint64_t sampledSlow() const { return sampledSlow_; }
+    std::uint64_t offered() const;
+    std::uint64_t sampled() const;
+    std::uint64_t sampledWrites() const;
+    std::uint64_t sampledSlow() const;
 
     /** Distinct 4KB pages observed. */
-    std::size_t pagesSeen() const { return pageWeight_.size(); }
+    std::size_t pagesSeen() const;
     /** Distinct 2MB regions observed. */
-    std::size_t regionsSeen() const { return regionWeight_.size(); }
+    std::size_t regionsSeen() const;
 
     /** Sampled weight attributed to one 4KB page base. */
     std::uint64_t pageWeight(Addr page_base) const;
@@ -137,15 +150,20 @@ class AccessSampler
     /** Same at 2MB-region granularity. */
     Log2Histogram regionHotnessHistogram() const;
 
-    /** Raw records, oldest first (empty unless keepRecords). */
+    /**
+     * Raw records, lane-major, oldest first within each lane (empty
+     * unless keepRecords).
+     */
     std::vector<AccessSample> records() const;
-    std::uint64_t recordsDropped() const { return recordsDropped_; }
+    std::uint64_t recordsDropped() const;
 
     /**
-     * Deterministic digest of the whole sample stream (order
-     * sensitive); two runs with the same seed must agree.
+     * Deterministic digest of the whole sample stream: each lane
+     * keeps an order-sensitive rolling digest of its samples, and
+     * the lane digests are folded in lane order.  Two runs with the
+     * same seed must agree, for any worker count.
      */
-    std::uint64_t streamDigest() const { return digest_; }
+    std::uint64_t streamDigest() const;
 
     /** Top-N hottest regions by sampled weight (ties by address). */
     struct RegionRank
@@ -163,28 +181,30 @@ class AccessSampler
     void reset();
 
   private:
-    void record(const AccessSample &sample);
+    /** One machine lane's sampling state (see class comment). */
+    struct LaneState
+    {
+        Rng rng;
+        std::uint64_t gap = 1;          // shard: lane-local
+        std::uint64_t offered = 0;      // shard: lane-local
+        std::uint64_t sampled = 0;      // shard: lane-local
+        std::uint64_t sampledWrites = 0; // shard: lane-local
+        std::uint64_t sampledSlow = 0;  // shard: lane-local
+        std::uint64_t digest = 0x9e3779b97f4a7c15ULL; // shard: lane-local
+        PageCounterShard pageWeight;
+        PageCounterShard regionWeight;
+        std::vector<AccessSample> records;
+        std::size_t recordHead = 0;     // shard: lane-local
+        std::uint64_t recordsDropped = 0; // shard: lane-local
+    };
 
-    /** Draw the next geometric inter-sample gap (>= 1). */
-    std::uint64_t nextGap();
+    void record(LaneState &lane, const AccessSample &sample);
+
+    /** Draw @p lane's next geometric inter-sample gap (>= 1). */
+    std::uint64_t nextGap(LaneState &lane);
 
     AccessSamplerConfig config_;
-    Rng rng_;
-    std::uint64_t gap_ = 1;
-
-    std::uint64_t offered_ = 0;
-    std::uint64_t sampled_ = 0;
-    std::uint64_t sampledWrites_ = 0;
-    std::uint64_t sampledSlow_ = 0;
-    std::uint64_t digest_ = 0x9e3779b97f4a7c15ULL;
-
-    FlatMap<Addr, std::uint64_t> pageWeight_;
-    FlatMap<Addr, std::uint64_t> regionWeight_;
-
-    std::vector<AccessSample> records_;
-    std::size_t recordHead_ = 0; //!< FIFO start when ring is full
-    std::uint64_t recordsDropped_ = 0;
-
+    std::array<LaneState, kMachineLanes> lanes_;
     SampleHook hook_;
 };
 

@@ -15,17 +15,23 @@ Machine::Machine(const MachineConfig &config)
       memory_(config.fastTier, config.slowTier),
       space_(memory_, config.thpEnabled),
       tlb_(config.l1Tlb, config.l2Tlb),
-      walker_(config.walker),
       llc_(config.llc),
       trap_(space_, tlb_, config.trap),
-      costs_(computeCosts(config_, walker_))
+      costs_(computeCosts(config_))
 {
+    lanes_.reserve(kMachineLanes);
+    for (unsigned lane = 0; lane < kMachineLanes; ++lane) {
+        lanes_.emplace_back(config_.walker);
+    }
 }
 
 Machine::EffectiveCosts
-Machine::computeCosts(const MachineConfig &config,
-                      const PageWalker &walker)
+Machine::computeCosts(const MachineConfig &config)
 {
+    // A throwaway walker: walkLatency() is pure configuration, and
+    // building one here keeps costs_ independent of lane state (it
+    // is initialized before lanes_ exists).
+    const PageWalker walker(config.walker);
     const double overlap = config.overlapFactor;
     const auto scaled = [overlap](Ns latency) {
         return static_cast<Ns>(std::llround(
@@ -36,15 +42,12 @@ Machine::computeCosts(const MachineConfig &config,
     costs.walk[1] = scaled(walker.walkLatency(true));
     costs.llcHit = scaled(config.llc.hitLatency);
     for (const bool write : {false, true}) {
-        const AccessType type =
-            write ? AccessType::Write : AccessType::Read;
         const Ns fast = write ? config.fastTier.writeLatency
                               : config.fastTier.readLatency;
         const Ns slow = write ? config.slowTier.writeLatency
                               : config.slowTier.readLatency;
         costs.fastAccess[write] = scaled(fast);
         costs.slowExcess[write] = slow > fast ? slow - fast : 0;
-        (void)type;
     }
     return costs;
 }
@@ -61,23 +64,26 @@ Machine::access(Addr vaddr, AccessType type, Count weight,
 {
     AccessOutcome out;
 
+    const unsigned lane_id = laneOf(vaddr);
+    LaneState &lane = lanes_[lane_id];
+
     Pfn pfn = 0;
     bool huge = false;
 
     TlbEntry entry;
-    const TlbHierarchy::HitLevel level = tlb_.lookup(vaddr, &entry);
-    if (level == TlbHierarchy::HitLevel::L1) {
+    const TlbShards::HitLevel level = tlb_.lookup(vaddr, &entry);
+    if (level == TlbShards::HitLevel::L1) {
         pfn = entry.pfn;
         huge = entry.huge;
-    } else if (level == TlbHierarchy::HitLevel::L2) {
+    } else if (level == TlbShards::HitLevel::L2) {
         pfn = entry.pfn;
         huge = entry.huge;
         out.actualLatency += config_.l2TlbHitLatency;
         out.baselineLatency += config_.l2TlbHitLatency;
     } else {
         out.tlbMiss = true;
-        const WalkOutcome walk = walker_.walk(space_.pageTable(),
-                                              vaddr, type);
+        const WalkOutcome walk = lane.walker.walk(space_.pageTable(),
+                                                  vaddr, type);
         TSTAT_ASSERT(walk.result.mapped(),
                      "access to unmapped address %#lx",
                      static_cast<unsigned long>(vaddr));
@@ -112,7 +118,8 @@ Machine::access(Addr vaddr, AccessType type, Count weight,
     const Addr page4k = alignDown4K(paddr);
     const Pfn frame = page4k >> kPageShift4K;
     const Tier tier = memory_.tierOf(frame);
-    MemoryTier &device = memory_.tier(tier);
+    const unsigned tier_idx = tier == Tier::Fast ? 0 : 1;
+    TierStats &traffic = lane.tierDelta[tier_idx];
     out.tier = tier;
     const bool write = type == AccessType::Write;
     const unsigned lines = std::max(1u, burst_lines);
@@ -133,24 +140,39 @@ Machine::access(Addr vaddr, AccessType type, Count weight,
 
     out.actualLatency += costs_.llcHit * lines;
     out.baselineLatency += costs_.llcHit * lines;
-    stats_.lineAccesses += lines;
+    lane.stats.lineAccesses += lines;
 
     bool first_line_missed = false;
+    Count missed_lines = 0;
     for (unsigned line = 0; line < lines; ++line) {
         const Addr line_addr =
             page4k + ((paddr - page4k + line * 64) & (kPageSize4K - 1));
-        if (llc_.access(line_addr, type)) {
+        if (llc_.access(lane_id, line_addr, type)) {
             continue;
         }
         if (line == 0) {
             first_line_missed = true;
         }
+        ++missed_lines;
         out.baselineLatency += fast_cost;
         out.actualLatency += miss_cost;
-        device.recordAccess(type, 64);
+    }
+    if (missed_lines != 0) {
+        // Deferred device accounting: append into this lane's delta
+        // and flush at the next syncDeviceState() barrier.  All the
+        // merged quantities are commutative sums (and per-frame wear
+        // is lane-exclusive: a frame is reached through one vaddr
+        // region, hence one lane), so lane-order flushing reproduces
+        // the serial totals exactly.
         if (write) {
-            device.recordWear(frame, 1);
+            traffic.writes += missed_lines;
+            traffic.bytesWritten += missed_lines * 64;
+            lane.wearDelta[tier_idx][frame] += missed_lines;
+        } else {
+            traffic.reads += missed_lines;
+            traffic.bytesRead += missed_lines * 64;
         }
+        lane.devicePending = true;
     }
     out.llcMiss = first_line_missed;
     if (first_line_missed &&
@@ -162,18 +184,18 @@ Machine::access(Addr vaddr, AccessType type, Count weight,
         if (wr.mapped() && wr.pte->poisoned()) {
             out.poisonFault = true;
             out.actualLatency += config_.cmFaultLatency;
-            stats_.cmFaults += weight;
+            lane.stats.cmFaults += weight;
         }
     }
     if (first_line_missed && out.tier == Tier::Slow) {
-        stats_.weightedSlowAccesses += weight;
-        slowAccessWindow_ += weight;
+        lane.stats.weightedSlowAccesses += weight;
+        lane.slowAccessWindow += weight;
     }
 
-    ++stats_.accesses;
-    stats_.weightedAccesses += weight;
-    stats_.actualTime += out.actualLatency * weight;
-    stats_.baselineTime += out.baselineLatency * weight;
+    ++lane.stats.accesses;
+    lane.stats.weightedAccesses += weight;
+    lane.stats.actualTime += out.actualLatency * weight;
+    lane.stats.baselineTime += out.baselineLatency * weight;
     if (sampler_ != nullptr) {
         // Telemetry tap: observe-only, own RNG stream; placement
         // after tier resolution so the sample carries the tier.
@@ -183,11 +205,65 @@ Machine::access(Addr vaddr, AccessType type, Count weight,
     return out;
 }
 
+void
+Machine::syncDeviceState()
+{
+    for (LaneState &lane : lanes_) {
+        if (!lane.devicePending) {
+            continue;
+        }
+        for (unsigned tier_idx = 0; tier_idx < 2; ++tier_idx) {
+            MemoryTier &device = memory_.tier(
+                tier_idx == 0 ? Tier::Fast : Tier::Slow);
+            device.applyDeferred(lane.tierDelta[tier_idx]);
+            lane.tierDelta[tier_idx] = TierStats();
+            for (const auto &entry : lane.wearDelta[tier_idx]) {
+                device.recordWear(entry.key, entry.value);
+            }
+            lane.wearDelta[tier_idx].clear();
+        }
+        lane.devicePending = false;
+    }
+}
+
+MachineStats
+Machine::stats() const
+{
+    MachineStats total;
+    for (const LaneState &lane : lanes_) {
+        total.accesses += lane.stats.accesses;
+        total.lineAccesses += lane.stats.lineAccesses;
+        total.cmFaults += lane.stats.cmFaults;
+        total.weightedAccesses += lane.stats.weightedAccesses;
+        total.weightedSlowAccesses += lane.stats.weightedSlowAccesses;
+        total.actualTime += lane.stats.actualTime;
+        total.baselineTime += lane.stats.baselineTime;
+    }
+    return total;
+}
+
+WalkerStats
+Machine::walkerStats() const
+{
+    WalkerStats total;
+    for (const LaneState &lane : lanes_) {
+        const WalkerStats &ws = lane.walker.stats();
+        total.walks4K += ws.walks4K;
+        total.walks2M += ws.walks2M;
+        total.tableAccesses += ws.tableAccesses;
+        total.totalWalkTime += ws.totalWalkTime;
+    }
+    return total;
+}
+
 Count
 Machine::takeSlowAccessCount()
 {
-    const Count out = slowAccessWindow_;
-    slowAccessWindow_ = 0;
+    Count out = 0;
+    for (LaneState &lane : lanes_) {
+        out += lane.slowAccessWindow;
+        lane.slowAccessWindow = 0;
+    }
     return out;
 }
 
@@ -196,29 +272,43 @@ Machine::registerMetrics(MetricRegistry &registry,
                          const std::string &prefix) const
 {
     registry.addCallback(prefix + ".accesses", [this] {
-        return static_cast<double>(stats_.accesses);
+        return static_cast<double>(stats().accesses);
     });
     registry.addCallback(prefix + ".line_accesses", [this] {
-        return static_cast<double>(stats_.lineAccesses);
+        return static_cast<double>(stats().lineAccesses);
     });
     registry.addCallback(prefix + ".cm_faults", [this] {
-        return static_cast<double>(stats_.cmFaults);
+        return static_cast<double>(stats().cmFaults);
     });
     registry.addCallback(prefix + ".weighted_accesses", [this] {
-        return static_cast<double>(stats_.weightedAccesses);
+        return static_cast<double>(stats().weightedAccesses);
     });
     registry.addCallback(prefix + ".weighted_slow_accesses", [this] {
-        return static_cast<double>(stats_.weightedSlowAccesses);
+        return static_cast<double>(stats().weightedSlowAccesses);
     });
     registry.addCallback(prefix + ".actual_ns", [this] {
-        return static_cast<double>(stats_.actualTime);
+        return static_cast<double>(stats().actualTime);
     });
     registry.addCallback(prefix + ".baseline_ns", [this] {
-        return static_cast<double>(stats_.baselineTime);
+        return static_cast<double>(stats().baselineTime);
     });
     tlb_.registerMetrics(registry, prefix + ".tlb");
     llc_.registerMetrics(registry, prefix + ".llc");
-    walker_.registerMetrics(registry, prefix + ".walker");
+    // Merged walker counters, same names PageWalker::registerMetrics
+    // would emit for a single walker.
+    const std::string walker_prefix = prefix + ".walker";
+    registry.addCallback(walker_prefix + ".walks_4k", [this] {
+        return static_cast<double>(walkerStats().walks4K);
+    });
+    registry.addCallback(walker_prefix + ".walks_2m", [this] {
+        return static_cast<double>(walkerStats().walks2M);
+    });
+    registry.addCallback(walker_prefix + ".table_accesses", [this] {
+        return static_cast<double>(walkerStats().tableAccesses);
+    });
+    registry.addCallback(walker_prefix + ".total_walk_ns", [this] {
+        return static_cast<double>(walkerStats().totalWalkTime);
+    });
     memory_.registerMetrics(registry, prefix + ".memory");
     trap_.registerMetrics(registry, prefix + ".trap");
 }

@@ -24,8 +24,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "cache/llc.hh"
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/tiered_memory.hh"
@@ -117,6 +119,18 @@ struct MachineStats
 
 /**
  * Owns the memory system components and executes accesses.
+ *
+ * All mutable access-path state is partitioned by machine lane
+ * (laneOf of the accessed virtual address): the TLB and LLC are
+ * lane routers (TlbShards/LlcShards), the walker, machine counters
+ * and deferred device-traffic deltas live in a per-lane LaneState,
+ * and BadgerTrap and the sampler shard themselves internally.
+ * access() may therefore be called concurrently for addresses in
+ * *different* lanes; calls within one lane must stay ordered (the
+ * simulation's lane workers guarantee this).  Because every merged
+ * view is a lane-ordered reduction of lane-local state, results
+ * depend only on the lane split -- never on how many workers
+ * executed the lanes.
  */
 class Machine
 {
@@ -134,13 +148,52 @@ class Machine
                          unsigned burst_lines = 1);
 
     const MachineConfig &config() const { return config_; }
-    TieredMemory &memory() { return memory_; }
-    AddressSpace &space() { return space_; }
-    TlbHierarchy &tlb() { return tlb_; }
-    PageWalker &walker() { return walker_; }
-    LastLevelCache &llc() { return llc_; }
+
+    /**
+     * The device model, with any deferred per-lane traffic/wear
+     * deltas flushed first so direct readers always see totals.
+     */
+    TieredMemory &
+    memory()
+    {
+        syncDeviceState();
+        return memory_;
+    }
+
+    AddressSpace &
+    space()
+    {
+        syncDeviceState();
+        return space_;
+    }
+
+    TlbShards &tlb() { return tlb_; }
+
+    /**
+     * Lane 0's walker: valid for configuration-derived queries
+     * (walkLatency/walkAccesses are identical across lanes); use
+     * walkerStats() for merged counters.
+     */
+    const PageWalker &walker() const { return lanes_[0].walker; }
+
+    /** Lane-summed walker counters. */
+    WalkerStats walkerStats() const;
+
+    LlcShards &llc() { return llc_; }
     BadgerTrap &trap() { return trap_; }
-    const MachineStats &stats() const { return stats_; }
+
+    /** Lane-merged counters (by value: the sum over all lanes). */
+    MachineStats stats() const;
+
+    /**
+     * Flush the per-lane deferred device accounting (tier traffic
+     * and frame wear) into the TieredMemory model, in lane order.
+     * The access path only appends lane-locally; anything that reads
+     * device state (fault advancement, migration picks, stats dumps)
+     * must run behind this barrier.  Idempotent and cheap when
+     * nothing is pending.
+     */
+    void syncDeviceState();
 
     /**
      * Register every memory-path component's counters under
@@ -184,20 +237,35 @@ class Machine
         Ns slowExcess[2] = {0, 0}; //!< [is_write] serialized excess
     };
 
-    static EffectiveCosts computeCosts(const MachineConfig &config,
-                                       const PageWalker &walker);
+    static EffectiveCosts computeCosts(const MachineConfig &config);
 
-    MachineConfig config_;
-    TieredMemory memory_;
-    AddressSpace space_;
-    TlbHierarchy tlb_;
-    PageWalker walker_;
-    LastLevelCache llc_;
-    BadgerTrap trap_;
-    EffectiveCosts costs_;
-    MachineStats stats_;
-    Count slowAccessWindow_ = 0;
-    AccessSampler *sampler_ = nullptr;
+    /** One machine lane's mutable access-path state. */
+    struct LaneState
+    {
+        explicit LaneState(const WalkerConfig &walker_config)
+            : walker(walker_config)
+        {
+        }
+
+        PageWalker walker;
+        MachineStats stats;
+        Count slowAccessWindow = 0; // shard: lane-local
+        bool devicePending = false; // shard: lane-local
+        /** Deferred device traffic, [0]=fast [1]=slow tier. */
+        TierStats tierDelta[2];
+        /** Deferred per-frame wear (line writes), same indexing. */
+        FlatMap<Pfn, Count> wearDelta[2];
+    };
+
+    MachineConfig config_;  // shard: read-only
+    TieredMemory memory_;   // shard: merge-barrier (syncDeviceState)
+    AddressSpace space_;    // shard: merge-barrier (syncDeviceState)
+    TlbShards tlb_;         // shard: lane-local (internally sliced)
+    LlcShards llc_;         // shard: lane-local (internally sliced)
+    BadgerTrap trap_;       // shard: lane-local (internally sliced)
+    EffectiveCosts costs_;  // shard: read-only
+    std::vector<LaneState> lanes_; //!< kMachineLanes entries
+    AccessSampler *sampler_ = nullptr; // shard: lane-local (sliced)
 };
 
 } // namespace thermostat

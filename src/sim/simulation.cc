@@ -1,5 +1,8 @@
 #include "sim/simulation.hh"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "common/logging.hh"
 #include "obs/json.hh"
 #include "policy/policy_factory.hh"
@@ -10,6 +13,24 @@ namespace thermostat
 
 namespace
 {
+
+/**
+ * Resolve the epoch pipeline's worker count: the env override wins
+ * (verification mode), then the config knob, then auto.  Never more
+ * workers than lanes -- there is nothing for them to do.
+ */
+unsigned
+resolveShards(const SimConfig &config)
+{
+    if (std::getenv("THERMOSTAT_VERIFY_SHARDING") != nullptr) {
+        return 1;
+    }
+    const unsigned requested =
+        config.shards != 0
+            ? config.shards
+            : std::min(kMachineLanes, ThreadPool::defaultJobs());
+    return std::min(std::max(requested, 1u), kMachineLanes);
+}
 
 /** Flight-recorder schema: one row per measured epoch. */
 std::vector<std::string>
@@ -41,6 +62,9 @@ Simulation::Simulation(std::unique_ptr<Workload> workload,
       cgroup_("workload", config.params),
       rng_(config.seed),
       profileRng_(config.seed ^ 0x5aadddULL),
+      shards_(resolveShards(config)),
+      pool_(shards_ > 1 ? std::make_unique<ThreadPool>(shards_)
+                        : nullptr),
       tracer_(config.traceCapacity),
       flight_(flightColumns(), config.flightCapacity),
       profiler_(config.profilerEnabled)
@@ -183,6 +207,155 @@ Simulation::recordEpoch(Ns at, const EpochBase &base, Ns actual,
 }
 
 void
+Simulation::runTimingStream(Count weight, Ns &epoch_actual,
+                            Ns &epoch_baseline)
+{
+    TraceScope scope(&tracer_, "timing_stream");
+    ProfileScope pscope(&profiler_, "timing_stream");
+    // The sampler feedback hook mutates policy state per sample and
+    // is order-sensitive across lanes: drive it serially.  The flag
+    // is a run mode, not a function of the shard count, so results
+    // stay shard-invariant.
+    const bool serial = pool_ == nullptr ||
+                        (sampler_ != nullptr && sampler_->hasHook());
+    if (serial) {
+        for (unsigned i = 0; i < config_.samplesPerEpoch; ++i) {
+            const MemRef ref = workload_->sample(rng_);
+            const AccessOutcome out = machine_.access(
+                ref.addr, ref.type, weight, ref.burstLines);
+            epoch_actual += out.actualLatency;
+            epoch_baseline += out.baselineLatency;
+        }
+        return;
+    }
+    // Sharded path: draw the epoch's references serially first
+    // (consuming rng_ exactly as the serial path would), bucket them
+    // by machine lane, then execute the lanes concurrently.  Each
+    // lane's machine state sees precisely the lane-subsequence of
+    // the draw order -- the same subsequence the serial loop feeds
+    // it -- and every cross-lane accumulation is a commutative sum,
+    // so the merged outcome is identical for any worker count.
+    for (std::vector<MemRef> &bucket : laneRefs_) {
+        bucket.clear();
+    }
+    for (unsigned i = 0; i < config_.samplesPerEpoch; ++i) {
+        const MemRef ref = workload_->sample(rng_);
+        laneRefs_[laneOf(ref.addr)].push_back(ref);
+    }
+    std::array<Ns, kMachineLanes> actual{};
+    std::array<Ns, kMachineLanes> baseline{};
+    pool_->parallelFor(0, kMachineLanes, 1, [&](std::size_t lane) {
+        Ns lane_actual = 0;
+        Ns lane_baseline = 0;
+        for (const MemRef &ref : laneRefs_[lane]) {
+            const AccessOutcome out = machine_.access(
+                ref.addr, ref.type, weight, ref.burstLines);
+            lane_actual += out.actualLatency;
+            lane_baseline += out.baselineLatency;
+        }
+        actual[lane] = lane_actual;
+        baseline[lane] = lane_baseline;
+    });
+    for (unsigned lane = 0; lane < kMachineLanes; ++lane) {
+        epoch_actual += actual[lane];
+        epoch_baseline += baseline[lane];
+    }
+}
+
+void
+Simulation::runProfileStream(std::uint64_t profile_samples,
+                             Count pebs_budget)
+{
+    TraceScope scope(&tracer_, "profile_stream");
+    ProfileScope pscope(&profiler_, "profile_stream");
+    const bool pebs =
+        config_.machine.countingMode == CountingMode::Pebs;
+    const bool feedback = config_.thermostatEnabled &&
+                          policy_->wantsAccessFeedback();
+    // PEBS counts monitored hits through one global modulo counter
+    // and the feedback hook mutates policy state per sample: both
+    // are order-sensitive across lanes, so those modes run serially.
+    // Like the sampler hook, they are run modes, not functions of
+    // the shard count.
+    const bool serial = pool_ == nullptr || pebs || feedback;
+    // Grab the component references up front: the Machine accessors
+    // that flush deferred device state must run neither per-sample
+    // (serial loop) nor inside the lane workers (sharded loop).
+    PageTable &table = machine_.space().pageTable();
+    BadgerTrap &trap = machine_.trap();
+    if (serial) {
+        Count pebs_records = 0;
+        for (std::uint64_t i = 0; i < profile_samples; ++i) {
+            const MemRef ref = workload_->sample(profileRng_);
+            const WalkResult wr = table.walk(ref.addr);
+            TSTAT_ASSERT(wr.mapped(), "profile ref unmapped");
+            wr.pte->setAccessed();
+            if (ref.type == AccessType::Write) {
+                wr.pte->setDirty();
+            }
+            if (feedback) {
+                policy_->onProfiledAccess(
+                    wr.huge ? alignDown2M(ref.addr)
+                            : alignDown4K(ref.addr),
+                    wr.huge, ref.type == AccessType::Write,
+                    config_.profileWeight);
+            }
+            if (!wr.pte->poisoned()) {
+                continue;
+            }
+            const Addr base = wr.huge ? alignDown2M(ref.addr)
+                                      : alignDown4K(ref.addr);
+            if (!pebs) {
+                trap.recordAccess(base, config_.profileWeight);
+                continue;
+            }
+            // PEBS: one record per pebsPeriod monitored accesses,
+            // silently dropped beyond the record-rate budget --
+            // which is exactly why 1000Hz cannot support 30K
+            // accesses/sec of monitoring (Sec 6.1.2).
+            if (++pebsMonitoredHits_ % config_.pebsPeriod != 0) {
+                continue;
+            }
+            if (pebs_records >= pebs_budget) {
+                continue;
+            }
+            ++pebs_records;
+            trap.recordAccess(
+                base, config_.profileWeight * config_.pebsPeriod);
+        }
+        return;
+    }
+    // Sharded path: same pre-draw/bucket/execute shape as the
+    // timing stream.  Lane workers only touch lane-owned state --
+    // the leaf PTE (a page maps to exactly one lane), the lane's
+    // walk-cache slots and BadgerTrap's lane counters -- so the
+    // walks and counts commute across lanes.
+    for (std::vector<MemRef> &bucket : laneRefs_) {
+        bucket.clear();
+    }
+    for (std::uint64_t i = 0; i < profile_samples; ++i) {
+        const MemRef ref = workload_->sample(profileRng_);
+        laneRefs_[laneOf(ref.addr)].push_back(ref);
+    }
+    pool_->parallelFor(0, kMachineLanes, 1, [&](std::size_t lane) {
+        for (const MemRef &ref : laneRefs_[lane]) {
+            const WalkResult wr = table.walk(ref.addr);
+            TSTAT_ASSERT(wr.mapped(), "profile ref unmapped");
+            wr.pte->setAccessed();
+            if (ref.type == AccessType::Write) {
+                wr.pte->setDirty();
+            }
+            if (!wr.pte->poisoned()) {
+                continue;
+            }
+            trap.recordAccess(wr.huge ? alignDown2M(ref.addr)
+                                      : alignDown4K(ref.addr),
+                              config_.profileWeight);
+        }
+    });
+}
+
+void
 Simulation::recordFootprint(SimResult &result, Ns now)
 {
     std::uint64_t hot2m = 0;
@@ -280,73 +453,18 @@ Simulation::run()
 
         Ns epoch_actual = 0;
         Ns epoch_baseline = 0;
-        {
-            TraceScope scope(&tracer_, "timing_stream");
-            ProfileScope pscope(&profiler_, "timing_stream");
-            for (unsigned i = 0; i < config_.samplesPerEpoch; ++i) {
-                const MemRef ref = workload_->sample(rng_);
-                const AccessOutcome out =
-                    machine_.access(ref.addr, ref.type, weight,
-                                    ref.burstLines);
-                epoch_actual += out.actualLatency;
-                epoch_baseline += out.baselineLatency;
-            }
-        }
+        runTimingStream(weight, epoch_actual, epoch_baseline);
         // Profiling stream: fine-grained accesses that maintain
         // Accessed bits and poisoned-page counters without touching
         // the timing model.
-        const bool pebs = config_.machine.countingMode ==
-                          CountingMode::Pebs;
-        const bool feedback = config_.thermostatEnabled &&
-                              policy_->wantsAccessFeedback();
         const auto pebs_budget = static_cast<Count>(
             config_.pebsMaxRecordsPerSec * epoch_sec);
-        Count pebs_records = 0;
-        {
-            TraceScope scope(&tracer_, "profile_stream");
-            ProfileScope pscope(&profiler_, "profile_stream");
-            for (std::uint64_t i = 0; i < profile_samples; ++i) {
-                const MemRef ref = workload_->sample(profileRng_);
-                WalkResult wr =
-                    machine_.space().pageTable().walk(ref.addr);
-                TSTAT_ASSERT(wr.mapped(), "profile ref unmapped");
-                wr.pte->setAccessed();
-                if (ref.type == AccessType::Write) {
-                    wr.pte->setDirty();
-                }
-                if (feedback) {
-                    policy_->onProfiledAccess(
-                        wr.huge ? alignDown2M(ref.addr)
-                                : alignDown4K(ref.addr),
-                        wr.huge, ref.type == AccessType::Write,
-                        config_.profileWeight);
-                }
-                if (!wr.pte->poisoned()) {
-                    continue;
-                }
-                const Addr base = wr.huge ? alignDown2M(ref.addr)
-                                          : alignDown4K(ref.addr);
-                if (!pebs) {
-                    machine_.trap().recordAccess(base,
-                                                 config_.profileWeight);
-                    continue;
-                }
-                // PEBS: one record per pebsPeriod monitored accesses,
-                // silently dropped beyond the record-rate budget --
-                // which is exactly why 1000Hz cannot support 30K
-                // accesses/sec of monitoring (Sec 6.1.2).
-                if (++pebsMonitoredHits_ % config_.pebsPeriod != 0) {
-                    continue;
-                }
-                if (pebs_records >= pebs_budget) {
-                    continue;
-                }
-                ++pebs_records;
-                machine_.trap().recordAccess(
-                    base, config_.profileWeight * config_.pebsPeriod);
-            }
-        }
+        runProfileStream(profile_samples, pebs_budget);
 
+        // Flush the lanes' deferred device accounting before
+        // anything below (flight rows, fault advancement, the next
+        // policy tick) reads the device model.
+        machine_.syncDeviceState();
         const Count slow_accesses = machine_.takeSlowAccessCount();
         if (!recording) {
             continue;
@@ -441,10 +559,10 @@ Simulation::run()
     }
     result.trap = machine_.trap().stats();
     result.machineStats = machine_.stats();
-    result.l1Tlb = machine_.tlb().l1().stats();
-    result.l2Tlb = machine_.tlb().l2().stats();
+    result.l1Tlb = machine_.tlb().l1Stats();
+    result.l2Tlb = machine_.tlb().l2Stats();
     result.llc = machine_.llc().stats();
-    result.walker = machine_.walker().stats();
+    result.walker = machine_.walkerStats();
     return result;
 }
 

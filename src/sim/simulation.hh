@@ -15,12 +15,14 @@
 #ifndef THERMOSTAT_SIM_SIMULATION_HH
 #define THERMOSTAT_SIM_SIMULATION_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "common/stats.hh"
 #include "core/thermostat.hh"
 #include "fault/fault_injector.hh"
@@ -49,6 +51,19 @@ struct SimConfig
     std::uint64_t seed = 42;
     Ns epoch = kNsPerSec;
     unsigned samplesPerEpoch = 40000;
+
+    /**
+     * Worker threads for the sharded epoch pipeline: each epoch's
+     * timing and profiling streams are pre-drawn serially, bucketed
+     * into the kMachineLanes address lanes, and the lanes execute
+     * concurrently on this many pool workers.  0 = auto
+     * (min(kMachineLanes, ThreadPool::defaultJobs())); 1 = fully
+     * serial.  The lane split is fixed, so every value produces
+     * byte-identical results -- `--shards 1` doubles as the
+     * verification mode, and setting THERMOSTAT_VERIFY_SHARDING in
+     * the environment forces it regardless of this knob.
+     */
+    unsigned shards = 0;
 
     /** 0 = the workload's natural duration. */
     Ns duration = 0;
@@ -280,11 +295,22 @@ class Simulation
 
     const SimConfig &config() const { return config_; }
 
+    /** Effective worker count after auto/env resolution. */
+    unsigned shards() const { return shards_; }
+
     /** Null unless the config's fault plan is non-empty. */
     const FaultInjector *faultInjector() const { return faults_.get(); }
 
   private:
     void recordFootprint(SimResult &result, Ns now);
+
+    /** One epoch's timing stream (serial or lane-parallel). */
+    void runTimingStream(Count weight, Ns &epoch_actual,
+                         Ns &epoch_baseline);
+
+    /** One epoch's profiling stream (serial or lane-parallel). */
+    void runProfileStream(std::uint64_t profile_samples,
+                          Count pebs_budget);
 
     /** Cumulative counters latched to compute per-epoch deltas. */
     struct EpochBase
@@ -309,33 +335,38 @@ class Simulation
                      Ns baseline, Ns work, Ns overhead,
                      Count weight, Count slow_accesses);
 
-    SimConfig config_;
-    std::unique_ptr<Workload> workload_;
-    std::unique_ptr<FaultInjector> faults_;
-    Machine machine_;
-    Kstaled kstaled_;
-    Khugepaged khugepaged_;
-    PageMigrator migrator_;
-    MemCgroup cgroup_;
+    SimConfig config_;                      // shard: read-only
+    std::unique_ptr<Workload> workload_;    // shard: serial-only
+    std::unique_ptr<FaultInjector> faults_; // shard: serial-only
+    Machine machine_;    // shard: lane-local (internally sliced)
+    Kstaled kstaled_;    // shard: serial-only
+    Khugepaged khugepaged_; // shard: serial-only
+    PageMigrator migrator_; // shard: serial-only
+    MemCgroup cgroup_;      // shard: serial-only
 
     /** The selected engine; thermostat_ caches the default engine's
      *  concrete type for the compatibility accessor. */
-    std::unique_ptr<TieringPolicy> policy_;
-    ThermostatPolicy *thermostat_ = nullptr;
+    std::unique_ptr<TieringPolicy> policy_; // shard: serial-only
+    ThermostatPolicy *thermostat_ = nullptr; // shard: serial-only
 
-    Rng rng_;
-    Rng profileRng_;
-    Count pebsMonitoredHits_ = 0;
-    EpochHook hook_;
+    Rng rng_;        // shard: serial-only (pre-draw before fan-out)
+    Rng profileRng_; // shard: serial-only (pre-draw before fan-out)
+    Count pebsMonitoredHits_ = 0; // shard: serial-only (forces it)
+    EpochHook hook_;              // shard: serial-only
 
-    MetricRegistry metrics_;
-    EventTracer tracer_;
-    LifecycleAuditor auditor_;
-    std::vector<MetricSnapshot> snapshots_;
+    unsigned shards_ = 1;              //!< resolved // shard: read-only
+    std::unique_ptr<ThreadPool> pool_; // shard: read-only handle
+    /** Per-lane reference buckets, reused across epochs. */
+    std::array<std::vector<MemRef>, kMachineLanes> laneRefs_;
 
-    std::unique_ptr<AccessSampler> sampler_;
-    EpochFlightRecorder flight_;
-    Profiler profiler_;
+    MetricRegistry metrics_;  // shard: serial-only
+    EventTracer tracer_;      // shard: serial-only
+    LifecycleAuditor auditor_; // shard: serial-only
+    std::vector<MetricSnapshot> snapshots_; // shard: serial-only
+
+    std::unique_ptr<AccessSampler> sampler_; // shard: lane-local
+    EpochFlightRecorder flight_; // shard: serial-only
+    Profiler profiler_;          // shard: serial-only
 };
 
 } // namespace thermostat

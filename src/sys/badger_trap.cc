@@ -6,7 +6,7 @@
 namespace thermostat
 {
 
-BadgerTrap::BadgerTrap(AddressSpace &space, TlbHierarchy &tlb,
+BadgerTrap::BadgerTrap(AddressSpace &space, TlbShards &tlb,
                        const BadgerTrapConfig &config)
     : space_(space), tlb_(tlb), config_(config)
 {
@@ -20,9 +20,9 @@ BadgerTrap::poison(Addr page_base)
                  static_cast<unsigned long>(page_base));
     wr.pte->poison();
     tlb_.invalidatePage(page_base);
-    counts_[page_base] = 0;
-    ++stats_.poisons;
-    stats_.maintenanceTime += config_.poisonCost;
+    lanes_[laneOf(page_base)].counts.set(page_base, 0);
+    ++controlStats_.poisons;
+    controlStats_.maintenanceTime += config_.poisonCost;
     if (tracer_) {
         tracer_->record(EventKind::PagePoisoned, tracer_->simTime(),
                         page_base, wr.huge);
@@ -37,8 +37,8 @@ BadgerTrap::unpoison(Addr page_base)
     TSTAT_ASSERT(wr.mapped(), "unpoison: unmapped page %#lx",
                  static_cast<unsigned long>(page_base));
     wr.pte->unpoison();
-    ++stats_.unpoisons;
-    stats_.maintenanceTime += config_.poisonCost;
+    ++controlStats_.unpoisons;
+    controlStats_.maintenanceTime += config_.poisonCost;
     if (tracer_) {
         tracer_->record(EventKind::PageUnpoisoned,
                         tracer_->simTime(), page_base, wr.huge);
@@ -56,36 +56,59 @@ BadgerTrap::isPoisoned(Addr page_base)
 Ns
 BadgerTrap::onPoisonFault(Addr page_base, Count weight)
 {
-    (void)page_base;
-    ++stats_.faults;
-    stats_.weightedFaults += weight;
-    stats_.handlerTime += config_.faultLatency;
+    LaneState &lane = lanes_[laneOf(page_base)];
+    ++lane.faults;
+    lane.weightedFaults += weight;
+    lane.handlerTime += config_.faultLatency;
     return config_.faultLatency;
 }
 
 void
 BadgerTrap::recordAccess(Addr page_base, Count weight)
 {
-    counts_[page_base] += weight;
+    lanes_[laneOf(page_base)].counts.add(page_base, weight);
 }
 
 Count
 BadgerTrap::faultCount(Addr page_base) const
 {
-    const auto it = counts_.find(page_base);
-    return it == counts_.end() ? 0 : it->value;
+    return lanes_[laneOf(page_base)].counts.get(page_base);
 }
 
 void
 BadgerTrap::resetCount(Addr page_base)
 {
-    counts_[page_base] = 0;
+    lanes_[laneOf(page_base)].counts.set(page_base, 0);
 }
 
 void
 BadgerTrap::resetAllCounts()
 {
-    counts_.clear();
+    for (LaneState &lane : lanes_) {
+        lane.counts.clear();
+    }
+}
+
+BadgerTrapStats
+BadgerTrap::stats() const
+{
+    BadgerTrapStats merged = controlStats_;
+    for (const LaneState &lane : lanes_) {
+        merged.faults += lane.faults;
+        merged.weightedFaults += lane.weightedFaults;
+        merged.handlerTime += lane.handlerTime;
+    }
+    return merged;
+}
+
+std::size_t
+BadgerTrap::trackedPages() const
+{
+    std::size_t n = 0;
+    for (const LaneState &lane : lanes_) {
+        n += lane.counts.size();
+    }
+    return n;
 }
 
 void
@@ -93,25 +116,25 @@ BadgerTrap::registerMetrics(MetricRegistry &registry,
                             const std::string &prefix) const
 {
     registry.addCallback(prefix + ".faults", [this] {
-        return static_cast<double>(stats_.faults);
+        return static_cast<double>(stats().faults);
     });
     registry.addCallback(prefix + ".weighted_faults", [this] {
-        return static_cast<double>(stats_.weightedFaults);
+        return static_cast<double>(stats().weightedFaults);
     });
     registry.addCallback(prefix + ".poisons", [this] {
-        return static_cast<double>(stats_.poisons);
+        return static_cast<double>(stats().poisons);
     });
     registry.addCallback(prefix + ".unpoisons", [this] {
-        return static_cast<double>(stats_.unpoisons);
+        return static_cast<double>(stats().unpoisons);
     });
     registry.addCallback(prefix + ".handler_ns", [this] {
-        return static_cast<double>(stats_.handlerTime);
+        return static_cast<double>(stats().handlerTime);
     });
     registry.addCallback(prefix + ".maintenance_ns", [this] {
-        return static_cast<double>(stats_.maintenanceTime);
+        return static_cast<double>(stats().maintenanceTime);
     });
     registry.addCallback(prefix + ".tracked_pages", [this] {
-        return static_cast<double>(counts_.size());
+        return static_cast<double>(trackedPages());
     });
 }
 

@@ -15,9 +15,10 @@
 #ifndef THERMOSTAT_SYS_BADGER_TRAP_HH
 #define THERMOSTAT_SYS_BADGER_TRAP_HH
 
+#include <array>
 #include <cstdint>
 
-#include "common/flat_map.hh"
+#include "common/page_counters.hh"
 #include "common/types.hh"
 #include "obs/event_trace.hh"
 #include "tlb/tlb.hh"
@@ -61,11 +62,19 @@ struct BadgerTrapStats
  * depending on the leaf size); Thermostat poisons split 4KB pages
  * while profiling and whole 2MB pages while they live in slow
  * memory (mis-classification monitoring, Sec 3.5).
+ *
+ * The hot entry points (onPoisonFault from the timing stream,
+ * recordAccess from the profiling stream) are lane-sharded: each
+ * machine lane owns its own fault counters and SoA page-count shard
+ * (common/page_counters.hh), so concurrent lane workers never share
+ * mutable state and the merged view is a lane-ordered sum.  The
+ * control path (poison/unpoison, called only from serial epoch
+ * phases) keeps its own counters.
  */
 class BadgerTrap
 {
   public:
-    BadgerTrap(AddressSpace &space, TlbHierarchy &tlb,
+    BadgerTrap(AddressSpace &space, TlbShards &tlb,
                const BadgerTrapConfig &config = {});
 
     /**
@@ -108,7 +117,8 @@ class BadgerTrap
     /** Reset every counter. */
     void resetAllCounts();
 
-    const BadgerTrapStats &stats() const { return stats_; }
+    /** Lane-merged counters (by value: the sum over all lanes). */
+    BadgerTrapStats stats() const;
     const BadgerTrapConfig &config() const { return config_; }
 
     /**
@@ -123,15 +133,24 @@ class BadgerTrap
                          const std::string &prefix) const;
 
     /** Number of pages currently tracked (poisoned at some point). */
-    std::size_t trackedPages() const { return counts_.size(); }
+    std::size_t trackedPages() const;
 
   private:
+    /** One machine lane's mutable hot-path state. */
+    struct LaneState
+    {
+        Count faults = 0;         // shard: lane-local
+        Count weightedFaults = 0; // shard: lane-local
+        Ns handlerTime = 0;       // shard: lane-local
+        PageCounterShard counts;
+    };
+
     AddressSpace &space_;
-    TlbHierarchy &tlb_;
+    TlbShards &tlb_;
     BadgerTrapConfig config_;
-    BadgerTrapStats stats_;
+    BadgerTrapStats controlStats_; //!< serial-phase counters only
     EventTracer *tracer_ = nullptr;
-    FlatMap<Addr, Count> counts_;
+    std::array<LaneState, kMachineLanes> lanes_;
 };
 
 } // namespace thermostat

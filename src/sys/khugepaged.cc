@@ -10,7 +10,7 @@
 namespace thermostat
 {
 
-Khugepaged::Khugepaged(AddressSpace &space, TlbHierarchy &tlb,
+Khugepaged::Khugepaged(AddressSpace &space, TlbShards &tlb,
                        const KhugepagedConfig &config)
     : space_(space), tlb_(tlb), config_(config)
 {

@@ -60,7 +60,7 @@ struct KhugepagedStats
 class Khugepaged
 {
   public:
-    Khugepaged(AddressSpace &space, TlbHierarchy &tlb,
+    Khugepaged(AddressSpace &space, TlbShards &tlb,
                const KhugepagedConfig &config = {});
 
     /** Advance to @p now; runs scan passes whose time has come. */
@@ -99,7 +99,7 @@ class Khugepaged
 
   private:
     AddressSpace &space_;
-    TlbHierarchy &tlb_;
+    TlbShards &tlb_;
     KhugepagedConfig config_;
     KhugepagedStats stats_;
     EventTracer *tracer_ = nullptr;

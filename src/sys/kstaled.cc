@@ -8,7 +8,7 @@
 namespace thermostat
 {
 
-Kstaled::Kstaled(AddressSpace &space, TlbHierarchy &tlb,
+Kstaled::Kstaled(AddressSpace &space, TlbShards &tlb,
                  const KstaledConfig &config)
     : space_(space), tlb_(tlb), config_(config)
 {
@@ -81,21 +81,52 @@ Kstaled::testAndClearAccessed(Addr page_base)
     return true;
 }
 
+void
+Kstaled::testAndClearRegion(Addr huge_base,
+                            std::vector<Addr> &accessed)
+{
+    const PageTable::RegionLeaves leaves =
+        space_.pageTable().regionLeaves(huge_base);
+    TSTAT_ASSERT(leaves.ptEntries != nullptr,
+                 "testAndClearRegion: region %#lx not split",
+                 static_cast<unsigned long>(huge_base));
+    for (unsigned i = 0; i < kSubpagesPerHuge; ++i) {
+        Pte &pte = leaves.ptEntries[i];
+        if (!pte.present()) {
+            continue;
+        }
+        totalCost_ += config_.perPteCost;
+        if (!pte.accessed()) {
+            continue;
+        }
+        pte.clearAccessed();
+        const Addr sub = huge_base + i * kPageSize4K;
+        tlb_.invalidatePage(sub);
+        totalCost_ += config_.shootdownCost;
+        accessed.push_back(sub);
+    }
+}
+
 ScanStats
 Kstaled::clearSubpagesAfterSplit(Addr huge_base)
 {
     ScanStats stats;
-    for (unsigned i = 0; i < kSubpagesPerHuge; ++i) {
-        const Addr sub = huge_base + i * kPageSize4K;
-        WalkResult wr = space_.pageTable().walk(sub);
-        if (!wr.mapped()) {
-            continue;
-        }
-        ++stats.scannedPtes;
-        stats.cost += config_.perPteCost;
-        if (wr.pte->accessed()) {
-            ++stats.accessedPtes;
-            wr.pte->clearAccessed();
+    // The region was just split, so its leaves are one dense PT
+    // entry array: scan it directly instead of 512 cached walks.
+    const PageTable::RegionLeaves leaves =
+        space_.pageTable().regionLeaves(huge_base);
+    if (leaves.ptEntries != nullptr) {
+        for (unsigned i = 0; i < kSubpagesPerHuge; ++i) {
+            Pte &pte = leaves.ptEntries[i];
+            if (!pte.present()) {
+                continue;
+            }
+            ++stats.scannedPtes;
+            stats.cost += config_.perPteCost;
+            if (pte.accessed()) {
+                ++stats.accessedPtes;
+                pte.clearAccessed();
+            }
         }
     }
     tlb_.invalidatePage(huge_base);

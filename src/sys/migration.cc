@@ -11,8 +11,8 @@
 namespace thermostat
 {
 
-PageMigrator::PageMigrator(AddressSpace &space, TlbHierarchy &tlb,
-                           LastLevelCache *llc,
+PageMigrator::PageMigrator(AddressSpace &space, TlbShards &tlb,
+                           LlcShards *llc,
                            const MigrationConfig &config)
     : space_(space), tlb_(tlb), llc_(llc), config_(config)
 {

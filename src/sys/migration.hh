@@ -83,8 +83,8 @@ struct MigrateResult
 class PageMigrator
 {
   public:
-    PageMigrator(AddressSpace &space, TlbHierarchy &tlb,
-                 LastLevelCache *llc = nullptr,
+    PageMigrator(AddressSpace &space, TlbShards &tlb,
+                 LlcShards *llc = nullptr,
                  const MigrationConfig &config = {});
 
     /**
@@ -144,8 +144,8 @@ class PageMigrator
     Ns copyCost(std::uint64_t bytes, double slowdown = 1.0) const;
 
     AddressSpace &space_;
-    TlbHierarchy &tlb_;
-    LastLevelCache *llc_;
+    TlbShards &tlb_;
+    LlcShards *llc_;
     MigrationConfig config_;
     MigrationStats stats_;
     EventTracer *tracer_ = nullptr;

@@ -1,5 +1,7 @@
 #include "tlb/tlb.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "obs/metrics.hh"
 
@@ -114,6 +116,135 @@ TlbHierarchy::registerMetrics(MetricRegistry &registry,
 {
     l1_.registerMetrics(registry, prefix + ".l1");
     l2_.registerMetrics(registry, prefix + ".l2");
+}
+
+TlbConfig
+TlbShards::sliceConfig(const TlbConfig &config)
+{
+    TlbConfig slice = config;
+    const unsigned share = config.entryCount / kMachineLanes;
+    slice.entryCount = std::max(
+        config.ways, share - (share % config.ways));
+    return slice;
+}
+
+TlbShards::TlbShards(const TlbConfig &l1_config,
+                     const TlbConfig &l2_config)
+    : l1Config_(sliceConfig(l1_config)),
+      l2Config_(sliceConfig(l2_config))
+{
+    lanes_.reserve(kMachineLanes);
+    for (unsigned lane = 0; lane < kMachineLanes; ++lane) {
+        lanes_.emplace_back(l1Config_, l2Config_);
+    }
+}
+
+void
+TlbShards::flushAll()
+{
+    for (TlbHierarchy &lane : lanes_) {
+        lane.flushAll();
+    }
+}
+
+namespace
+{
+
+TlbStats
+sumTlbStats(TlbStats into, const TlbStats &from)
+{
+    into.hits += from.hits;
+    into.misses += from.misses;
+    into.fills += from.fills;
+    into.evictions += from.evictions;
+    into.invalidations += from.invalidations;
+    into.flushes += from.flushes;
+    return into;
+}
+
+} // namespace
+
+TlbStats
+TlbShards::l1Stats() const
+{
+    TlbStats merged;
+    for (const TlbHierarchy &lane : lanes_) {
+        merged = sumTlbStats(merged, lane.l1().stats());
+    }
+    return merged;
+}
+
+TlbStats
+TlbShards::l2Stats() const
+{
+    TlbStats merged;
+    for (const TlbHierarchy &lane : lanes_) {
+        merged = sumTlbStats(merged, lane.l2().stats());
+    }
+    return merged;
+}
+
+unsigned
+TlbShards::l1ValidCount() const
+{
+    unsigned n = 0;
+    for (const TlbHierarchy &lane : lanes_) {
+        n += lane.l1().validCount();
+    }
+    return n;
+}
+
+unsigned
+TlbShards::l2ValidCount() const
+{
+    unsigned n = 0;
+    for (const TlbHierarchy &lane : lanes_) {
+        n += lane.l2().validCount();
+    }
+    return n;
+}
+
+void
+TlbShards::resetStats()
+{
+    for (TlbHierarchy &lane : lanes_) {
+        lane.l1().resetStats();
+        lane.l2().resetStats();
+    }
+}
+
+void
+TlbShards::registerMetrics(MetricRegistry &registry,
+                           const std::string &prefix) const
+{
+    const auto add = [this, &registry,
+                      &prefix](const std::string &level,
+                               const std::string &name,
+                               auto field) {
+        registry.addCallback(
+            prefix + "." + level + "." + name,
+            [this, level, field] {
+                const bool l2 = level == "l2";
+                Count total = 0;
+                for (const TlbHierarchy &lane : lanes_) {
+                    const Tlb &tlb = l2 ? lane.l2() : lane.l1();
+                    total += tlb.stats().*field;
+                }
+                return static_cast<double>(total);
+            });
+    };
+    for (const char *level : {"l1", "l2"}) {
+        add(level, "hits", &TlbStats::hits);
+        add(level, "misses", &TlbStats::misses);
+        add(level, "fills", &TlbStats::fills);
+        add(level, "evictions", &TlbStats::evictions);
+        add(level, "invalidations", &TlbStats::invalidations);
+        add(level, "flushes", &TlbStats::flushes);
+    }
+    registry.addCallback(prefix + ".l1.miss_ratio",
+                         [this] { return l1Stats().missRatio(); });
+    registry.addCallback(prefix + ".l2.miss_ratio",
+                         [this] { return l2Stats().missRatio(); });
 }
 
 } // namespace thermostat

@@ -182,6 +182,90 @@ class TlbHierarchy
     Tlb l2_;
 };
 
+/**
+ * Address-hash lane router over kMachineLanes independent
+ * TlbHierarchy slices.
+ *
+ * Each lane owns the translations of the 2MB regions hashing to it
+ * (laneOf in common/types.hh), with the global entry budget divided
+ * evenly across the lanes, so one epoch's access stream can probe
+ * and fill all lanes concurrently with no shared mutable state.
+ * Results are defined per lane: the slicing -- not the worker count
+ * executing the lanes -- fixes hit/miss behavior, which is why
+ * `--shards N` cannot perturb output.  Maintenance operations that
+ * are not address-directed (flushAll) broadcast to every lane;
+ * merged statistics are summed lane-major.
+ */
+class TlbShards
+{
+  public:
+    using HitLevel = TlbHierarchy::HitLevel;
+
+    /**
+     * Geometry is the *aggregate* machine budget (e.g. 64-entry L1,
+     * 1024-entry L2); each lane gets entryCount / kMachineLanes
+     * entries, rounded down to a multiple of the way count and
+     * clamped to at least one set.
+     */
+    TlbShards(const TlbConfig &l1_config, const TlbConfig &l2_config);
+
+    /** Probe the owning lane; an L2 hit refills that lane's L1. */
+    HitLevel
+    lookup(Addr vaddr, TlbEntry *entry_out = nullptr)
+    {
+        return lanes_[laneOf(vaddr)].lookup(vaddr, entry_out);
+    }
+
+    /** Install into both levels of the owning lane. */
+    void
+    insert(Addr vaddr, Pfn pfn, bool huge)
+    {
+        lanes_[laneOf(vaddr)].insert(vaddr, pfn, huge);
+    }
+
+    /** Shootdown: invalidate the page in the owning lane. */
+    void
+    invalidatePage(Addr vaddr)
+    {
+        lanes_[laneOf(vaddr)].invalidatePage(vaddr);
+    }
+
+    /** Full flush: broadcast to every lane. */
+    void flushAll();
+
+    TlbHierarchy &lane(unsigned lane) { return lanes_[lane]; }
+    const TlbHierarchy &lane(unsigned lane) const
+    {
+        return lanes_[lane];
+    }
+
+    /** Per-lane slice geometry (all lanes are identical). */
+    const TlbConfig &l1Config() const { return l1Config_; }
+    const TlbConfig &l2Config() const { return l2Config_; }
+
+    /** Lane-summed counters. */
+    TlbStats l1Stats() const;
+    TlbStats l2Stats() const;
+
+    /** Valid entries across all lanes, per level. */
+    unsigned l1ValidCount() const;
+    unsigned l2ValidCount() const;
+
+    void resetStats();
+
+    /** Register lane-summed "<prefix>.l1.*" and "<prefix>.l2.*". */
+    void registerMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const;
+
+    /** Divide an aggregate geometry into one lane's slice. */
+    static TlbConfig sliceConfig(const TlbConfig &config);
+
+  private:
+    TlbConfig l1Config_; //!< per-lane slice geometry
+    TlbConfig l2Config_;
+    std::vector<TlbHierarchy> lanes_; //!< kMachineLanes slices
+};
+
 inline TlbEntry *
 Tlb::findEntry(Vpn vpn, bool huge)
 {

@@ -134,7 +134,7 @@ WalkResult
 PageTable::walkSlow(Addr vaddr)
 {
     const Addr tag = vaddr >> kPageShift2M;
-    WalkCacheEntry &slot = walkCache_[tag & (kWalkCacheSize - 1)];
+    WalkCacheEntry &slot = walkCache_[walkCacheSlot(tag)];
     Node *pd = pdNodeFor(vaddr, false);
     if (!pd) {
         return {};
@@ -155,6 +155,32 @@ PageTable::walkSlow(Addr vaddr)
         return {};
     }
     return {&pt_entry, false};
+}
+
+PageTable::RegionLeaves
+PageTable::regionLeaves(Addr region_base)
+{
+    const Addr tag = region_base >> kPageShift2M;
+    WalkCacheEntry &slot = walkCache_[walkCacheSlot(tag)];
+    if (slot.tag == tag && slot.gen == walkGen_) {
+        return {slot.pdEntry, slot.ptEntries};
+    }
+    Node *pd = pdNodeFor(region_base, false);
+    if (!pd) {
+        return {};
+    }
+    const unsigned pd_idx = indexAt(region_base, 2);
+    Pte &pd_entry = pd->entries[pd_idx];
+    if (pd_entry.present() && pd_entry.huge()) {
+        slot = {tag, walkGen_, &pd_entry, nullptr};
+        return {&pd_entry, nullptr};
+    }
+    Node *pt = pd->children[pd_idx].get();
+    if (!pt) {
+        return {};
+    }
+    slot = {tag, walkGen_, nullptr, pt->entries.data()};
+    return {nullptr, pt->entries.data()};
 }
 
 bool

@@ -93,6 +93,22 @@ class PageTable
     void forEachLeaf(
         const std::function<void(Addr, Pte &, bool)> &visit);
 
+    /**
+     * Dense view of the leaves covering one 2MB region: either the
+     * huge leaf, or the contiguous 512-entry PT array when the
+     * region is split (entries may individually be non-present).
+     * Lets region-granular scans (kstaled clears after a split, the
+     * sampler's subpage poison pass) run over a flat array instead
+     * of 512 independent walks.
+     */
+    struct RegionLeaves
+    {
+        Pte *huge = nullptr;      //!< 2MB leaf, when huge-mapped
+        Pte *ptEntries = nullptr; //!< PT entry array, when split
+        bool mapped() const { return huge || ptEntries; }
+    };
+    RegionLeaves regionLeaves(Addr region_base);
+
     std::uint64_t hugeLeafCount() const { return hugeLeaves_; }
     std::uint64_t baseLeafCount() const { return baseLeaves_; }
 
@@ -119,6 +135,24 @@ class PageTable
         // level 0 = PML4 (bits 47..39) ... level 3 = PT (bits 20..12)
         const unsigned shift = 39 - 9 * static_cast<unsigned>(level);
         return static_cast<unsigned>((vaddr >> shift) & 0x1ff);
+    }
+
+    /**
+     * Walk-cache slot for a 2MB-region tag.  The cache is
+     * partitioned into kMachineLanes equal segments, each indexed
+     * only by the lane owning the region (same hash as laneOf), so
+     * concurrent lane workers never collide on a slot and the
+     * partitioning is semantically invisible -- the cache is pure
+     * memoization, walk() returns identical results on hit or miss.
+     */
+    static std::size_t
+    walkCacheSlot(Addr tag)
+    {
+        constexpr std::size_t kSlotsPerLane =
+            kWalkCacheSize / kMachineLanes;
+        const auto lane = static_cast<std::size_t>(
+            (tag * 0x9e3779b97f4a7c15ULL) >> 61);
+        return lane * kSlotsPerLane + (tag & (kSlotsPerLane - 1));
     }
 
     /** Full table descent on a walk-cache miss; fills the slot. */
@@ -154,7 +188,7 @@ inline WalkResult
 PageTable::walk(Addr vaddr)
 {
     const Addr tag = vaddr >> kPageShift2M;
-    WalkCacheEntry &slot = walkCache_[tag & (kWalkCacheSize - 1)];
+    WalkCacheEntry &slot = walkCache_[walkCacheSlot(tag)];
     if (slot.tag == tag && slot.gen == walkGen_) {
         if (slot.pdEntry) {
             return {slot.pdEntry, true};

@@ -1,0 +1,11 @@
+// Fixture: shard-unsynced-state must fire on an unclassified
+// mutable member in a sharded-execution-set header.  (The path
+// mirrors src/sim/machine.hh because the rule scopes to the exact
+// headers whose state lane workers execute against.)
+
+struct FakeMachine
+{
+    void touch() { hits_ = hits_ + 1; }
+
+    unsigned long hits_ = 0;
+};

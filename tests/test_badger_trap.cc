@@ -26,7 +26,7 @@ class BadgerTrapTest : public ::testing::Test
 
     TieredMemory memory_;
     AddressSpace space_;
-    TlbHierarchy tlb_;
+    TlbShards tlb_;
     BadgerTrap trap_;
     Addr heap_ = 0;
 };

@@ -58,8 +58,8 @@ class DegradedMigrationTest : public ::testing::Test
 
     TieredMemory memory_;
     AddressSpace space_;
-    TlbHierarchy tlb_;
-    LastLevelCache llc_;
+    TlbShards tlb_;
+    LlcShards llc_;
     PageMigrator migrator_;
     std::unique_ptr<FaultInjector> faults_;
     Addr heap_ = 0;

@@ -59,10 +59,10 @@ class IdlePolicyTest : public ::testing::Test
 
     TieredMemory memory_;
     AddressSpace space_;
-    TlbHierarchy tlb_;
+    TlbShards tlb_;
     BadgerTrap trap_;
     Kstaled kstaled_;
-    LastLevelCache llc_;
+    LlcShards llc_;
     PageMigrator migrator_;
     IdlePagePolicy policy_;
     Addr heap_ = 0;

@@ -27,7 +27,7 @@ class KhugepagedTest : public ::testing::Test
 
     TieredMemory memory_;
     AddressSpace space_;
-    TlbHierarchy tlb_;
+    TlbShards tlb_;
     Khugepaged daemon_;
     Addr heap_ = 0;
 };

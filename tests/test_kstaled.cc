@@ -33,7 +33,7 @@ class KstaledTest : public ::testing::Test
 
     TieredMemory memory_;
     AddressSpace space_;
-    TlbHierarchy tlb_;
+    TlbShards tlb_;
     Kstaled kstaled_;
     Addr heap_ = 0;
 };

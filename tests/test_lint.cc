@@ -83,6 +83,7 @@ TEST(Lint, EachRuleClassFiresOnSeededViolation)
         {"src/rule_trace_category.cc", "trace-category"},
         {"src/rule_unsafe_c_api.cc", "unsafe-c-api"},
         {"src/rule_unordered_map.cc", "hot-path-unordered-map"},
+        {"src/sim/machine.hh", "shard-unsynced-state"},
     };
     for (const auto &[file, rule] : cases) {
         const LintResult r = runLint(fixturesRoot() + file);
@@ -105,6 +106,18 @@ TEST(Lint, AllowlistedPathsAreClean)
         EXPECT_NE(r.output.find("0 findings"), std::string::npos)
             << r.output;
     }
+}
+
+// shard-unsynced-state accepts every classification vocabulary:
+// TSTAT_GUARDED_BY, lane-indexed names, `// shard:` markers (same
+// and preceding line), const members, and lint:allow.
+TEST(Lint, ShardStateClassificationsAreQuiet)
+{
+    const LintResult r =
+        runLint(fixturesRoot() + "src/sim/simulation.hh");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("0 findings"), std::string::npos)
+        << r.output;
 }
 
 // Inline `lint:allow(<rule>)` markers suppress on the same line and
@@ -176,7 +189,7 @@ TEST(Lint, ListRulesNamesEveryRule)
          {"ban-random-device", "ban-c-random", "ban-wall-clock",
           "ban-naked-thread", "mutable-global", "metric-name-style",
           "trace-category", "unsafe-c-api",
-          "hot-path-unordered-map"}) {
+          "hot-path-unordered-map", "shard-unsynced-state"}) {
         EXPECT_NE(r.output.find(rule), std::string::npos)
             << "missing rule " << rule << "\n" << r.output;
     }

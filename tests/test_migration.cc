@@ -28,8 +28,8 @@ class MigrationTest : public ::testing::Test
 
     TieredMemory memory_;
     AddressSpace space_;
-    TlbHierarchy tlb_;
-    LastLevelCache llc_;
+    TlbShards tlb_;
+    LlcShards llc_;
     PageMigrator migrator_;
     Addr heap_ = 0;
     Addr conf_ = 0;
@@ -99,7 +99,8 @@ TEST_F(MigrationTest, TlbShootdownOnMigration)
 TEST_F(MigrationTest, LlcInvalidatedOnMigration)
 {
     const Pfn pfn = space_.pageTable().walk(heap_).pte->pfn();
-    (void)llc_.access(pfn * kPageSize4K, AccessType::Read);
+    (void)llc_.access(laneOf(heap_), pfn * kPageSize4K,
+                      AccessType::Read);
     EXPECT_TRUE(llc_.contains(pfn * kPageSize4K));
     migrator_.migrate(heap_, Tier::Slow, 0);
     EXPECT_FALSE(llc_.contains(pfn * kPageSize4K));

@@ -275,6 +275,36 @@ TEST(PerfDiff, VerdictJsonIsMachineReadable)
     EXPECT_TRUE(saw_regress);
 }
 
+TEST(PerfDiff, UpdateBaselineRewritesFileAndExitsZero)
+{
+    const std::string base =
+        writeTemp("ubase.json", benchJson(1.0e7, 8.0e5));
+    const std::string fresh_text = benchJson(1.0e7, 4.0e5);
+    const std::string fresh =
+        writeTemp("ufresh.json", fresh_text);
+    // A 50% drop regresses, but --update-baseline still prints the
+    // delta table, adopts the fresh run and exits 0.
+    const DiffResult r = runDiff(
+        "--baseline " + quoted(base) + " --fresh " + quoted(fresh) +
+        " --threshold 10 --update-baseline");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("-50.00%"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("baseline updated"), std::string::npos)
+        << r.output;
+
+    std::ifstream in(base, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    EXPECT_EQ(os.str(), fresh_text);
+
+    // The rewritten baseline self-compares clean.
+    EXPECT_EQ(runDiff("--baseline " + quoted(base) + " --fresh " +
+                      quoted(fresh) + " --threshold 0.01")
+                  .exitCode,
+              0);
+}
+
 TEST(PerfDiff, CommittedBaselineSelfComparesClean)
 {
     const std::string baseline =

@@ -39,7 +39,7 @@ class SamplerTest : public ::testing::Test
 
     TieredMemory memory_;
     AddressSpace space_;
-    TlbHierarchy tlb_;
+    TlbShards tlb_;
     BadgerTrap trap_;
     Kstaled kstaled_;
     Sampler sampler_;

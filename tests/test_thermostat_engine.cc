@@ -117,10 +117,10 @@ class EngineTest : public ::testing::Test
 
     TieredMemory memory_;
     AddressSpace space_;
-    TlbHierarchy tlb_;
+    TlbShards tlb_;
     BadgerTrap trap_;
     Kstaled kstaled_;
-    LastLevelCache llc_;
+    LlcShards llc_;
     PageMigrator migrator_;
     MemCgroup cgroup_;
     ThermostatEngine engine_;

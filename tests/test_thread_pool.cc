@@ -127,6 +127,53 @@ TEST(ThreadPool, UnwaitedExceptionDoesNotEscapeDestructor)
     pool.submit([] { throw std::runtime_error("ignored"); });
 }
 
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallelFor(0, kN, 7, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kN; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndTinyRanges)
+{
+    ThreadPool pool(2);
+    int calls = 0;
+    // Empty range: fn never runs.
+    pool.parallelFor(5, 5, 4, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    // Single index; grainsize 0 is treated as 1.
+    std::atomic<int> one{0};
+    pool.parallelFor(9, 10, 0, [&](std::size_t i) {
+        EXPECT_EQ(i, 9u);
+        ++one;
+    });
+    EXPECT_EQ(one.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.parallelFor(0, 64, 1,
+                         [&](std::size_t i) {
+                             ++ran;
+                             if (i == 13) {
+                                 throw std::runtime_error("pf");
+                             }
+                         }),
+        std::runtime_error);
+    // The error was consumed; the pool stays usable.
+    std::atomic<int> after{0};
+    pool.parallelFor(0, 8, 2, [&](std::size_t) { ++after; });
+    EXPECT_EQ(after.load(), 8);
+    EXPECT_GE(ran.load(), 1);
+}
+
 TEST(ThreadPool, ContendedCountersStayExact)
 {
     // Many tiny jobs hammering shared state from every worker; run

@@ -104,6 +104,17 @@ const std::vector<RuleInfo> kRules = {
      "use common/flat_map.hh (baseline cold paths with a "
      "justification)",
      {{"src/", "bench/"}, {}}},
+    {"shard-unsynced-state",
+     "mutable member in the sharded execution set without a "
+     "concurrency classification; annotate TSTAT_GUARDED_BY, make "
+     "it lane-indexed (name contains 'lane'), or mark it "
+     "'// shard: <class>' (lane-local | serial-only | read-only | "
+     "merge-barrier)",
+     {{"src/sim/machine.hh", "src/sim/simulation.hh",
+       "src/tlb/tlb.hh", "src/cache/llc.hh",
+       "src/sys/badger_trap.hh", "src/obs/access_sampler.hh",
+       "src/vm/page_table.hh", "src/vm/page_walker.hh"},
+      {}}},
 };
 
 const RuleInfo *
@@ -470,6 +481,43 @@ scanLine(const std::string &rel,
         add("mutable-global", "mutable g_* global: " +
                                   std::string(findRule("mutable-global")
                                                   ->summary));
+    }
+
+    // shard-unsynced-state: class data members (trailing-underscore
+    // convention) in the headers whose state lane workers execute
+    // against must say how they are safe: a TSTAT_GUARDED_BY
+    // capability, a lane-indexed name, or an explicit `// shard:`
+    // classification on the same or preceding line.  Anything else
+    // is a member a future edit could silently mutate from inside a
+    // parallel lane.
+    static const std::regex kMemberDecl(
+        R"(^\s*[A-Za-z_][\w:<>,*&\s\[\]]*[\s*&](\w+_)\s*[;={])");
+    static const std::regex kDeclExcluded(
+        R"(^\s*(return|delete|throw|using|typedef|friend|template|)"
+        R"(case|goto|if|while|for|else|public|private|protected|)"
+        R"(const|constexpr|static\s+const|static\s+constexpr)\b)");
+    std::smatch member_match;
+    if (std::regex_search(line.code, member_match, kMemberDecl) &&
+        !std::regex_search(line.code, kDeclExcluded) &&
+        line.code.find("TSTAT_GUARDED_BY") == std::string::npos) {
+        std::string member = member_match[1];
+        std::string lowered = member;
+        std::transform(lowered.begin(), lowered.end(),
+                       lowered.begin(), [](unsigned char c) {
+                           return std::tolower(c);
+                       });
+        const bool lane_indexed =
+            lowered.find("lane") != std::string::npos;
+        const bool classified =
+            line.raw.find("// shard:") != std::string::npos ||
+            (index > 0 && lines[index - 1].raw.find("// shard:") !=
+                              std::string::npos);
+        if (!lane_indexed && !classified) {
+            add("shard-unsynced-state",
+                "member '" + member + "' is unclassified: " +
+                    std::string(
+                        findRule("shard-unsynced-state")->summary));
+        }
     }
 
     // metric-name-style: literals at registration call sites.

@@ -23,6 +23,11 @@
  * Exit status: 0 = pass (or improvement), 1 = regression,
  * 2 = usage / unreadable / malformed input.  --json additionally
  * writes a machine-readable verdict for CI annotation.
+ *
+ * --update-baseline prints the same delta table, then rewrites the
+ * baseline file with the fresh run's bytes and exits 0: the
+ * intended-change workflow after landing a performance patch
+ * (run_benches.sh --update-baseline wires it up).
  */
 
 #include <cstdio>
@@ -54,7 +59,10 @@ usage()
         " accesses_per_sec)\n"
         "  --direction D        higher (default) | lower ="
         " better\n"
-        "  --json FILE          write machine-readable verdict\n");
+        "  --json FILE          write machine-readable verdict\n"
+        "  --update-baseline    print the delta table, then rewrite\n"
+        "                       the baseline file with the fresh\n"
+        "                       run and exit 0\n");
     std::exit(2);
 }
 
@@ -149,6 +157,7 @@ main(int argc, char **argv)
     std::string metric = "accesses_per_sec";
     double threshold = 10.0;
     bool higher_is_better = true;
+    bool update_baseline = false;
     std::map<std::string, double> overrides;
 
     for (int i = 1; i < argc; ++i) {
@@ -180,6 +189,8 @@ main(int argc, char **argv)
             }
         } else if (!std::strcmp(arg, "--json")) {
             json_out = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--update-baseline")) {
+            update_baseline = true;
         } else {
             usage();
         }
@@ -299,6 +310,22 @@ main(int argc, char **argv)
             return 2;
         }
         out << w.str() << "\n";
+    }
+    if (update_baseline) {
+        // Adopt the fresh run verbatim (bytes, not a re-encode, so
+        // the committed file matches what bench_hotpath emitted).
+        std::ofstream out(baseline_path,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr,
+                         "perf_diff: cannot write '%s'\n",
+                         baseline_path.c_str());
+            return 2;
+        }
+        out << readFile(fresh_path);
+        std::printf("baseline updated: %s <- %s\n",
+                    baseline_path.c_str(), fresh_path.c_str());
+        return 0;
     }
     return any_regress ? 1 : 0;
 }

@@ -64,6 +64,9 @@ usage(const char *argv0)
         "  --duration SEC     measured seconds (default: natural)\n"
         "  --warmup SEC       warmup seconds (default 0)\n"
         "  --seed N           RNG seed (default 42)\n"
+        "  --shards N         epoch-pipeline worker threads (0 =\n"
+        "                     auto, 1 = serial; results are\n"
+        "                     identical for every value)\n"
         "  --mode emu|device  slow-memory model (default emu)\n"
         "  --counting M       badgertrap | cmbit | pebs\n"
         "  --thp on|off       transparent huge pages (default on)\n"
@@ -180,6 +183,9 @@ main(int argc, char **argv)
         } else if (!std::strcmp(arg, "--seed")) {
             config.seed = static_cast<std::uint64_t>(
                 std::atoll(nextArg(argc, argv, i)));
+        } else if (!std::strcmp(arg, "--shards")) {
+            config.shards = static_cast<unsigned>(
+                std::atoi(nextArg(argc, argv, i)));
         } else if (!std::strcmp(arg, "--mode")) {
             mode = nextArg(argc, argv, i);
         } else if (!std::strcmp(arg, "--counting")) {
