@@ -20,6 +20,9 @@
  *                 epoch pipeline at 2/4/8 worker threads; together
  *                 with sim_epoch (serial) these trace the scaling
  *                 curve the perf gate tracks per PR.
+ *  - host_epoch:  four consolidated tenants under DatacenterHost
+ *                 with the arbiter metering bandwidth; bounds the
+ *                 host layer's per-epoch overhead.
  */
 
 #include <chrono>
@@ -29,6 +32,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "host/datacenter_host.hh"
 #include "obs/json.hh"
 #include "sys/migration.hh"
 
@@ -240,6 +244,50 @@ benchSimEpochSharded(std::uint64_t accesses)
         Shards);
 }
 
+ScenarioResult
+benchHostEpoch(std::uint64_t accesses)
+{
+    // Four-tenant consolidated host epochs with the arbiter
+    // metering bandwidth: the per-epoch host overhead (grant
+    // split, ledger reconciliation, flight row) on top of the
+    // tenants' sim_epoch work.
+    std::vector<TenantSpec> specs;
+    for (unsigned i = 0; i < 4; ++i) {
+        TenantSpec spec;
+        spec.id = "t" + std::to_string(i);
+        spec.workload = "web-search";
+        specs.push_back(spec);
+    }
+    HostConfig config;
+    config.base = standardConfig("web-search", 3.0, 0);
+    config.base.sampler.period = 0;
+    const auto epochs = static_cast<Ns>(
+        accesses / config.base.samplesPerEpoch + 1);
+    config.base.duration = epochs * config.base.epoch;
+    config.arbiter.migrationBwBytesPerSec = 400.0e6;
+    config.arbiter.epoch = config.base.epoch;
+
+    ScenarioResult result;
+    result.name = "host_epoch";
+    result.accesses =
+        specs.size() * epochs * config.base.samplesPerEpoch;
+    result.seconds = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+        DatacenterHost host(specs, config);
+        const double t0 = now();
+        host.run();
+        const double elapsed = now() - t0;
+        if (elapsed < result.seconds) {
+            result.seconds = elapsed;
+        }
+    }
+    std::printf("  %-12s %12llu accesses  %8.3f s  %12.0f/s\n",
+                result.name.c_str(),
+                static_cast<unsigned long long>(result.accesses),
+                result.seconds, result.accessesPerSec());
+    return result;
+}
+
 } // namespace
 
 int
@@ -280,6 +328,7 @@ main(int argc, char **argv)
          scale * 200'000},
         {"sim_epoch_sharded8", benchSimEpochSharded<8>,
          scale * 200'000},
+        {"host_epoch", benchHostEpoch, scale * 100'000},
     };
     std::vector<ScenarioResult> results;
     for (const Scenario &s : scenarios) {

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Datacenter consolidation sweep: N heterogeneous tenants packed
+ * onto one two-tiered host (the deployment that motivates the
+ * paper, Secs 1 and 5.4), swept over tenant count, cold-fraction
+ * knob, and policy mix.
+ *
+ * Every configuration is one DatacenterHost run: tenants cycle
+ * through the cloud-app generators, the host arbiter meters a
+ * shared migration-bandwidth budget and a per-tenant fast-tier
+ * cap, and each tenant's slowdown/SLO accounting lands in one CSV
+ * row:
+ *
+ *   tenants,mix,cold_fraction,tenant,workload,policy,slowdown,
+ *   avg_slowdown,max_slowdown,slo_violations,measured_epochs,
+ *   fast_bytes,denials,bytes_denied
+ *
+ * plus one __host__ row per configuration with the host epoch
+ * count, total denials, and the invariant/isolation violation
+ * counters (both must read 0; the process exits non-zero
+ * otherwise).  Configurations execute serially and each host run
+ * is deterministic, so the CSV is byte-stable across reruns and
+ * THERMOSTAT_JOBS settings.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "host/datacenter_host.hh"
+
+using namespace thermostat;
+using namespace thermostat::bench;
+
+namespace
+{
+
+/** Workloads assigned round-robin across tenant slots. */
+const char *const kWorkloadMix[] = {
+    "redis",     "web-search",           "mysql-tpcc",
+    "cassandra", "in-memory-analytics",  "aerospike",
+    "redis-bursty",
+};
+
+/** The "mixed" policy rotation (slot 0 keeps the paper's engine). */
+const char *const kPolicyMix[] = {
+    "thermostat", "lru-age", "hotness", "static",
+};
+
+std::vector<TenantSpec>
+makeTenants(unsigned count, const std::string &mix,
+            double cold_fraction)
+{
+    std::vector<TenantSpec> specs;
+    specs.reserve(count);
+    for (unsigned i = 0; i < count; ++i) {
+        TenantSpec spec;
+        spec.id = "t" + std::to_string(i);
+        spec.workload =
+            kWorkloadMix[i % (sizeof kWorkloadMix /
+                              sizeof kWorkloadMix[0])];
+        spec.policy =
+            mix == "mixed"
+                ? kPolicyMix[i % (sizeof kPolicyMix /
+                                  sizeof kPolicyMix[0])]
+                : mix;
+        spec.coldFraction = cold_fraction;
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = quickMode(argc, argv);
+    banner("Datacenter consolidation: shared-tier multi-tenant host",
+           "Secs 1/5.4 deployment; per-tenant SLO accounting",
+           quick);
+
+    const std::vector<unsigned> counts =
+        quick ? std::vector<unsigned>{2, 4}
+              : std::vector<unsigned>{4, 16, 32};
+    const std::vector<double> fractions =
+        quick ? std::vector<double>{0.5}
+              : std::vector<double>{0.3, 0.6};
+    const std::vector<std::string> mixes = {"thermostat", "mixed"};
+
+    const Ns duration = scaledDuration(quick ? 120 : 180, quick);
+
+    std::printf("tenants,mix,cold_fraction,tenant,workload,policy,"
+                "slowdown,avg_slowdown,max_slowdown,slo_violations,"
+                "measured_epochs,fast_bytes,denials,bytes_denied\n");
+
+    Count invariant_violations = 0;
+    Count isolation_violations = 0;
+    for (const unsigned count : counts) {
+        for (const std::string &mix : mixes) {
+            for (const double fraction : fractions) {
+                HostConfig config;
+                config.base.duration = duration;
+                // Shared-resource contention is the point of the
+                // sweep: a bandwidth budget sized to starve large
+                // consolidations and a per-tenant fast cap.
+                config.arbiter.migrationBwBytesPerSec = 400.0e6;
+                config.arbiter.tenantFastCapBytes = 4_GiB;
+                config.arbiter.epoch = config.base.epoch;
+
+                DatacenterHost host(
+                    makeTenants(count, mix, fraction), config);
+                const HostResult hr = host.run();
+
+                for (const TenantOutcome &t : hr.tenants) {
+                    std::printf(
+                        "%u,%s,%.2f,%s,%s,%s,%.6f,%.6f,%.6f,"
+                        "%llu,%llu,%llu,%llu,%llu\n",
+                        count, mix.c_str(), fraction,
+                        t.id.c_str(), t.spec.workload.c_str(),
+                        t.spec.policy.c_str(), t.result.slowdown,
+                        t.avgEpochSlowdown, t.maxEpochSlowdown,
+                        static_cast<unsigned long long>(
+                            t.sloViolations),
+                        static_cast<unsigned long long>(
+                            t.measuredEpochs),
+                        static_cast<unsigned long long>(
+                            t.fastBytes),
+                        static_cast<unsigned long long>(
+                            t.arbiterDenials),
+                        static_cast<unsigned long long>(
+                            t.bytesDenied));
+                }
+                std::printf(
+                    "%u,%s,%.2f,__host__,,,%llu,0,0,%llu,%llu,"
+                    "%llu,%llu,%llu\n",
+                    count, mix.c_str(), fraction,
+                    static_cast<unsigned long long>(hr.hostEpochs),
+                    static_cast<unsigned long long>(
+                        hr.invariantViolations),
+                    static_cast<unsigned long long>(
+                        hr.isolationViolations),
+                    static_cast<unsigned long long>(
+                        hr.tenants.size()),
+                    static_cast<unsigned long long>(
+                        hr.arbiterDenials),
+                    static_cast<unsigned long long>(
+                        hr.bytesDenied));
+                invariant_violations += hr.invariantViolations;
+                isolation_violations += hr.isolationViolations;
+            }
+        }
+    }
+
+    std::printf(
+        "\nExpected shape: thermostat tenants hold their slowdown "
+        "targets while the\nfixed-placement tenants in the mixed "
+        "rows pay for their cold fraction; arbiter\ndenials grow "
+        "with tenant count as the shared bandwidth budget splits "
+        "thinner.\nInvariant and isolation violation columns must "
+        "read 0.\n");
+    if (invariant_violations != 0 || isolation_violations != 0) {
+        std::fprintf(stderr,
+                     "consolidation sweep: %llu invariant / %llu "
+                     "isolation violations\n",
+                     static_cast<unsigned long long>(
+                         invariant_violations),
+                     static_cast<unsigned long long>(
+                         isolation_violations));
+        return 1;
+    }
+    return 0;
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Regenerates every table and figure via the parallel driver
 # (tools/run_all): headline experiments at full durations,
-# ablations/microbenches in quick mode.  Worker count honors
+# ablations/microbenches and the datacenter_consolidation sweep in
+# quick mode (run `build/bench/datacenter_consolidation` directly
+# for the full 32-tenant grid).  Worker count honors
 # THERMOSTAT_JOBS; pass --quick to shorten everything, or benchmark
 # names to run a subset.  After the artifact run, re-times the
 # hot-path microbenchmark and gates it against the committed

@@ -1,0 +1,229 @@
+#include "host/host_arbiter.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
+namespace thermostat
+{
+
+HostArbiter::HostArbiter(const HostArbiterConfig &config,
+                         unsigned tenants)
+    : config_(config), ledger_(tenants)
+{
+    TSTAT_ASSERT(tenants > 0, "arbiter needs at least one tenant");
+    gates_.reserve(tenants);
+    for (unsigned i = 0; i < tenants; ++i) {
+        gates_.emplace_back(*this, i);
+    }
+}
+
+void
+HostArbiter::beginEpoch(Ns now, const std::vector<bool> &active)
+{
+    (void)now;
+    TSTAT_ASSERT(active.size() == ledger_.size(),
+                 "active mask size mismatch");
+    unsigned live = 0;
+    for (const bool a : active) {
+        live += a ? 1u : 0u;
+    }
+    std::uint64_t budget = 0;
+    if (config_.migrationBwBytesPerSec > 0.0) {
+        const double epoch_sec =
+            static_cast<double>(config_.epoch) /
+            static_cast<double>(kNsPerSec);
+        budget = static_cast<std::uint64_t>(std::llround(
+            config_.migrationBwBytesPerSec * epoch_sec));
+    }
+    const std::uint64_t share = live > 0 ? budget / live : 0;
+    std::uint64_t remainder = live > 0 ? budget % live : 0;
+    for (std::size_t i = 0; i < ledger_.size(); ++i) {
+        TenantLedger &t = ledger_[i];
+        t.usedBytes = 0;
+        if (!active[i]) {
+            t.grantBytes = 0;
+            continue;
+        }
+        t.grantBytes = share + (remainder > 0 ? 1 : 0);
+        if (remainder > 0) {
+            --remainder;
+        }
+        ++grantsIssued_;
+        grantBytesIssued_ += t.grantBytes;
+    }
+}
+
+void
+HostArbiter::setInitialResidency(unsigned tenant,
+                                 std::uint64_t fast,
+                                 std::uint64_t slow)
+{
+    ledger_[tenant].fastBytes = fast;
+    ledger_[tenant].slowBytes = slow;
+}
+
+void
+HostArbiter::applyEpochDeltas(unsigned tenant,
+                              std::uint64_t demoted,
+                              std::uint64_t promoted,
+                              std::uint64_t rss_growth)
+{
+    TenantLedger &t = ledger_[tenant];
+    // fast = fast + growth + promoted - demoted, computed in signed
+    // space (an epoch may demote more than the current delta-sum
+    // order would allow in unsigned arithmetic).
+    const std::int64_t fast =
+        static_cast<std::int64_t>(t.fastBytes) +
+        static_cast<std::int64_t>(rss_growth) +
+        static_cast<std::int64_t>(promoted) -
+        static_cast<std::int64_t>(demoted);
+    const std::int64_t slow =
+        static_cast<std::int64_t>(t.slowBytes) +
+        static_cast<std::int64_t>(demoted) -
+        static_cast<std::int64_t>(promoted);
+    TSTAT_ASSERT(fast >= 0 && slow >= 0,
+                 "tenant %u residency ledger went negative", tenant);
+    t.fastBytes = static_cast<std::uint64_t>(fast);
+    t.slowBytes = static_cast<std::uint64_t>(slow);
+    t.pendingFastDelta = 0;
+}
+
+bool
+HostArbiter::verifyTenant(unsigned tenant, std::uint64_t actual_fast,
+                          std::uint64_t actual_slow)
+{
+    const TenantLedger &t = ledger_[tenant];
+    if (t.fastBytes == actual_fast && t.slowBytes == actual_slow) {
+        return true;
+    }
+    ++invariantViolations_;
+    if (messages_.size() < 32) {
+        messages_.push_back(
+            "tenant " + std::to_string(tenant) +
+            " residency ledger fast=" +
+            std::to_string(t.fastBytes) + "/slow=" +
+            std::to_string(t.slowBytes) + " != scanned fast=" +
+            std::to_string(actual_fast) + "/slow=" +
+            std::to_string(actual_slow));
+    }
+    return false;
+}
+
+bool
+HostArbiter::admit(unsigned tenant, Addr vaddr, Tier target,
+                   std::uint64_t bytes, Ns now)
+{
+    (void)vaddr;
+    (void)now;
+    TenantLedger &t = ledger_[tenant];
+    // Bandwidth: charge the tenant's fair-share grant.
+    if (config_.migrationBwBytesPerSec > 0.0 &&
+        t.usedBytes + bytes > t.grantBytes) {
+        ++t.denials;
+        t.bytesDenied += bytes;
+        return false;
+    }
+    // Capacity: promotions must fit the tenant's fast share and
+    // the host's total fast budget.
+    if (target == Tier::Fast) {
+        const std::int64_t would =
+            effectiveFast(t) + static_cast<std::int64_t>(bytes);
+        if (config_.tenantFastCapBytes != 0 &&
+            would > static_cast<std::int64_t>(
+                        config_.tenantFastCapBytes)) {
+            ++t.denials;
+            t.bytesDenied += bytes;
+            return false;
+        }
+        if (config_.hostFastCapBytes != 0) {
+            std::int64_t host_fast = 0;
+            for (const TenantLedger &l : ledger_) {
+                host_fast += effectiveFast(l);
+            }
+            if (host_fast + static_cast<std::int64_t>(bytes) >
+                static_cast<std::int64_t>(
+                    config_.hostFastCapBytes)) {
+                ++t.denials;
+                t.bytesDenied += bytes;
+                return false;
+            }
+        }
+    }
+    t.usedBytes += bytes;
+    t.pendingFastDelta +=
+        target == Tier::Fast ? static_cast<std::int64_t>(bytes)
+                             : -static_cast<std::int64_t>(bytes);
+    return true;
+}
+
+std::uint64_t
+HostArbiter::totalFastBytes() const
+{
+    std::uint64_t total = 0;
+    for (const TenantLedger &t : ledger_) {
+        total += t.fastBytes;
+    }
+    return total;
+}
+
+std::uint64_t
+HostArbiter::totalSlowBytes() const
+{
+    std::uint64_t total = 0;
+    for (const TenantLedger &t : ledger_) {
+        total += t.slowBytes;
+    }
+    return total;
+}
+
+Count
+HostArbiter::totalDenials() const
+{
+    Count total = 0;
+    for (const TenantLedger &t : ledger_) {
+        total += t.denials;
+    }
+    return total;
+}
+
+std::uint64_t
+HostArbiter::totalBytesDenied() const
+{
+    std::uint64_t total = 0;
+    for (const TenantLedger &t : ledger_) {
+        total += t.bytesDenied;
+    }
+    return total;
+}
+
+void
+HostArbiter::registerMetrics(MetricRegistry &registry) const
+{
+    registry.addCallback("host/arbiter/fast_bytes", [this] {
+        return static_cast<double>(totalFastBytes());
+    });
+    registry.addCallback("host/arbiter/slow_bytes", [this] {
+        return static_cast<double>(totalSlowBytes());
+    });
+    registry.addCallback("host/arbiter/denials", [this] {
+        return static_cast<double>(totalDenials());
+    });
+    registry.addCallback("host/arbiter/bytes_denied", [this] {
+        return static_cast<double>(totalBytesDenied());
+    });
+    registry.addCallback("host/arbiter/grants_issued", [this] {
+        return static_cast<double>(grantsIssued_);
+    });
+    registry.addCallback("host/arbiter/grant_bytes_issued", [this] {
+        return static_cast<double>(grantBytesIssued_);
+    });
+    registry.addCallback("host/arbiter/invariant_violations",
+                         [this] {
+                             return static_cast<double>(
+                                 invariantViolations_);
+                         });
+}
+
+} // namespace thermostat

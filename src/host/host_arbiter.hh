@@ -1,0 +1,227 @@
+/**
+ * @file
+ * The datacenter host's migration/capacity arbiter.
+ *
+ * When N tenants consolidate onto one two-tiered box, two shared
+ * resources need metering: the inter-tier copy engine (migration
+ * bandwidth) and the fast tier's capacity.  The arbiter owns both:
+ *
+ *  - Bandwidth: each epoch it splits the host's migration-byte
+ *    budget fairly across active tenants (equal shares, remainder
+ *    to the lowest tenant indices -- deterministic), and every
+ *    migration a tenant's PageMigrator attempts is charged against
+ *    that tenant's grant via the MigrationAdmission gate.
+ *  - Capacity: a per-tenant residency ledger (fast/slow bytes)
+ *    tracks each tenant's fast-tier footprint; promotions that
+ *    would push a tenant past its fast-share cap, or the host past
+ *    its total fast cap, are denied.
+ *
+ * A denial surfaces to the policy as moved=false -- the same shape
+ * as a full tier, which every engine already handles -- so no
+ * policy code knows the arbiter exists.
+ *
+ * The ledger is maintained incrementally (initial residency scan,
+ * then per-epoch migration-stats deltas plus RSS growth, which
+ * first-touches fast).  Because that accounting is independent of
+ * the page table, the host verifies it each epoch against a
+ * ground-truth tier scan; any mismatch increments
+ * invariantViolations() -- the property the invariant test layer
+ * pins.
+ *
+ * With no caps configured the arbiter is inert: no gate is
+ * installed and tenant runs are byte-identical to standalone runs.
+ */
+
+#ifndef THERMOSTAT_HOST_HOST_ARBITER_HH
+#define THERMOSTAT_HOST_HOST_ARBITER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "sys/migration.hh"
+
+namespace thermostat
+{
+
+class MetricRegistry;
+
+/** Shared-resource limits; 0 always means "unlimited". */
+struct HostArbiterConfig
+{
+    /** Host-wide migration copy budget, bytes/sec. */
+    double migrationBwBytesPerSec = 0.0;
+
+    /** Cap on the sum of all tenants' fast-tier bytes. */
+    std::uint64_t hostFastCapBytes = 0;
+
+    /** Cap on any single tenant's fast-tier bytes. */
+    std::uint64_t tenantFastCapBytes = 0;
+
+    /** Epoch length the bandwidth budget is granted over. */
+    Ns epoch = kNsPerSec;
+};
+
+/**
+ * Meters migration bandwidth and fast-tier capacity across the
+ * host's tenants.  One Gate per tenant adapts the tenant-less
+ * MigrationAdmission interface onto the shared arbiter.
+ */
+class HostArbiter
+{
+  public:
+    HostArbiter(const HostArbiterConfig &config, unsigned tenants);
+
+    /** Whether any limit is configured (else fully inert). */
+    bool metering() const
+    {
+        return config_.migrationBwBytesPerSec > 0.0 ||
+               config_.hostFastCapBytes != 0 ||
+               config_.tenantFastCapBytes != 0;
+    }
+
+    /** The admission gate to install into tenant @p i's migrator. */
+    MigrationAdmission *gate(unsigned tenant)
+    {
+        return &gates_[tenant];
+    }
+
+    /**
+     * Start an epoch: reset per-epoch usage and split the epoch's
+     * bandwidth budget over the tenants flagged @p active -- equal
+     * integer shares, the remainder going one byte at a time to the
+     * lowest active indices, so the split is deterministic.
+     */
+    void beginEpoch(Ns now, const std::vector<bool> &active);
+
+    /** Seed tenant @p i's residency ledger (pre-run scan). */
+    void setInitialResidency(unsigned tenant, std::uint64_t fast,
+                             std::uint64_t slow);
+
+    /**
+     * Fold one tenant epoch's residency changes into the ledger:
+     * @p demoted / @p promoted are this epoch's successful
+     * migration bytes, @p rss_growth the bytes the workload newly
+     * populated (first-touch fast).  Also clears the tenant's
+     * in-epoch prospective deltas.
+     */
+    void applyEpochDeltas(unsigned tenant, std::uint64_t demoted,
+                          std::uint64_t promoted,
+                          std::uint64_t rss_growth);
+
+    /**
+     * Check the ledger against a ground-truth page-table scan;
+     * returns true when they agree, else records a violation.
+     */
+    bool verifyTenant(unsigned tenant, std::uint64_t actual_fast,
+                      std::uint64_t actual_slow);
+
+    // ----- per-tenant accounting reads --------------------------------
+    std::uint64_t grantBytes(unsigned tenant) const
+    {
+        return ledger_[tenant].grantBytes;
+    }
+    std::uint64_t usedGrantBytes(unsigned tenant) const
+    {
+        return ledger_[tenant].usedBytes;
+    }
+    std::uint64_t fastBytes(unsigned tenant) const
+    {
+        return ledger_[tenant].fastBytes;
+    }
+    std::uint64_t slowBytes(unsigned tenant) const
+    {
+        return ledger_[tenant].slowBytes;
+    }
+    Count denials(unsigned tenant) const
+    {
+        return ledger_[tenant].denials;
+    }
+    std::uint64_t bytesDenied(unsigned tenant) const
+    {
+        return ledger_[tenant].bytesDenied;
+    }
+
+    // ----- host-level accounting reads --------------------------------
+    std::uint64_t totalFastBytes() const;
+    std::uint64_t totalSlowBytes() const;
+    Count totalDenials() const;
+    std::uint64_t totalBytesDenied() const;
+    Count invariantViolations() const
+    {
+        return invariantViolations_;
+    }
+    const std::vector<std::string> &messages() const
+    {
+        return messages_;
+    }
+
+    const HostArbiterConfig &config() const { return config_; }
+
+    /** "host/arbiter/..." counters in @p registry. */
+    void registerMetrics(MetricRegistry &registry) const;
+
+  private:
+    /** Adapter: tags admissions with the owning tenant index. */
+    class Gate : public MigrationAdmission
+    {
+      public:
+        Gate(HostArbiter &arbiter, unsigned tenant)
+            : arbiter_(arbiter), tenant_(tenant)
+        {
+        }
+
+        bool
+        admit(Addr vaddr, Tier target, std::uint64_t bytes,
+              Ns now) override
+        {
+            return arbiter_.admit(tenant_, vaddr, target, bytes,
+                                  now);
+        }
+
+      private:
+        HostArbiter &arbiter_;
+        unsigned tenant_;
+    };
+
+    struct TenantLedger
+    {
+        std::uint64_t fastBytes = 0;
+        std::uint64_t slowBytes = 0;
+        std::uint64_t grantBytes = 0; //!< this epoch's bw share
+        std::uint64_t usedBytes = 0;  //!< bw consumed this epoch
+        /**
+         * Net fast-tier bytes admitted (not yet reconciled) this
+         * epoch: promotions add, demotions subtract.  Conservative
+         * -- an admitted migration that later fails to allocate
+         * still counts until applyEpochDeltas() resets it -- but
+         * deterministic, and reconciled every epoch.
+         */
+        std::int64_t pendingFastDelta = 0;
+        Count denials = 0;
+        std::uint64_t bytesDenied = 0;
+    };
+
+    bool admit(unsigned tenant, Addr vaddr, Tier target,
+               std::uint64_t bytes, Ns now);
+
+    /** Ledger fast bytes plus in-epoch prospective delta. */
+    std::int64_t effectiveFast(const TenantLedger &t) const
+    {
+        return static_cast<std::int64_t>(t.fastBytes) +
+               t.pendingFastDelta;
+    }
+
+    HostArbiterConfig config_;
+    std::vector<Gate> gates_;
+    std::vector<TenantLedger> ledger_;
+    Count grantsIssued_ = 0;
+    std::uint64_t grantBytesIssued_ = 0;
+    Count invariantViolations_ = 0;
+    std::vector<std::string> messages_;
+};
+
+} // namespace thermostat
+
+#endif // THERMOSTAT_HOST_HOST_ARBITER_HH

@@ -40,6 +40,8 @@ eventKindName(EventKind kind)
         return "spread";
       case EventKind::MigrationFailed:
         return "migration_failed";
+      case EventKind::MigrationThrottled:
+        return "migration_throttled";
       case EventKind::MigrationRetried:
         return "migration_retried";
       case EventKind::MigrationAborted:
@@ -79,6 +81,7 @@ eventCategory(EventKind kind)
       case EventKind::PagePromoted:
       case EventKind::PageSpread:
       case EventKind::MigrationFailed:
+      case EventKind::MigrationThrottled:
         return kEvMigrate;
       case EventKind::Corrected:
         return kEvCorrect;

@@ -53,6 +53,8 @@ enum class EventKind : std::uint8_t
     PageSpread,     //!< Sec 6 extension: hot page left split, cold
                     //!< subpages demoted (value = subpages demoted)
     MigrationFailed, //!< target tier full
+    MigrationThrottled, //!< host arbiter denied admission
+                        //!< (value = bytes not moved)
     MigrationRetried, //!< migration attempt failed, retrying
                       //!< (value = attempt number)
     MigrationAborted, //!< copy torn mid-migration and rolled back

@@ -13,7 +13,7 @@ namespace thermostat
 Machine::Machine(const MachineConfig &config)
     : config_(config),
       memory_(config.fastTier, config.slowTier),
-      space_(memory_, config.thpEnabled),
+      space_(memory_, config.thpEnabled, config.addressBase),
       tlb_(config.l1Tlb, config.l2Tlb),
       llc_(config.llc),
       trap_(space_, tlb_, config.trap),

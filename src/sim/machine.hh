@@ -92,6 +92,14 @@ struct MachineConfig
     Ns l2TlbHitLatency = 7;
 
     bool thpEnabled = true;
+
+    /**
+     * Base address of the first mapped region (2MB aligned); 0
+     * keeps the historical default.  The datacenter host assigns
+     * each tenant machine a disjoint virtual window so address
+     * isolation between guests is checkable, not assumed.
+     */
+    Addr addressBase = 0;
 };
 
 /** Per-access outcome. */

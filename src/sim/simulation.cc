@@ -11,16 +11,13 @@
 namespace thermostat
 {
 
-namespace
-{
-
 /**
  * Resolve the epoch pipeline's worker count: the env override wins
  * (verification mode), then the config knob, then auto.  Never more
  * workers than lanes -- there is nothing for them to do.
  */
 unsigned
-resolveShards(const SimConfig &config)
+Simulation::resolveShards(const SimConfig &config)
 {
     if (std::getenv("THERMOSTAT_VERIFY_SHARDING") != nullptr) {
         return 1;
@@ -31,6 +28,9 @@ resolveShards(const SimConfig &config)
             : std::min(kMachineLanes, ThreadPool::defaultJobs());
     return std::min(std::max(requested, 1u), kMachineLanes);
 }
+
+namespace
+{
 
 /** Flight-recorder schema: one row per measured epoch. */
 std::vector<std::string>
@@ -47,7 +47,8 @@ flightColumns()
 } // namespace
 
 Simulation::Simulation(std::unique_ptr<Workload> workload,
-                       const SimConfig &config)
+                       const SimConfig &config,
+                       ThreadPool *shared_pool)
     : config_(config),
       workload_(std::move(workload)),
       faults_(config.faultPlan.enabled()
@@ -63,8 +64,13 @@ Simulation::Simulation(std::unique_ptr<Workload> workload,
       rng_(config.seed),
       profileRng_(config.seed ^ 0x5aadddULL),
       shards_(resolveShards(config)),
-      pool_(shards_ > 1 ? std::make_unique<ThreadPool>(shards_)
-                        : nullptr),
+      ownedPool_(shards_ > 1 && shared_pool == nullptr
+                     ? std::make_unique<ThreadPool>(shards_)
+                     : nullptr),
+      pool_(shards_ > 1
+                ? (shared_pool != nullptr ? shared_pool
+                                          : ownedPool_.get())
+                : nullptr),
       tracer_(config.traceCapacity),
       flight_(flightColumns(), config.flightCapacity),
       profiler_(config.profilerEnabled)
@@ -378,136 +384,164 @@ Simulation::recordFootprint(SimResult &result, Ns now)
     result.cold4K.append(now, static_cast<double>(cold4k));
 }
 
-SimResult
-Simulation::run()
+void
+Simulation::startRun()
 {
     snapshots_.clear();
-    SimResult result;
-    result.workload = workload_->name();
-    const Ns duration = config_.duration != 0
-                            ? config_.duration
-                            : workload_->naturalDuration();
-    result.duration = duration;
+    run_ = RunState{};
+    run_.result.workload = workload_->name();
+    run_.duration = config_.duration != 0
+                        ? config_.duration
+                        : workload_->naturalDuration();
+    run_.result.duration = run_.duration;
 
     const double rate = workload_->memRefRate();
-    const double epoch_sec = static_cast<double>(config_.epoch) /
-                             static_cast<double>(kNsPerSec);
-    const Count weight = static_cast<Count>(
-        rate * epoch_sec /
+    run_.epochSec = static_cast<double>(config_.epoch) /
+                    static_cast<double>(kNsPerSec);
+    run_.weight = static_cast<Count>(
+        rate * run_.epochSec /
             static_cast<double>(config_.samplesPerEpoch) +
         0.5);
-    TSTAT_ASSERT(weight >= 1, "sample weight underflow; lower "
-                              "samplesPerEpoch or raise access rate");
-    const auto profile_samples = static_cast<std::uint64_t>(
-        rate * epoch_sec /
+    TSTAT_ASSERT(run_.weight >= 1,
+                 "sample weight underflow; lower "
+                 "samplesPerEpoch or raise access rate");
+    run_.profileSamples = static_cast<std::uint64_t>(
+        rate * run_.epochSec /
             static_cast<double>(config_.profileWeight) +
         0.5);
+    run_.pebsBudget = static_cast<Count>(
+        config_.pebsMaxRecordsPerSec * run_.epochSec);
 
     // CPU (non-memory) work per epoch on the baseline machine.
     const double cpu_frac = workload_->cpuWorkFraction();
-    const Ns work_per_epoch = static_cast<Ns>(
+    run_.workPerEpoch = static_cast<Ns>(
         cpu_frac * static_cast<double>(config_.epoch));
 
-    double actual_total = 0.0;
-    double baseline_total = 0.0;
-    double cold_frac_sum = 0.0;
-    std::uint64_t cold_frac_count = 0;
-    Ns next_report = 0;
-    Ns overhead_total = 0;
+    run_.active = true;
+}
 
+bool
+Simulation::runDone() const
+{
+    return run_.now >= config_.warmup + run_.duration;
+}
+
+Simulation::EpochReport
+Simulation::stepEpoch()
+{
+    TSTAT_ASSERT(run_.active, "stepEpoch outside startRun/finishRun");
+    TSTAT_ASSERT(!runDone(), "stepEpoch past the run's end");
+    EpochReport report;
+    SimResult &result = run_.result;
     const Ns warmup = config_.warmup;
-    for (Ns now = 0; now < warmup + duration; now += config_.epoch) {
-        ProfileScope epoch_scope(&profiler_, "epoch");
-        const bool recording = now >= warmup;
-        const Ns rec_time = recording ? now - warmup : 0;
-        const EpochBase epoch_base = epochBase();
-        tracer_.setSimTime(now);
-        if (faults_ != nullptr) {
-            // Latch the slow tier's degradation state for this
-            // epoch and fire any pending wear retirements (the
-            // engine tick below evacuates retired blocks).
-            machine_.memory().advanceFaultState(now);
-        }
-        {
-            TraceScope scope(&tracer_, "workload_advance");
-            ProfileScope pscope(&profiler_, "workload_advance");
-            workload_->advance(now, machine_.space());
-        }
-        if (config_.thermostatEnabled) {
-            TraceScope scope(&tracer_, "policy_tick");
-            ProfileScope pscope(&profiler_, "policy_tick");
-            policy_->tick(now);
-        }
-        if (config_.khugepagedEnabled) {
-            TraceScope scope(&tracer_, "khugepaged_tick");
-            ProfileScope pscope(&profiler_, "khugepaged_tick");
-            khugepaged_.tick(now);
-        }
-        if (hook_) {
-            hook_(*this, now);
-        }
-        const Ns overhead = policy_->takeOverhead();
-        if (recording) {
-            overhead_total += overhead;
-        }
+    const Ns now = run_.now;
 
-        Ns epoch_actual = 0;
-        Ns epoch_baseline = 0;
-        runTimingStream(weight, epoch_actual, epoch_baseline);
-        // Profiling stream: fine-grained accesses that maintain
-        // Accessed bits and poisoned-page counters without touching
-        // the timing model.
-        const auto pebs_budget = static_cast<Count>(
-            config_.pebsMaxRecordsPerSec * epoch_sec);
-        runProfileStream(profile_samples, pebs_budget);
-
-        // Flush the lanes' deferred device accounting before
-        // anything below (flight rows, fault advancement, the next
-        // policy tick) reads the device model.
-        machine_.syncDeviceState();
-        const Count slow_accesses = machine_.takeSlowAccessCount();
-        if (!recording) {
-            continue;
-        }
-        recordEpoch(rec_time + config_.epoch, epoch_base,
-                    epoch_actual, epoch_baseline, work_per_epoch,
-                    overhead, weight, slow_accesses);
-        const double actual_mem =
-            static_cast<double>(epoch_actual) *
-            static_cast<double>(weight);
-        const double baseline_mem =
-            static_cast<double>(epoch_baseline) *
-            static_cast<double>(weight);
-        actual_total += static_cast<double>(work_per_epoch) +
-                        actual_mem + static_cast<double>(overhead);
-        baseline_total +=
-            static_cast<double>(work_per_epoch) + baseline_mem;
-
-        // Device-level slow access rate for this epoch.
-        result.deviceSlowRate.append(
-            rec_time + config_.epoch,
-            static_cast<double>(slow_accesses) / epoch_sec);
-
-        if (rec_time >= next_report) {
-            recordFootprint(result, rec_time);
-            snapshots_.push_back({rec_time, metrics_.snapshot()});
-            const std::uint64_t rss = machine_.space().rssBytes();
-            if (rss > 0) {
-                cold_frac_sum +=
-                    static_cast<double>(policy_->coldBytes()) /
-                    static_cast<double>(rss);
-                ++cold_frac_count;
-            }
-            next_report += config_.reportInterval;
-        }
+    ProfileScope epoch_scope(&profiler_, "epoch");
+    const bool recording = now >= warmup;
+    const Ns rec_time = recording ? now - warmup : 0;
+    const EpochBase epoch_base = epochBase();
+    tracer_.setSimTime(now);
+    if (faults_ != nullptr) {
+        // Latch the slow tier's degradation state for this
+        // epoch and fire any pending wear retirements (the
+        // engine tick below evacuates retired blocks).
+        machine_.memory().advanceFaultState(now);
     }
+    {
+        TraceScope scope(&tracer_, "workload_advance");
+        ProfileScope pscope(&profiler_, "workload_advance");
+        workload_->advance(now, machine_.space());
+    }
+    if (config_.thermostatEnabled) {
+        TraceScope scope(&tracer_, "policy_tick");
+        ProfileScope pscope(&profiler_, "policy_tick");
+        policy_->tick(now);
+    }
+    if (config_.khugepagedEnabled) {
+        TraceScope scope(&tracer_, "khugepaged_tick");
+        ProfileScope pscope(&profiler_, "khugepaged_tick");
+        khugepaged_.tick(now);
+    }
+    if (hook_) {
+        hook_(*this, now);
+    }
+    const Ns overhead = policy_->takeOverhead();
+    if (recording) {
+        run_.overheadTotal += overhead;
+    }
+
+    Ns epoch_actual = 0;
+    Ns epoch_baseline = 0;
+    runTimingStream(run_.weight, epoch_actual, epoch_baseline);
+    // Profiling stream: fine-grained accesses that maintain
+    // Accessed bits and poisoned-page counters without touching
+    // the timing model.
+    runProfileStream(run_.profileSamples, run_.pebsBudget);
+
+    // Flush the lanes' deferred device accounting before
+    // anything below (flight rows, fault advancement, the next
+    // policy tick) reads the device model.
+    machine_.syncDeviceState();
+    const Count slow_accesses = machine_.takeSlowAccessCount();
+    run_.now = now + config_.epoch;
+    if (!recording) {
+        return report;
+    }
+    recordEpoch(rec_time + config_.epoch, epoch_base,
+                epoch_actual, epoch_baseline, run_.workPerEpoch,
+                overhead, run_.weight, slow_accesses);
+    const double w = static_cast<double>(run_.weight);
+    const double actual_mem =
+        static_cast<double>(epoch_actual) * w;
+    const double baseline_mem =
+        static_cast<double>(epoch_baseline) * w;
+    const double work = static_cast<double>(run_.workPerEpoch);
+    const double epoch_actual_ns =
+        work + actual_mem + static_cast<double>(overhead);
+    const double epoch_baseline_ns = work + baseline_mem;
+    run_.actualTotal += epoch_actual_ns;
+    run_.baselineTotal += epoch_baseline_ns;
+    report.measured = true;
+    report.time = rec_time + config_.epoch;
+    report.actualNs = epoch_actual_ns;
+    report.baselineNs = epoch_baseline_ns;
+    report.slowdown = epoch_baseline_ns > 0.0
+                          ? epoch_actual_ns / epoch_baseline_ns - 1.0
+                          : 0.0;
+
+    // Device-level slow access rate for this epoch.
+    result.deviceSlowRate.append(
+        rec_time + config_.epoch,
+        static_cast<double>(slow_accesses) / run_.epochSec);
+
+    if (rec_time >= run_.nextReport) {
+        recordFootprint(result, rec_time);
+        snapshots_.push_back({rec_time, metrics_.snapshot()});
+        const std::uint64_t rss = machine_.space().rssBytes();
+        if (rss > 0) {
+            run_.coldFracSum +=
+                static_cast<double>(policy_->coldBytes()) /
+                static_cast<double>(rss);
+            ++run_.coldFracCount;
+        }
+        run_.nextReport += config_.reportInterval;
+    }
+    return report;
+}
+
+SimResult
+Simulation::finishRun()
+{
+    TSTAT_ASSERT(run_.active, "finishRun without startRun");
+    SimResult result = std::move(run_.result);
+    const Ns duration = run_.duration;
     recordFootprint(result, duration);
 
-    result.slowdown =
-        baseline_total > 0.0 ? actual_total / baseline_total - 1.0
-                             : 0.0;
-    result.actualSeconds = actual_total / kNsPerSec;
-    result.baselineSeconds = baseline_total / kNsPerSec;
+    result.slowdown = run_.baselineTotal > 0.0
+                          ? run_.actualTotal / run_.baselineTotal - 1.0
+                          : 0.0;
+    result.actualSeconds = run_.actualTotal / kNsPerSec;
+    result.baselineSeconds = run_.baselineTotal / kNsPerSec;
     result.finalRssBytes = machine_.space().rssBytes();
     result.finalFileBytes = machine_.space().fileBackedBytes();
     result.finalColdFraction =
@@ -516,10 +550,12 @@ Simulation::run()
                   static_cast<double>(result.finalRssBytes)
             : 0.0;
     result.avgColdFraction =
-        cold_frac_count > 0
-            ? cold_frac_sum / static_cast<double>(cold_frac_count)
+        run_.coldFracCount > 0
+            ? run_.coldFracSum /
+                  static_cast<double>(run_.coldFracCount)
             : 0.0;
     // Shift the engine's series into measurement time.
+    const Ns warmup = config_.warmup;
     if (const TimeSeries *series = policy_->slowRateSeries()) {
         for (const auto &sample : series->samples()) {
             if (sample.time >= warmup) {
@@ -536,8 +572,9 @@ Simulation::run()
     result.promotionBytesPerSec =
         static_cast<double>(migrator_.stats().bytesPromoted) / dur_sec;
     result.monitorOverheadFraction =
-        baseline_total > 0.0
-            ? static_cast<double>(overhead_total) / baseline_total
+        run_.baselineTotal > 0.0
+            ? static_cast<double>(run_.overheadTotal) /
+                  run_.baselineTotal
             : 0.0;
 
     // Lifecycle audit: replays of the event stream must agree with
@@ -563,7 +600,18 @@ Simulation::run()
     result.l2Tlb = machine_.tlb().l2Stats();
     result.llc = machine_.llc().stats();
     result.walker = machine_.walkerStats();
+    run_.active = false;
     return result;
+}
+
+SimResult
+Simulation::run()
+{
+    startRun();
+    while (!runDone()) {
+        stepEpoch();
+    }
+    return finishRun();
 }
 
 std::string

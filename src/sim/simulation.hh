@@ -233,11 +233,67 @@ class Simulation
     /** Called at each epoch boundary (after the engine tick). */
     using EpochHook = std::function<void(Simulation &, Ns)>;
 
+    /**
+     * @param shared_pool Optional externally owned worker pool for
+     *     the sharded epoch pipeline; null (the default) makes the
+     *     simulation own a pool sized to the resolved shard count.
+     *     The datacenter host passes one pool shared by all tenant
+     *     simulations so N tenants do not spawn N * shards threads.
+     *     Ignored when the resolved shard count is 1.  Lane
+     *     execution is lane-partitioned, so results are identical
+     *     whichever pool runs them.
+     */
     Simulation(std::unique_ptr<Workload> workload,
-               const SimConfig &config);
+               const SimConfig &config,
+               ThreadPool *shared_pool = nullptr);
 
     /** Run to completion and collect results. */
     SimResult run();
+
+    /**
+     * What one stepped epoch produced (the same quantities a flight
+     * row records, exposed so an external driver -- the datacenter
+     * host -- can do per-tenant SLO accounting without reparsing
+     * the flight ring).
+     */
+    struct EpochReport
+    {
+        bool measured = false; //!< false while inside warmup
+        Ns time = 0;       //!< epoch end, measurement timeline
+        double actualNs = 0.0;   //!< work + actual memory + overhead
+        double baselineNs = 0.0; //!< work + baseline memory
+        double slowdown = 0.0;   //!< actualNs / baselineNs - 1
+    };
+
+    /**
+     * Stepwise execution: run() is exactly
+     *
+     *     startRun();
+     *     while (!runDone()) stepEpoch();
+     *     return finishRun();
+     *
+     * so an external driver interleaving epochs of several
+     * simulations (the datacenter host round-robin) reproduces a
+     * standalone run byte-for-byte per tenant.
+     */
+    void startRun();
+
+    /** True once the simulated clock has covered warmup+duration. */
+    bool runDone() const;
+
+    /** Execute the next epoch; requires startRun() and !runDone(). */
+    EpochReport stepEpoch();
+
+    /** Finalize and return the run's results. */
+    SimResult finishRun();
+
+    /**
+     * The epoch pipeline's worker count this config resolves to
+     * (env override, then the knob, then auto; never more than
+     * kMachineLanes).  Exposed so an external pool owner can size
+     * one shared pool before constructing tenant simulations.
+     */
+    static unsigned resolveShards(const SimConfig &config);
 
     /** Install a per-epoch callback (custom policies in benches). */
     void setEpochHook(EpochHook hook) { hook_ = std::move(hook); }
@@ -335,6 +391,30 @@ class Simulation
                      Ns baseline, Ns work, Ns overhead,
                      Count weight, Count slow_accesses);
 
+    /**
+     * Run-in-progress state: the locals of the old monolithic run()
+     * loop, hoisted so stepEpoch() can be re-entered from outside.
+     * Reset by startRun(), consumed by finishRun().
+     */
+    struct RunState
+    {
+        SimResult result;
+        Ns duration = 0;          //!< resolved (config or natural)
+        double epochSec = 0.0;
+        Count weight = 1;         //!< real accesses per timing sample
+        std::uint64_t profileSamples = 0;
+        Count pebsBudget = 0;
+        Ns workPerEpoch = 0;      //!< baseline CPU work per epoch
+        double actualTotal = 0.0;
+        double baselineTotal = 0.0;
+        double coldFracSum = 0.0;
+        std::uint64_t coldFracCount = 0;
+        Ns nextReport = 0;
+        Ns overheadTotal = 0;
+        Ns now = 0;               //!< next epoch's start time
+        bool active = false;      //!< between startRun and finishRun
+    };
+
     SimConfig config_;                      // shard: read-only
     std::unique_ptr<Workload> workload_;    // shard: serial-only
     std::unique_ptr<FaultInjector> faults_; // shard: serial-only
@@ -354,10 +434,15 @@ class Simulation
     Count pebsMonitoredHits_ = 0; // shard: serial-only (forces it)
     EpochHook hook_;              // shard: serial-only
 
-    unsigned shards_ = 1;              //!< resolved // shard: read-only
-    std::unique_ptr<ThreadPool> pool_; // shard: read-only handle
+    unsigned shards_ = 1;    //!< resolved // shard: read-only
+    /** Owned only when no shared pool was injected. */
+    std::unique_ptr<ThreadPool> ownedPool_; // shard: read-only
+    /** Effective pool (owned or shared); null = serial. */
+    ThreadPool *pool_ = nullptr; // shard: read-only handle
     /** Per-lane reference buckets, reused across epochs. */
     std::array<std::vector<MemRef>, kMachineLanes> laneRefs_;
+
+    RunState run_; // shard: serial-only
 
     MetricRegistry metrics_;  // shard: serial-only
     EventTracer tracer_;      // shard: serial-only

@@ -48,6 +48,21 @@ PageMigrator::migrate(Addr vaddr, Tier target, Ns now)
 
     const bool huge = wr.huge;
     const std::uint64_t bytes = huge ? kPageSize2M : kPageSize4K;
+
+    // Admission gate (host arbiter).  Checked after the same-tier
+    // early return so no-op requests never consume budget, and
+    // before any allocation so a denial has zero side effects.
+    if (admission_ != nullptr &&
+        !admission_->admit(vaddr, target, bytes, now)) {
+        ++stats_.admissionDenials;
+        stats_.bytesDenied += bytes;
+        if (tracer_) {
+            tracer_->record(EventKind::MigrationThrottled, now,
+                            vaddr, huge, bytes);
+        }
+        return result;
+    }
+
     const unsigned frames = huge ? kSubpagesPerHuge : 1u;
     // Device wear from a full copy: 64B line writes per 4KB frame.
     const Count line_writes_per_frame =
@@ -238,6 +253,12 @@ PageMigrator::registerMetrics(MetricRegistry &registry,
     });
     registry.addCallback(prefix + ".backoff_ns", [this] {
         return static_cast<double>(stats_.backoffNs);
+    });
+    registry.addCallback(prefix + ".admission_denials", [this] {
+        return static_cast<double>(stats_.admissionDenials);
+    });
+    registry.addCallback(prefix + ".bytes_denied", [this] {
+        return static_cast<double>(stats_.bytesDenied);
     });
 }
 

@@ -61,6 +61,10 @@ struct MigrationStats
     Count failedAllocs = 0;    //!< target tier full
     Ns totalCost = 0;
 
+    // Host-arbiter accounting (zero without an admission gate).
+    Count admissionDenials = 0;  //!< requests the arbiter refused
+    std::uint64_t bytesDenied = 0; //!< bytes those requests carried
+
     // Fault-path accounting (all zero without an injector).
     Count retries = 0;           //!< retry attempts made
     Count copyAborts = 0;        //!< copies torn and rolled back
@@ -74,6 +78,31 @@ struct MigrateResult
 {
     bool moved = false;
     Ns cost = 0;
+};
+
+/**
+ * Admission control over migration traffic.  When a controller is
+ * attached (the datacenter host's arbiter), every migration that
+ * would actually move a page is first offered to admit(); a denial
+ * leaves the page where it is, costs nothing, and is visible to the
+ * caller only as moved=false -- the same shape as a full target
+ * tier, which every policy already handles.  Standalone runs never
+ * attach one, so the fault-free single-tenant path is unchanged.
+ */
+class MigrationAdmission
+{
+  public:
+    virtual ~MigrationAdmission() = default;
+
+    /**
+     * @param vaddr Leaf base being moved.
+     * @param target Destination tier.
+     * @param bytes Leaf size (4KB or 2MB).
+     * @param now Simulation time of the request.
+     * @return Whether the migration may proceed.
+     */
+    virtual bool admit(Addr vaddr, Tier target, std::uint64_t bytes,
+                       Ns now) = 0;
 };
 
 /**
@@ -121,6 +150,15 @@ class PageMigrator
      */
     void setProfiler(Profiler *profiler) { profiler_ = profiler; }
 
+    /**
+     * Attach an admission controller (see MigrationAdmission).
+     * Null detaches; without one, migrate() never pays the check.
+     */
+    void setAdmission(MigrationAdmission *admission)
+    {
+        admission_ = admission;
+    }
+
     /** Expose the counters under "<prefix>." in @p registry. */
     void registerMetrics(MetricRegistry &registry,
                          const std::string &prefix) const;
@@ -151,6 +189,7 @@ class PageMigrator
     EventTracer *tracer_ = nullptr;
     FaultInjector *faults_ = nullptr;
     Profiler *profiler_ = nullptr;
+    MigrationAdmission *admission_ = nullptr;
     RateMeter demotionMeter_;  //!< records bytes, not pages
     RateMeter promotionMeter_;
 };

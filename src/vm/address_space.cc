@@ -5,18 +5,13 @@
 namespace thermostat
 {
 
-namespace
-{
-
-/** Regions are carved from 4GiB upward with a 2MB guard gap. */
-constexpr Addr kFirstRegionBase = Addr{4} << 30;
-
-} // namespace
-
-AddressSpace::AddressSpace(TieredMemory &memory, bool thp_enabled)
+AddressSpace::AddressSpace(TieredMemory &memory, bool thp_enabled,
+                           Addr base)
     : memory_(memory), thpEnabled_(thp_enabled),
-      nextBase_(kFirstRegionBase)
+      nextBase_(base != 0 ? base : kFirstRegionBase)
 {
+    TSTAT_ASSERT((nextBase_ & (kPageSize2M - 1)) == 0,
+                 "address-space base must be 2MB aligned");
 }
 
 AddressSpace::~AddressSpace()

@@ -24,6 +24,14 @@
 namespace thermostat
 {
 
+/**
+ * Default base address of the first mapped region (the historical
+ * 4GiB start every standalone run uses).  Exported so the
+ * datacenter host can compute tenant address windows that contain
+ * it.
+ */
+constexpr Addr kFirstRegionBase = Addr{4} << 30;
+
 /** One mapped region (a VMA). */
 struct Region
 {
@@ -51,8 +59,13 @@ class AddressSpace
      *        /sys/kernel/mm/transparent_hugepage/enabled); when
      *        false every region is mapped with 4KB pages regardless
      *        of its own thp flag (the Table 1 baseline).
+     * @param base First region base address (2MB aligned); 0 keeps
+     *        the historical 4GiB default.  The multi-tenant host
+     *        gives each guest a disjoint window so no tenant's
+     *        pages can alias another's.
      */
-    explicit AddressSpace(TieredMemory &memory, bool thp_enabled = true);
+    explicit AddressSpace(TieredMemory &memory, bool thp_enabled = true,
+                          Addr base = 0);
     ~AddressSpace();
 
     AddressSpace(const AddressSpace &) = delete;

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * N=1 host parity: a DatacenterHost wrapping a single tenant with
+ * no arbiter limits must reproduce the standalone Simulation
+ * byte-for-byte -- same scalars, same metrics JSON, same flight
+ * CSV, same sampler stream digest.
+ *
+ * This is the load-bearing guarantee of the host layer: the
+ * stepwise run loop, the shared worker pool, the residency scans
+ * and the per-epoch accounting reads must all be observation-only.
+ * The tenant artifacts are additionally pinned as goldens under
+ * tests/golden/ so a drift is caught even if both sides move
+ * together; regenerate after an intentional change with
+ *
+ *     THERMOSTAT_REGOLDEN=1 ./build/tests/test_host_parity
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "harness.hh"
+#include "host/datacenter_host.hh"
+
+#ifndef THERMOSTAT_GOLDEN_DIR
+#error "tests/CMakeLists.txt must define THERMOSTAT_GOLDEN_DIR"
+#endif
+
+namespace thermostat
+{
+namespace
+{
+
+using test::halfColdWorkload;
+using test::slurpFile;
+using test::spillFile;
+using test::tinySimConfig;
+
+void
+checkGolden(const std::string &name, const std::string &produced)
+{
+    const std::string path =
+        std::string(THERMOSTAT_GOLDEN_DIR) + "/" + name;
+    if (std::getenv("THERMOSTAT_REGOLDEN") != nullptr) {
+        ASSERT_TRUE(spillFile(path, produced))
+            << "cannot regenerate " << path;
+        return;
+    }
+    const std::string want = slurpFile(path);
+    ASSERT_FALSE(want.empty())
+        << "missing golden file " << path
+        << "; run with THERMOSTAT_REGOLDEN=1 to create it";
+    EXPECT_EQ(want, produced)
+        << "output of " << name
+        << " drifted from the golden run; if the change is "
+           "intentional, regenerate with THERMOSTAT_REGOLDEN=1";
+}
+
+SimConfig
+parityConfig()
+{
+    SimConfig config = tinySimConfig(42);
+    config.duration = 90 * kNsPerSec;
+    config.sampler.keepRecords = true;
+    config.sampler.maxRecords = 256;
+    return config;
+}
+
+HostConfig
+parityHostConfig()
+{
+    HostConfig config;
+    config.base = parityConfig();
+    config.tuneMachinePerWorkload = false; // synthetic workload
+    // All arbiter limits zero: inert, no admission gate installed.
+    return config;
+}
+
+TenantSpec
+parityTenant()
+{
+    TenantSpec spec;
+    spec.id = "solo";
+    spec.workload = "half-cold"; // factory-injected below
+    return spec;
+}
+
+DatacenterHost::WorkloadFactory
+halfColdFactory()
+{
+    return [](const TenantSpec &, const SimConfig &) {
+        return halfColdWorkload();
+    };
+}
+
+TEST(HostParity, SingleTenantConfigMatchesBase)
+{
+    DatacenterHost host({parityTenant()}, parityHostConfig(),
+                        halfColdFactory());
+    const SimConfig &derived = host.tenantConfig(0);
+    const SimConfig base = parityConfig();
+    // Tenant 0 inherits the base verbatim: same seed, default
+    // address window, no per-tenant overrides beyond the spec
+    // defaults (which mirror the SimConfig defaults).
+    EXPECT_EQ(derived.seed, base.seed);
+    EXPECT_EQ(derived.policy, base.policy);
+    EXPECT_EQ(derived.machine.addressBase, Addr{0});
+    EXPECT_EQ(derived.params.tolerableSlowdownPct,
+              base.params.tolerableSlowdownPct);
+    EXPECT_EQ(derived.policyParams.coldFraction,
+              base.policyParams.coldFraction);
+    EXPECT_EQ(host.windowBase(0), kFirstRegionBase);
+    EXPECT_FALSE(host.arbiter().metering());
+}
+
+TEST(HostParity, SingleTenantReproducesStandaloneByteForByte)
+{
+    // The reference: a plain Simulation over the same workload,
+    // config, and seed.
+    Simulation ref(halfColdWorkload(), parityConfig());
+    const SimResult want = ref.run();
+
+    DatacenterHost host({parityTenant()}, parityHostConfig(),
+                        halfColdFactory());
+    const HostResult hr = host.run();
+    ASSERT_EQ(hr.tenants.size(), 1u);
+    const SimResult &got = hr.tenants[0].result;
+    Simulation &tenant = host.tenant(0);
+
+    // Headline scalars, exact -- not tolerance-level agreement.
+    EXPECT_EQ(want.slowdown, got.slowdown);
+    EXPECT_EQ(want.actualSeconds, got.actualSeconds);
+    EXPECT_EQ(want.baselineSeconds, got.baselineSeconds);
+    EXPECT_EQ(want.finalRssBytes, got.finalRssBytes);
+    EXPECT_EQ(want.finalColdFraction, got.finalColdFraction);
+    EXPECT_EQ(want.trap.faults, got.trap.faults);
+    EXPECT_EQ(want.llc.misses, got.llc.misses);
+    EXPECT_EQ(want.migration.bytesDemoted, got.migration.bytesDemoted);
+    EXPECT_EQ(want.migration.bytesPromoted,
+              got.migration.bytesPromoted);
+    EXPECT_EQ(want.engine.promotions, got.engine.promotions);
+
+    // Full artifact identity: metrics dump, flight CSV, sampler
+    // stream digest.
+    EXPECT_EQ(ref.metricsJson(), tenant.metricsJson());
+    EXPECT_EQ(ref.flightRecorder().toCsv(),
+              tenant.flightRecorder().toCsv());
+    ASSERT_NE(ref.accessSampler(), nullptr);
+    ASSERT_NE(tenant.accessSampler(), nullptr);
+    EXPECT_EQ(ref.accessSampler()->streamDigest(),
+              tenant.accessSampler()->streamDigest());
+
+    // No denials, no violations: the arbiter was inert.
+    EXPECT_EQ(hr.arbiterDenials, 0u);
+    EXPECT_EQ(hr.invariantViolations, 0u);
+    EXPECT_EQ(hr.isolationViolations, 0u);
+    EXPECT_EQ(got.migration.admissionDenials, 0u);
+
+    // Pin the tenant artifacts so parity cannot drift silently
+    // even if host and standalone move together.
+    checkGolden("host_parity_metrics.json", tenant.metricsJson());
+    checkGolden("host_parity_flight.csv",
+                tenant.flightRecorder().toCsv());
+    checkGolden("host_parity_sampler_digest.txt",
+                std::to_string(
+                    tenant.accessSampler()->streamDigest()) +
+                    "\n");
+}
+
+TEST(HostParity, InertArbiterInstallsNoGate)
+{
+    DatacenterHost host({parityTenant()}, parityHostConfig(),
+                        halfColdFactory());
+    host.run();
+    // The migrator never saw an admission interface: denial
+    // counters are impossible, not merely zero.
+    EXPECT_EQ(host.tenant(0).migrator().stats().admissionDenials,
+              0u);
+    EXPECT_EQ(host.tenant(0).migrator().stats().bytesDenied, 0u);
+}
+
+} // namespace
+} // namespace thermostat

@@ -49,13 +49,18 @@ const char *const kFullBenches[] = {
     "fig01_idle_fraction", "fig02_accessbit_scatter",
 };
 
-/** Ablations and microbenches: always quick in the default suite. */
+/**
+ * Ablations, microbenches, and the consolidation sweep: always
+ * quick in the default suite (the full 32-tenant consolidation
+ * grid is a deliberate, standalone run).
+ */
 const char *const kQuickBenches[] = {
     "abl_sampling_overhead", "abl_poison_budget",
     "abl_sample_fraction",   "abl_correction",
     "abl_slow_emu_mode",     "abl_hw_counting",
     "abl_spread_pages",      "abl_wear_leveling",
     "micro_components",      "policy_compare",
+    "datacenter_consolidation",
 };
 
 std::string

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "host/datacenter_host.hh"
 #include "policy/policy_factory.hh"
 #include "sim/app_tuning.hh"
 #include "sim/csv_export.hh"
@@ -94,7 +95,21 @@ usage(const char *argv0)
         "                     \"migration-copy:p=0.05;"
         "wear-retire:at=60,count=4\"\n"
         "                     (grammar: src/fault/fault_injector.hh)\n"
-        "  --log-level L      quiet | normal | verbose\n",
+        "  --log-level L      quiet | normal | verbose\n"
+        "multi-tenant host mode (instead of --workload):\n"
+        "  --tenants FILE     run a consolidated host from a tenant\n"
+        "                     spec file (one tenant per line, e.g.\n"
+        "                     \"id=web workload=web-search"
+        " policy=thermostat\";\n"
+        "                     grammar: src/host/tenant_spec.hh)\n"
+        "  --host-bw-mbps F   shared migration bandwidth cap,\n"
+        "                     MB/s (decimal; 0 = unlimited)\n"
+        "  --host-fast-cap-mb N    host-wide fast-tier cap, MiB\n"
+        "  --tenant-fast-cap-mb N  per-tenant fast-tier cap, MiB\n"
+        "  (host mode honours --target --duration --warmup --seed\n"
+        "   --shards --mode --counting --thp --metrics-out\n"
+        "   --flight-out; per-tenant policy/target/fault-plan come\n"
+        "   from the spec file)\n",
         argv0);
     std::exit(2);
 }
@@ -158,6 +173,10 @@ main(int argc, char **argv)
     std::string trace_out;
     std::string flight_out;
     std::string profile_out;
+    std::string tenants_file;
+    double host_bw_mbps = 0.0;
+    long host_fast_cap_mb = 0;
+    long tenant_fast_cap_mb = 0;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -232,6 +251,14 @@ main(int argc, char **argv)
                                 &config.traceMask)) {
                 usage(argv[0]);
             }
+        } else if (!std::strcmp(arg, "--tenants")) {
+            tenants_file = nextArg(argc, argv, i);
+        } else if (!std::strcmp(arg, "--host-bw-mbps")) {
+            host_bw_mbps = std::atof(nextArg(argc, argv, i));
+        } else if (!std::strcmp(arg, "--host-fast-cap-mb")) {
+            host_fast_cap_mb = std::atol(nextArg(argc, argv, i));
+        } else if (!std::strcmp(arg, "--tenant-fast-cap-mb")) {
+            tenant_fast_cap_mb = std::atol(nextArg(argc, argv, i));
         } else if (!std::strcmp(arg, "--log-level")) {
             LogLevel level;
             if (!parseLogLevel(nextArg(argc, argv, i), &level)) {
@@ -242,9 +269,117 @@ main(int argc, char **argv)
             usage(argv[0]);
         }
     }
-    if (workload.empty()) {
-        usage(argv[0]);
+    if (tenants_file.empty() == workload.empty()) {
+        usage(argv[0]); // exactly one of --workload / --tenants
     }
+
+    config.params.tolerableSlowdownPct = target;
+    config.params.spreadHugePages = spread;
+    config.thermostatEnabled = enabled;
+    if (duration_sec > 0) {
+        config.duration = static_cast<Ns>(duration_sec) * kNsPerSec;
+    }
+    config.warmup = static_cast<Ns>(warmup_sec) * kNsPerSec;
+
+    // Mode switches layered onto a (possibly workload-tuned)
+    // machine config; in host mode they land on the base machine
+    // and the host re-applies them after per-tenant tuning.
+    const auto apply_machine_modes = [&](MachineConfig &machine) {
+        if (mode == "device") {
+            machine.slowMode = SlowEmuMode::Device;
+            machine.trap.faultLatency = 300;
+        } else if (mode != "emu") {
+            usage(argv[0]);
+        }
+        if (counting == "cmbit") {
+            machine.countingMode = CountingMode::CmBit;
+        } else if (counting == "pebs") {
+            machine.countingMode = CountingMode::Pebs;
+        } else if (counting != "badgertrap") {
+            usage(argv[0]);
+        }
+        if (thp == "off") {
+            machine.thpEnabled = false;
+        } else if (thp != "on") {
+            usage(argv[0]);
+        }
+    };
+
+    if (!tenants_file.empty()) {
+        std::vector<TenantSpec> parsed;
+        std::vector<TenantSpec> specs;
+        std::string error;
+        if (!parseTenantSpecFile(tenants_file, &parsed, &error) ||
+            !expandTenantSpecs(parsed, &specs, &error)) {
+            std::fprintf(stderr, "--tenants: %s\n", error.c_str());
+            return 2;
+        }
+        apply_machine_modes(config.machine);
+
+        HostConfig hconfig;
+        hconfig.base = config;
+        hconfig.arbiter.epoch = config.epoch;
+        hconfig.arbiter.migrationBwBytesPerSec =
+            host_bw_mbps * 1.0e6;
+        hconfig.arbiter.hostFastCapBytes =
+            static_cast<std::uint64_t>(host_fast_cap_mb) << 20;
+        hconfig.arbiter.tenantFastCapBytes =
+            static_cast<std::uint64_t>(tenant_fast_cap_mb) << 20;
+
+        DatacenterHost host(specs, hconfig);
+        const HostResult hr = host.run();
+
+        TablePrinter table({"tenant", "workload", "policy",
+                            "slowdown", "avg", "max", "slo viol",
+                            "fast", "denied"});
+        for (const TenantOutcome &t : hr.tenants) {
+            table.addRow({t.id, t.spec.workload, t.spec.policy,
+                          formatPct(t.result.slowdown, 2),
+                          formatPct(t.avgEpochSlowdown, 2),
+                          formatPct(t.maxEpochSlowdown, 2),
+                          std::to_string(t.sloViolations),
+                          formatBytes(t.fastBytes),
+                          formatBytes(t.bytesDenied)});
+        }
+        table.print();
+        std::printf("host epochs %llu, denials %llu, "
+                    "invariant violations %llu, "
+                    "isolation violations %llu\n",
+                    static_cast<unsigned long long>(hr.hostEpochs),
+                    static_cast<unsigned long long>(
+                        hr.arbiterDenials),
+                    static_cast<unsigned long long>(
+                        hr.invariantViolations),
+                    static_cast<unsigned long long>(
+                        hr.isolationViolations));
+
+        if (!metrics_out.empty()) {
+            const std::string text =
+                metrics_format == "prom"
+                    ? host.metrics().dumpPrometheus()
+                    : host.metrics().dumpJson();
+            if (!EventTracer::writeFile(metrics_out, text)) {
+                return 1;
+            }
+        }
+        if (!flight_out.empty()) {
+            const bool csv =
+                flight_out.size() >= 4 &&
+                flight_out.compare(flight_out.size() - 4, 4,
+                                   ".csv") == 0;
+            const std::string text =
+                csv ? host.flightRecorder().toCsv()
+                    : host.flightRecorder().toJsonl();
+            if (!EventTracer::writeFile(flight_out, text)) {
+                return 1;
+            }
+        }
+        return hr.invariantViolations == 0 &&
+                       hr.isolationViolations == 0
+                   ? 0
+                   : 1;
+    }
+
     if (!isWorkloadName(workload)) {
         unknownName("workload", workload, cliWorkloadNames());
     }
@@ -256,32 +391,7 @@ main(int argc, char **argv)
     const bool bursty = workload == "redis-bursty";
     const std::string tuned_name = bursty ? "redis" : workload;
     config.machine = tunedMachineConfig(tuned_name);
-    config.params.tolerableSlowdownPct = target;
-    config.params.spreadHugePages = spread;
-    config.thermostatEnabled = enabled;
-    if (duration_sec > 0) {
-        config.duration = static_cast<Ns>(duration_sec) * kNsPerSec;
-    }
-    config.warmup = static_cast<Ns>(warmup_sec) * kNsPerSec;
-
-    if (mode == "device") {
-        config.machine.slowMode = SlowEmuMode::Device;
-        config.machine.trap.faultLatency = 300;
-    } else if (mode != "emu") {
-        usage(argv[0]);
-    }
-    if (counting == "cmbit") {
-        config.machine.countingMode = CountingMode::CmBit;
-    } else if (counting == "pebs") {
-        config.machine.countingMode = CountingMode::Pebs;
-    } else if (counting != "badgertrap") {
-        usage(argv[0]);
-    }
-    if (thp == "off") {
-        config.machine.thpEnabled = false;
-    } else if (thp != "on") {
-        usage(argv[0]);
-    }
+    apply_machine_modes(config.machine);
 
     auto w = bursty ? makeRedisBursty(config.seed)
                     : makeWorkload(workload, config.seed);
