@@ -287,6 +287,12 @@ TieredMemory::registerMetrics(MetricRegistry &registry,
 {
     fastTier_.registerMetrics(registry, prefix + ".fast");
     slowTier_.registerMetrics(registry, prefix + ".slow");
+    registry.addCallback(prefix + ".fast.shadow_bytes", [this] {
+        return static_cast<double>(fastShadowBytes_);
+    });
+    registry.addCallback(prefix + ".slow.shadow_bytes", [this] {
+        return static_cast<double>(slowShadowBytes_);
+    });
 }
 
 } // namespace thermostat

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/flat_map.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/frame_allocator.hh"
@@ -177,6 +178,42 @@ class TieredMemory
     /** Total bytes allocated across both tiers. */
     std::uint64_t usedBytes() const;
 
+    // ----- non-exclusive residency (src/migrate) ---------------------
+    //
+    // Nomad-style transactional migration leaves a page resident in
+    // both tiers between shadow-copy start and commit, and may keep
+    // a read replica after a clean promotion.  Those frames are
+    // allocated through the normal allocHuge/allocBase path; the
+    // shadow counters track how many of the allocated bytes are
+    // second copies, so usedBytes() minus shadowBytes() is the
+    // exclusive footprint and the TransactionEngine's ledger can be
+    // cross-checked against the device every epoch.
+
+    /** Account @p bytes of @p t's used capacity as a second copy. */
+    void
+    recordShadowAlloc(Tier t, std::uint64_t bytes)
+    {
+        shadowBytes(t) += bytes;
+    }
+
+    /** The shadow copy at @p t was committed, aborted or dropped. */
+    void
+    recordShadowRelease(Tier t, std::uint64_t bytes)
+    {
+        std::uint64_t &shadow = shadowBytes(t);
+        TSTAT_ASSERT(shadow >= bytes,
+                     "shadow release underflow on %s tier",
+                     tierName(t));
+        shadow -= bytes;
+    }
+
+    /** Bytes of @p t currently holding non-exclusive copies. */
+    std::uint64_t
+    shadowBytes(Tier t) const
+    {
+        return t == Tier::Fast ? fastShadowBytes_ : slowShadowBytes_;
+    }
+
     /** Register "<prefix>.fast.*" and "<prefix>.slow.*". */
     void registerMetrics(MetricRegistry &registry,
                          const std::string &prefix) const;
@@ -231,9 +268,17 @@ class TieredMemory
     /** Wear-retire @p count slow-tier blocks, worn-most first. */
     void retireWornSlowBlocks(Count count, Ns now);
 
+    std::uint64_t &
+    shadowBytes(Tier t)
+    {
+        return t == Tier::Fast ? fastShadowBytes_ : slowShadowBytes_;
+    }
+
     MemoryTier fastTier_;
     MemoryTier slowTier_;
     Pfn slowBasePfn_;
+    std::uint64_t fastShadowBytes_ = 0;
+    std::uint64_t slowShadowBytes_ = 0;
 
     FaultInjector *faults_ = nullptr;
     EventTracer *tracer_ = nullptr;

@@ -1,0 +1,270 @@
+#include "migrate/migration_queue.hh"
+
+#include "obs/event_trace.hh"
+#include "obs/metrics.hh"
+
+namespace thermostat
+{
+
+MigrationQueue::MigrationQueue(PageMigrator &migrator,
+                               BadgerTrap &trap,
+                               TransactionEngine &transactions,
+                               const MigrationQueueConfig &config)
+    : migrator_(migrator), trap_(trap), transactions_(transactions),
+      config_(config)
+{
+}
+
+bool
+MigrationQueue::push(const Request &req)
+{
+    if (pending_.size() >= config_.capacity) {
+        ++stats_.rejectedFull;
+        if (tracer_) {
+            tracer_->record(EventKind::QueueRejected,
+                            tracer_->simTime(), req.base, req.huge,
+                            req.bytes);
+        }
+        return false;
+    }
+    Request accepted = req;
+    accepted.seq = nextSeq_++;
+    pending_.push_back(accepted);
+    ++stats_.enqueued;
+    if (pending_.size() > stats_.occupancyPeak) {
+        stats_.occupancyPeak = pending_.size();
+    }
+    return true;
+}
+
+bool
+MigrationQueue::enqueueLeaf(Addr base, bool huge, Tier target,
+                            bool transactional, bool retain)
+{
+    Request req;
+    req.base = base;
+    req.huge = huge;
+    req.pages = 1;
+    req.target = target;
+    req.bytes = huge ? kPageSize2M
+                     : static_cast<std::uint64_t>(kPageSize4K);
+    req.transactional = transactional;
+    req.retain = retain;
+    return push(req);
+}
+
+bool
+MigrationQueue::enqueueRun(Addr base, unsigned pages, Tier target)
+{
+    Request req;
+    req.base = base;
+    req.huge = false;
+    req.pages = pages;
+    req.target = target;
+    req.bytes = static_cast<std::uint64_t>(pages) * kPageSize4K;
+    return push(req);
+}
+
+Ns
+MigrationQueue::serviceLeaf(const Request &req, Addr leaf_base,
+                            Ns now)
+{
+    const std::uint64_t bytes =
+        req.huge ? kPageSize2M
+                 : static_cast<std::uint64_t>(kPageSize4K);
+    // A clean retained replica already holds the data in the slow
+    // tier: spend it so the demotion lands in its place -- Nomad's
+    // shadow-free demotion of read-mostly pages.
+    if (req.target == Tier::Slow &&
+        transactions_.hasReplica(leaf_base)) {
+        transactions_.consumeReplica(leaf_base, now);
+    }
+    const MigrateResult res =
+        migrator_.migrate(leaf_base, req.target, now);
+    Ns cost = res.cost;
+    if (res.denied) {
+        return cost; // caller requeues; no completion yet
+    }
+    if (res.moved) {
+        ++stats_.leavesMoved;
+        cost += req.target == Tier::Slow ? trap_.poison(leaf_base)
+                                         : trap_.unpoison(leaf_base);
+    } else {
+        ++stats_.leavesFailed;
+    }
+    completions_.push_back({req.seq, leaf_base, req.huge, req.target,
+                            bytes, res.moved, false});
+    return cost;
+}
+
+Ns
+MigrationQueue::commitInflight(Ns now)
+{
+    Ns cost = 0;
+    while (!inflight_.empty()) {
+        const Request req = inflight_.front();
+        inflight_.pop_front();
+        Ns txn_cost = 0;
+        const bool moved =
+            transactions_.commit(req.base, now, &txn_cost);
+        cost += txn_cost;
+        if (moved) {
+            ++stats_.leavesMoved;
+            cost += req.target == Tier::Slow
+                        ? trap_.poison(req.base)
+                        : trap_.unpoison(req.base);
+            if (req.retain && req.target == Tier::Fast) {
+                transactions_.retainReplica(req.base, req.huge, now);
+            }
+            completions_.push_back({req.seq, req.base, req.huge,
+                                    req.target, req.bytes, true,
+                                    false});
+        } else {
+            ++stats_.leavesAborted;
+            completions_.push_back({req.seq, req.base, req.huge,
+                                    req.target, req.bytes, false,
+                                    true});
+        }
+    }
+    return cost;
+}
+
+Ns
+MigrationQueue::step(Ns now)
+{
+    ++stats_.steps;
+    // Complete phase first: last epoch's transactions resolve
+    // before new work issues, so a transactional move occupies
+    // exactly one epoch of non-exclusive residency.
+    Ns cost = commitInflight(now);
+
+    std::uint64_t spent = 0;
+    bool denied = false;
+    while (!pending_.empty() && !denied) {
+        if (config_.serviceBytesPerEpoch != 0 &&
+            spent >= config_.serviceBytesPerEpoch) {
+            break;
+        }
+        Request req = pending_.front();
+        pending_.pop_front();
+
+        if (req.transactional &&
+            !(req.target == Tier::Slow &&
+              transactions_.hasReplica(req.base))) {
+            spent += req.bytes;
+            ++stats_.issued;
+            stats_.bytesIssued += req.bytes;
+            stats_.waitEpochsSum += req.waitEpochs;
+            Ns txn_cost = 0;
+            if (transactions_.begin(req.base, req.huge, req.target,
+                                    now, &txn_cost)) {
+                inflight_.push_back(req);
+                if (inflight_.size() > stats_.inflightPeak) {
+                    stats_.inflightPeak = inflight_.size();
+                }
+            } else {
+                ++stats_.leavesAborted;
+                completions_.push_back({req.seq, req.base, req.huge,
+                                        req.target, req.bytes, false,
+                                        true});
+            }
+            cost += txn_cost;
+            continue;
+        }
+
+        // Plain (or replica-backed) request: service each leaf now.
+        // An admission denial requeues the unserviced remainder at
+        // the head and ends the issue phase -- arbiter backpressure
+        // composes with queue congestion instead of spinning.
+        const std::uint64_t leaf_bytes =
+            req.huge ? kPageSize2M
+                     : static_cast<std::uint64_t>(kPageSize4K);
+        unsigned serviced = 0;
+        for (unsigned i = 0; i < req.pages; ++i) {
+            const Addr leaf = req.base + i * leaf_bytes;
+            const Count denials_before =
+                migrator_.stats().admissionDenials;
+            cost += serviceLeaf(req, leaf, now);
+            if (migrator_.stats().admissionDenials >
+                denials_before) {
+                denied = true;
+                break;
+            }
+            ++serviced;
+        }
+        if (serviced > 0) {
+            ++stats_.issued;
+            stats_.bytesIssued += serviced * leaf_bytes;
+            stats_.waitEpochsSum += req.waitEpochs;
+            spent += serviced * leaf_bytes;
+        }
+        if (denied) {
+            Request rest = req;
+            rest.base = req.base + serviced * leaf_bytes;
+            rest.pages = req.pages - serviced;
+            rest.bytes =
+                static_cast<std::uint64_t>(rest.pages) * leaf_bytes;
+            pending_.push_front(rest);
+            ++stats_.requeuedDenied;
+        }
+    }
+
+    for (Request &req : pending_) {
+        ++req.waitEpochs;
+    }
+    return cost;
+}
+
+std::vector<QueueCompletion>
+MigrationQueue::takeCompletions()
+{
+    std::vector<QueueCompletion> out;
+    out.swap(completions_);
+    return out;
+}
+
+void
+MigrationQueue::registerMetrics(MetricRegistry &registry,
+                                const std::string &prefix) const
+{
+    registry.addCallback(prefix + ".occupancy", [this] {
+        return static_cast<double>(pending_.size());
+    });
+    registry.addCallback(prefix + ".pressure",
+                         [this] { return pressure(); });
+    registry.addCallback(prefix + ".enqueued", [this] {
+        return static_cast<double>(stats_.enqueued);
+    });
+    registry.addCallback(prefix + ".rejected_full", [this] {
+        return static_cast<double>(stats_.rejectedFull);
+    });
+    registry.addCallback(prefix + ".issued", [this] {
+        return static_cast<double>(stats_.issued);
+    });
+    registry.addCallback(prefix + ".bytes_issued", [this] {
+        return static_cast<double>(stats_.bytesIssued);
+    });
+    registry.addCallback(prefix + ".requeued_denied", [this] {
+        return static_cast<double>(stats_.requeuedDenied);
+    });
+    registry.addCallback(prefix + ".leaves_moved", [this] {
+        return static_cast<double>(stats_.leavesMoved);
+    });
+    registry.addCallback(prefix + ".leaves_failed", [this] {
+        return static_cast<double>(stats_.leavesFailed);
+    });
+    registry.addCallback(prefix + ".leaves_aborted", [this] {
+        return static_cast<double>(stats_.leavesAborted);
+    });
+    registry.addCallback(prefix + ".occupancy_peak", [this] {
+        return static_cast<double>(stats_.occupancyPeak);
+    });
+    registry.addCallback(prefix + ".inflight_peak", [this] {
+        return static_cast<double>(stats_.inflightPeak);
+    });
+    registry.addCallback(prefix + ".wait_epochs_mean", [this] {
+        return stats_.waitEpochsMean();
+    });
+}
+
+} // namespace thermostat

@@ -56,6 +56,18 @@ eventKindName(EventKind kind)
         return "policy_demote";
       case EventKind::PolicyPromote:
         return "policy_promote";
+      case EventKind::TransactionStarted:
+        return "txn_started";
+      case EventKind::TransactionCommitted:
+        return "txn_committed";
+      case EventKind::TransactionAborted:
+        return "txn_aborted";
+      case EventKind::ReplicaRetained:
+        return "replica_retained";
+      case EventKind::ReplicaDropped:
+        return "replica_dropped";
+      case EventKind::QueueRejected:
+        return "queue_rejected";
       case EventKind::Phase:
         return "phase";
     }
@@ -82,11 +94,17 @@ eventCategory(EventKind kind)
       case EventKind::PageSpread:
       case EventKind::MigrationFailed:
       case EventKind::MigrationThrottled:
+      case EventKind::TransactionStarted:
+      case EventKind::TransactionCommitted:
+      case EventKind::ReplicaRetained:
+      case EventKind::ReplicaDropped:
+      case EventKind::QueueRejected:
         return kEvMigrate;
       case EventKind::Corrected:
         return kEvCorrect;
       case EventKind::MigrationRetried:
       case EventKind::MigrationAborted:
+      case EventKind::TransactionAborted:
       case EventKind::FrameRetired:
       case EventKind::PageQuarantined:
       case EventKind::PageUnquarantined:

@@ -65,6 +65,19 @@ enum class EventKind : std::uint8_t
     PageUnquarantined, //!< quarantine expired, page eligible again
     PolicyDemote,   //!< tiering policy ordered a demotion
     PolicyPromote,  //!< tiering policy ordered a promotion
+    TransactionStarted,   //!< shadow copy opened; page resident in
+                          //!< both tiers (value = bytes)
+    TransactionCommitted, //!< revalidation clean, move landed
+                          //!< (value = bytes)
+    TransactionAborted,   //!< torn shadow copy or dirty
+                          //!< revalidation; rolled back
+                          //!< (value = bytes discarded)
+    ReplicaRetained, //!< slow-tier copy kept after a clean
+                     //!< promotion commit (value = bytes)
+    ReplicaDropped,  //!< replica invalidated by a write or spent
+                     //!< by a shadow-free demotion (value = bytes)
+    QueueRejected,   //!< bounded migration queue was full
+                     //!< (value = bytes not queued)
     Phase           //!< TraceScope host-time phase (value = wall ns)
 };
 

@@ -2,7 +2,9 @@
 
 #include "policy/hotness_policy.hh"
 #include "policy/lru_age_policy.hh"
+#include "policy/nomad_policy.hh"
 #include "policy/oracle_policy.hh"
+#include "policy/remap_policy.hh"
 #include "policy/static_policy.hh"
 #include "policy/thermostat_policy.hh"
 
@@ -25,16 +27,37 @@ makeEngine(const PolicyContext &ctx)
 struct Entry
 {
     const char *name;
+    const char *description;
     Maker maker;
 };
 
 // Registration order is the order --list-policies prints.
 const Entry kMakers[] = {
-    {"thermostat", makeEngine<ThermostatPolicy>},
-    {"static", makeEngine<StaticColdestPolicy>},
-    {"lru-age", makeEngine<LruAgePolicy>},
-    {"hotness", makeEngine<HotnessPolicy>},
-    {"oracle", makeEngine<OraclePolicy>},
+    {"thermostat",
+     "the paper's engine: sampled profiling, slowdown-targeted "
+     "cold-set sizing",
+     makeEngine<ThermostatPolicy>},
+    {"static",
+     "pin the coldest-by-initial-rate fraction once, never migrate",
+     makeEngine<StaticColdestPolicy>},
+    {"lru-age",
+     "kstaled idle-age demotion with fault-driven promotion",
+     makeEngine<LruAgePolicy>},
+    {"hotness",
+     "windowed access-frequency promotion/demotion, batch-bounded",
+     makeEngine<HotnessPolicy>},
+    {"oracle",
+     "true per-region rates from the workload: the region-granular "
+     "upper bound",
+     makeEngine<OraclePolicy>},
+    {"nomad",
+     "transactional migration via the bounded queue; read-mostly "
+     "pages kept resident in both tiers",
+     makeEngine<NomadPolicy>},
+    {"remap",
+     "variable-granularity 4KB/64KB/2MB block remapping with "
+     "congestion-fed throttling",
+     makeEngine<RemapPolicy>},
 };
 
 } // namespace
@@ -50,6 +73,19 @@ PolicyFactory::names()
         return out;
     }();
     return kNames;
+}
+
+const std::vector<PolicyListing> &
+PolicyFactory::listings()
+{
+    static const std::vector<PolicyListing> kListings = [] {
+        std::vector<PolicyListing> out;
+        for (const Entry &entry : kMakers) {
+            out.push_back({entry.name, entry.description});
+        }
+        return out;
+    }();
+    return kListings;
 }
 
 bool

@@ -22,11 +22,21 @@
 namespace thermostat
 {
 
+/** One registry row: the engine name and its one-line blurb. */
+struct PolicyListing
+{
+    std::string name;
+    std::string description;
+};
+
 class PolicyFactory
 {
   public:
     /** Registered engine names, in stable (registration) order. */
     static const std::vector<std::string> &names();
+
+    /** Names plus one-line descriptions (--list-policies). */
+    static const std::vector<PolicyListing> &listings();
 
     /** Whether @p name is a registered engine. */
     static bool known(const std::string &name);

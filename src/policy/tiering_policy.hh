@@ -38,7 +38,9 @@
 #include <cstdint>
 #include <string>
 #include <unordered_set>
+#include <vector>
 
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "obs/event_trace.hh"
@@ -52,7 +54,10 @@ namespace thermostat
 {
 
 class MetricRegistry;
+class MigrationQueue;
+class TransactionEngine;
 class Workload;
+struct QueueCompletion;
 
 /**
  * Knobs shared by the non-Thermostat engines.  Thermostat itself is
@@ -79,7 +84,41 @@ struct PolicyParams
 
     /** hotness: max promotions per decision period. */
     std::size_t promoteBatch = 64;
+
+    /** nomad/remap: bounded migration-queue depth (requests). */
+    std::size_t queueCapacity = 64;
+
+    /**
+     * nomad/remap: bytes the queue services per epoch (0 =
+     * unlimited) -- the slice of migration copy bandwidth granted
+     * to queued background moves.
+     */
+    std::uint64_t queueServiceBytes = 32 * 1024 * 1024ull;
+
+    /**
+     * nomad/remap: queue pressure (occupancy/capacity) at which the
+     * engines stop enqueuing new work for the period.
+     */
+    double queueBusyThreshold = 0.8;
 };
+
+/** One settable --policy-param key and its one-line meaning. */
+struct PolicyParamKey
+{
+    const char *key;
+    const char *help;
+};
+
+/** The keys setPolicyParam() accepts, in listing order. */
+const std::vector<PolicyParamKey> &policyParamKeys();
+
+/**
+ * Apply "key=value" to @p params.  Unknown keys and unparsable
+ * values return false with a diagnostic in @p error (the CLI turns
+ * that into a listing-style exit-2 rejection).
+ */
+bool setPolicyParam(PolicyParams &params, const std::string &key,
+                    const std::string &value, std::string *error);
 
 /** Generic per-policy counters, registered under policy/<name>. */
 struct PolicyStats
@@ -107,6 +146,15 @@ struct PolicyContext
     PolicyParams params;
     Workload *workload = nullptr;
     std::uint64_t seed = 42;
+
+    /**
+     * The bounded migration queue and transactional mover
+     * (src/migrate).  Null in contexts that build policies without
+     * a simulation (unit fixtures); the queue-riding engines assert
+     * their presence, the legacy five never touch them.
+     */
+    MigrationQueue *queue = nullptr;
+    TransactionEngine *transactions = nullptr;
 };
 
 /**
@@ -225,6 +273,55 @@ class TieringPolicy
     MemCgroup &cgroup() { return ctxCgroup_; }
     Workload *workload() { return workload_; }
     EventTracer *tracer() { return tracer_; }
+    MigrationQueue *queue() { return queue_; }
+    TransactionEngine *transactions() { return transactions_; }
+
+    /**
+     * Congestion feedback from the migration queue: pending
+     * occupancy / capacity, 0.0 when no queue is attached.  Engines
+     * throttle their decision rounds on this.
+     */
+    double queuePressure() const;
+
+    /**
+     * Drain queue completions into the placed sets: demotions that
+     * landed become placed, promotions that landed leave the set,
+     * refusals count as placement failures.  Also retires the
+     * in-flight order tracking below.  Queue-riding engines call
+     * this at the top of each decision round.
+     */
+    void applyQueueCompletions();
+
+    // Queue-order helpers.  Mirror placePage()/promotePage() --
+    // stats, decision events, dedup -- but enqueue instead of
+    // moving synchronously; the placed sets update when the
+    // completion drains.
+
+    /** Queue a demotion order for @p base; false if full/duplicate. */
+    bool orderDemotion(Addr base, bool huge, Ns now,
+                       bool transactional = false);
+
+    /** Queue a promotion order; @p retain keeps a read replica. */
+    bool orderPromotion(Addr base, bool huge, Ns now,
+                        bool transactional = false,
+                        bool retain = false);
+
+    /** Queue @p pages contiguous 4KB leaves as one run request. */
+    bool orderRunDemotion(Addr base, unsigned pages, Ns now);
+
+    /** Whether @p base has an unresolved queued order. */
+    bool hasInFlight(Addr base) const
+    {
+        return inFlight_.contains(base);
+    }
+
+    /**
+     * Cold bytes already placed plus in-flight demotions minus
+     * in-flight promotions: what placedBytes_ becomes once the
+     * queue drains, used to respect the budget despite completion
+     * lag.
+     */
+    std::uint64_t orderedColdBytes() const;
 
     /** Placed sets (leaf granularity, keyed by base address). */
     std::unordered_set<Addr> placedHuge_;
@@ -243,6 +340,18 @@ class TieringPolicy
     PolicyParams params_;
     Workload *workload_;
     EventTracer *tracer_ = nullptr;
+    MigrationQueue *queue_;
+    TransactionEngine *transactions_;
+
+    /** Queued-but-unresolved orders: leaf base -> direction. */
+    enum class OrderDir : std::uint8_t
+    {
+        Demote,
+        Promote
+    };
+    FlatMap<Addr, OrderDir> inFlight_;
+    std::uint64_t inFlightDemoteBytes_ = 0;
+    std::uint64_t inFlightPromoteBytes_ = 0;
 };
 
 } // namespace thermostat

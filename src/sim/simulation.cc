@@ -41,7 +41,8 @@ flightColumns()
             "promote_bytes", "demotions",  "promotions",
             "migration_retries", "copy_aborts", "wear_writes",
             "trap_faults",   "cold_bytes", "rss_bytes",
-            "sampled",       "sampled_slow"};
+            "sampled",       "sampled_slow",
+            "queue_depth",   "queue_issued_bytes"};
 }
 
 } // namespace
@@ -61,6 +62,11 @@ Simulation::Simulation(std::unique_ptr<Workload> workload,
       khugepaged_(machine_.space(), machine_.tlb()),
       migrator_(machine_.space(), machine_.tlb(), &machine_.llc()),
       cgroup_("workload", config.params),
+      transactions_(machine_.space(), migrator_),
+      queue_(migrator_, machine_.trap(), transactions_,
+             {config.policyParams.queueCapacity,
+              config.policyParams.queueServiceBytes,
+              config.policyParams.queueBusyThreshold}),
       rng_(config.seed),
       profileRng_(config.seed ^ 0x5aadddULL),
       shards_(resolveShards(config)),
@@ -80,7 +86,8 @@ Simulation::Simulation(std::unique_ptr<Workload> workload,
         config.policy,
         PolicyContext{cgroup_, machine_.space(), machine_.trap(),
                       kstaled_, migrator_, config.policyParams,
-                      workload_.get(), config.seed});
+                      workload_.get(), config.seed, &queue_,
+                      &transactions_});
     if (policy_ == nullptr) {
         TSTAT_FATAL("unknown tiering policy '%s'",
                     config.policy.c_str());
@@ -97,6 +104,8 @@ Simulation::Simulation(std::unique_ptr<Workload> workload,
         [this](const TraceEvent &ev) { auditor_.onEvent(ev); });
     policy_->setTracer(&tracer_);
     migrator_.setTracer(&tracer_);
+    queue_.setTracer(&tracer_);
+    transactions_.setTracer(&tracer_);
     machine_.trap().setTracer(&tracer_);
     khugepaged_.setTracer(&tracer_);
     khugepaged_.setSkipFilter([this](Addr range) {
@@ -106,6 +115,8 @@ Simulation::Simulation(std::unique_ptr<Workload> workload,
     machine_.registerMetrics(metrics_, "machine");
     policy_->registerMetrics(metrics_);
     migrator_.registerMetrics(metrics_, "migrator");
+    queue_.registerMetrics(metrics_, "queue");
+    transactions_.registerMetrics(metrics_, "transactions");
     kstaled_.registerMetrics(metrics_, "kstaled");
     khugepaged_.registerMetrics(metrics_, "khugepaged");
     tracer_.registerMetrics(metrics_);
@@ -144,6 +155,7 @@ Simulation::Simulation(std::unique_ptr<Workload> workload,
         machine_.memory().setFaultInjector(faults_.get());
         machine_.memory().setTracer(&tracer_);
         migrator_.setFaultInjector(faults_.get());
+        transactions_.setFaultInjector(faults_.get());
         faults_->registerMetrics(metrics_, "faults");
     }
 }
@@ -173,6 +185,7 @@ Simulation::epochBase()
         base.sampled = sampler_->sampled();
         base.sampledSlow = sampler_->sampledSlow();
     }
+    base.queueIssuedBytes = queue_.stats().bytesIssued;
     return base;
 }
 
@@ -209,7 +222,9 @@ Simulation::recordEpoch(Ns at, const EpochBase &base, Ns actual,
          static_cast<double>(policy_->coldBytes()),
          static_cast<double>(machine_.space().rssBytes()),
          delta(now.sampled, base.sampled),
-         delta(now.sampledSlow, base.sampledSlow)});
+         delta(now.sampledSlow, base.sampledSlow),
+         static_cast<double>(queue_.occupancy()),
+         delta(now.queueIssuedBytes, base.queueIssuedBytes)});
 }
 
 void
@@ -452,10 +467,24 @@ Simulation::stepEpoch()
         ProfileScope pscope(&profiler_, "workload_advance");
         workload_->advance(now, machine_.space());
     }
+    Ns queue_cost = 0;
     if (config_.thermostatEnabled) {
-        TraceScope scope(&tracer_, "policy_tick");
-        ProfileScope pscope(&profiler_, "policy_tick");
-        policy_->tick(now);
+        {
+            TraceScope scope(&tracer_, "policy_tick");
+            ProfileScope pscope(&profiler_, "policy_tick");
+            policy_->tick(now);
+        }
+        // Service the bounded migration queue after the decision
+        // round so this epoch's orders contend for this epoch's
+        // service budget.  Pass-through engines never activate it.
+        if (queue_.active()) {
+            TraceScope scope(&tracer_, "migrate_queue");
+            ProfileScope pscope(&profiler_, "migrate_queue");
+            queue_cost = queue_.step(now);
+            if (transactions_.active()) {
+                transactions_.verifyLedger();
+            }
+        }
     }
     if (config_.khugepagedEnabled) {
         TraceScope scope(&tracer_, "khugepaged_tick");
@@ -465,7 +494,7 @@ Simulation::stepEpoch()
     if (hook_) {
         hook_(*this, now);
     }
-    const Ns overhead = policy_->takeOverhead();
+    const Ns overhead = policy_->takeOverhead() + queue_cost;
     if (recording) {
         run_.overheadTotal += overhead;
     }
@@ -589,6 +618,8 @@ Simulation::finishRun()
     }
 
     result.migration = migrator_.stats();
+    result.queue = queue_.stats();
+    result.transactions = transactions_.stats();
     result.policyName = policy_->name();
     result.policy = policy_->stats();
     if (thermostat_ != nullptr) {

@@ -26,6 +26,8 @@
 #include "common/stats.hh"
 #include "core/thermostat.hh"
 #include "fault/fault_injector.hh"
+#include "migrate/migration_queue.hh"
+#include "migrate/transaction_engine.hh"
 #include "policy/tiering_policy.hh"
 #include "obs/access_sampler.hh"
 #include "obs/event_trace.hh"
@@ -210,6 +212,13 @@ struct SimResult
 
     MigrationStats migration;
 
+    /** Migration-queue counters (all zero unless an engine opted
+     *  into queued migration: nomad, remap). */
+    MigrationQueueStats queue;
+
+    /** Transactional-migration counters (nomad only). */
+    TransactionStats transactions;
+
     /** Which policy produced this run and its generic counters. */
     std::string policyName;
     PolicyStats policy;
@@ -339,6 +348,8 @@ class Simulation
     Khugepaged &khugepaged() { return khugepaged_; }
     PageMigrator &migrator() { return migrator_; }
     MemCgroup &cgroup() { return cgroup_; }
+    MigrationQueue &migrationQueue() { return queue_; }
+    TransactionEngine &transactionEngine() { return transactions_; }
 
     /** The active tiering policy. */
     TieringPolicy &policy() { return *policy_; }
@@ -381,6 +392,7 @@ class Simulation
         Count weightedFaults = 0;
         std::uint64_t sampled = 0;
         std::uint64_t sampledSlow = 0;
+        std::uint64_t queueIssuedBytes = 0;
     };
 
     /** Snapshot the cumulative counters feeding the flight rows. */
@@ -423,6 +435,8 @@ class Simulation
     Khugepaged khugepaged_; // shard: serial-only
     PageMigrator migrator_; // shard: serial-only
     MemCgroup cgroup_;      // shard: serial-only
+    TransactionEngine transactions_; // shard: serial-only
+    MigrationQueue queue_;           // shard: serial-only
 
     /** The selected engine; thermostat_ caches the default engine's
      *  concrete type for the compatibility accessor. */

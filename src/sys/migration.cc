@@ -56,6 +56,7 @@ PageMigrator::migrate(Addr vaddr, Tier target, Ns now)
         !admission_->admit(vaddr, target, bytes, now)) {
         ++stats_.admissionDenials;
         stats_.bytesDenied += bytes;
+        result.denied = true;
         if (tracer_) {
             tracer_->record(EventKind::MigrationThrottled, now,
                             vaddr, huge, bytes);

@@ -78,6 +78,12 @@ struct MigrateResult
 {
     bool moved = false;
     Ns cost = 0;
+    /**
+     * The admission controller refused the move (distinct from a
+     * full tier: a denied request should be retried later, and the
+     * migration queue requeues it instead of dropping it).
+     */
+    bool denied = false;
 };
 
 /**

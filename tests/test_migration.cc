@@ -154,5 +154,58 @@ TEST_F(MigrationTest, MigrateUnmappedPanics)
                  "unmapped");
 }
 
+/** Admission gate that denies the first N offers, then admits. */
+class DenyFirst : public MigrationAdmission
+{
+  public:
+    explicit DenyFirst(unsigned denials) : left_(denials) {}
+
+    bool
+    admit(Addr, Tier, std::uint64_t, Ns) override
+    {
+        if (left_ > 0) {
+            --left_;
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    unsigned left_;
+};
+
+TEST_F(MigrationTest, DeniedThenRetriedBilledOnce)
+{
+    DenyFirst gate(1);
+    migrator_.setAdmission(&gate);
+
+    // First attempt: the arbiter refuses.  The page stays put, the
+    // denial is billed as denied traffic, and nothing lands in the
+    // moved-bytes meters.
+    const MigrateResult denied =
+        migrator_.migrate(heap_, Tier::Slow, 0);
+    EXPECT_FALSE(denied.moved);
+    EXPECT_TRUE(denied.denied);
+    EXPECT_EQ(denied.cost, 0u);
+    EXPECT_EQ(space_.tierOf(heap_), Tier::Fast);
+    EXPECT_EQ(migrator_.stats().admissionDenials, 1u);
+    EXPECT_EQ(migrator_.stats().bytesDenied, kPageSize2M);
+    EXPECT_EQ(migrator_.stats().bytesDemoted, 0u);
+    EXPECT_EQ(migrator_.stats().hugeDemotions, 0u);
+
+    // Retry: admitted, and the move is billed exactly once -- the
+    // earlier denial must not have left a partial charge behind.
+    const MigrateResult retried =
+        migrator_.migrate(heap_, Tier::Slow, kNsPerSec);
+    EXPECT_TRUE(retried.moved);
+    EXPECT_FALSE(retried.denied);
+    EXPECT_EQ(space_.tierOf(heap_), Tier::Slow);
+    EXPECT_EQ(migrator_.stats().admissionDenials, 1u);
+    EXPECT_EQ(migrator_.stats().bytesDenied, kPageSize2M);
+    EXPECT_EQ(migrator_.stats().bytesDemoted, kPageSize2M);
+    EXPECT_EQ(migrator_.stats().hugeDemotions, 1u);
+    EXPECT_EQ(memory_.slow().stats().migrationBytesIn, kPageSize2M);
+}
+
 } // namespace
 } // namespace thermostat

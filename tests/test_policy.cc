@@ -33,10 +33,15 @@ using test::tinySimConfig;
 TEST(PolicyFactory, RegistersTheDocumentedEngines)
 {
     const std::vector<std::string> want = {
-        "thermostat", "static", "lru-age", "hotness", "oracle"};
+        "thermostat", "static", "lru-age", "hotness",
+        "oracle",     "nomad",  "remap"};
     EXPECT_EQ(PolicyFactory::names(), want);
     for (const std::string &name : want) {
         EXPECT_TRUE(PolicyFactory::known(name)) << name;
+    }
+    for (const PolicyListing &listing : PolicyFactory::listings()) {
+        EXPECT_TRUE(PolicyFactory::known(listing.name));
+        EXPECT_FALSE(listing.description.empty()) << listing.name;
     }
 }
 

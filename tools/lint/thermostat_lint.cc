@@ -113,7 +113,9 @@ const std::vector<RuleInfo> kRules = {
      {{"src/sim/machine.hh", "src/sim/simulation.hh",
        "src/tlb/tlb.hh", "src/cache/llc.hh",
        "src/sys/badger_trap.hh", "src/obs/access_sampler.hh",
-       "src/vm/page_table.hh", "src/vm/page_walker.hh"},
+       "src/vm/page_table.hh", "src/vm/page_walker.hh",
+       "src/migrate/migration_queue.hh",
+       "src/migrate/transaction_engine.hh"},
       {}}},
 };
 

@@ -25,6 +25,7 @@
  * .csv); --profile-out writes the host-time phase profile tree.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -59,6 +60,8 @@ usage(const char *argv0)
         "                     see --list-policies)\n"
         "  --cold-fraction F  slow-memory share for the comparison\n"
         "                     engines (default 0.5)\n"
+        "  --policy-param K=V tune an engine knob (repeatable; see\n"
+        "                     --policy-param help for the keys)\n"
         "  --list-policies    print registered policies and exit\n"
         "  --list-workloads   print known workloads and exit\n"
         "  --target PCT       tolerable slowdown %% (default 3)\n"
@@ -131,6 +134,51 @@ printList(const std::vector<std::string> &names)
     }
 }
 
+/** --list-policies: name plus its registry one-liner. */
+void
+printPolicyListings()
+{
+    std::size_t width = 0;
+    for (const PolicyListing &l : PolicyFactory::listings()) {
+        width = std::max(width, l.name.size());
+    }
+    for (const PolicyListing &l : PolicyFactory::listings()) {
+        std::printf("%-*s  %s\n", static_cast<int>(width),
+                    l.name.c_str(), l.description.c_str());
+    }
+}
+
+/**
+ * --policy-param KEY=VALUE.  Unknown keys and out-of-range values
+ * are rejected with the same listing-style diagnostic the unknown
+ * --policy path uses, so typos fail loudly instead of silently
+ * running the defaults.
+ */
+[[noreturn]] void
+badPolicyParam(const std::string &spec, const std::string &error)
+{
+    std::fprintf(stderr, "bad --policy-param '%s': %s; known keys:\n",
+                 spec.c_str(), error.c_str());
+    for (const PolicyParamKey &key : policyParamKeys()) {
+        std::fprintf(stderr, "  %-24s %s\n", key.key, key.help);
+    }
+    std::exit(2);
+}
+
+void
+applyPolicyParam(PolicyParams &params, const std::string &spec)
+{
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0) {
+        badPolicyParam(spec, "expected KEY=VALUE");
+    }
+    std::string error;
+    if (!setPolicyParam(params, spec.substr(0, eq),
+                        spec.substr(eq + 1), &error)) {
+        badPolicyParam(spec, error);
+    }
+}
+
 /** All workload names the CLI accepts, in listing order. */
 std::vector<std::string>
 cliWorkloadNames()
@@ -187,8 +235,11 @@ main(int argc, char **argv)
         } else if (!std::strcmp(arg, "--cold-fraction")) {
             config.policyParams.coldFraction =
                 std::atof(nextArg(argc, argv, i));
+        } else if (!std::strcmp(arg, "--policy-param")) {
+            applyPolicyParam(config.policyParams,
+                             nextArg(argc, argv, i));
         } else if (!std::strcmp(arg, "--list-policies")) {
-            printList(PolicyFactory::names());
+            printPolicyListings();
             return 0;
         } else if (!std::strcmp(arg, "--list-workloads")) {
             printList(cliWorkloadNames());
