@@ -131,23 +131,25 @@ class LastLevelCache
 
     void recordFrameMiss(Addr paddr);
 
-    LlcConfig config_;
-    unsigned setCount_;
+    LlcConfig config_; // shard: read-only
+    unsigned setCount_; // shard: read-only
+    // shard: read-only
     std::uint64_t setMask_; //!< setCount_ - 1 when a power of two
-    bool setsPow2_;
-    bool linePow2_;
-    unsigned lineShift_;
+    bool setsPow2_; // shard: read-only
+    bool linePow2_; // shard: read-only
+    unsigned lineShift_; // shard: read-only
 
     /**
      * Per-set storage block: `ways` packed tags followed by `ways`
      * LRU clocks, contiguous so one miss streams a single 2*ways
      * stretch of memory instead of striding two arrays.
      */
-    std::vector<std::uint64_t> setData_;
+    std::vector<std::uint64_t> setData_; // shard: lane-local
+    // shard: lane-local
     std::vector<std::uint32_t> mruWay_; //!< per-set hit-way hint
-    std::uint64_t useClock_ = 0;
-    LlcStats stats_;
-    FlatMap<Pfn, Count> frameMisses_;
+    std::uint64_t useClock_ = 0; // shard: lane-local
+    LlcStats stats_; // shard: lane-local
+    FlatMap<Pfn, Count> frameMisses_; // shard: lane-local
 };
 
 /**
@@ -213,6 +215,7 @@ class LlcShards
     static LlcConfig sliceConfig(const LlcConfig &config);
 
   private:
+    // shard: read-only
     LlcConfig config_;     //!< aggregate geometry
     LlcConfig laneConfig_; //!< per-lane slice geometry
     std::vector<LastLevelCache> lanes_; //!< kMachineLanes slices

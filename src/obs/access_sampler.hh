@@ -203,9 +203,9 @@ class AccessSampler
     /** Draw @p lane's next geometric inter-sample gap (>= 1). */
     std::uint64_t nextGap(LaneState &lane);
 
-    AccessSamplerConfig config_;
+    AccessSamplerConfig config_; // shard: read-only
     std::array<LaneState, kMachineLanes> lanes_;
-    SampleHook hook_;
+    SampleHook hook_; // shard: serial-only
 };
 
 } // namespace thermostat

@@ -15,6 +15,7 @@ ThermostatPolicy::ThermostatPolicy(const PolicyContext &ctx)
       // The seed derivation must stay in lockstep with the
       // pre-policy driver: goldens pin the byte-identical output.
       engine_(ctx.cgroup, ctx.space, ctx.trap, ctx.kstaled,
+              // rng: thermostat sampling-engine stream
               ctx.migrator, Rng(ctx.seed ^ 0x7e47a11ULL))
 {
 }

@@ -10,6 +10,7 @@
 namespace thermostat
 {
 
+// shard: serial-only -- construction precedes any lane fan-out.
 Machine::Machine(const MachineConfig &config)
     : config_(config),
       memory_(config.fastTier, config.slowTier),
@@ -226,6 +227,8 @@ Machine::syncDeviceState()
     }
 }
 
+// shard: merge-barrier -- callers read stats between epochs, after
+// syncDeviceState() has drained every lane's pending deltas.
 MachineStats
 Machine::stats() const
 {
@@ -242,6 +245,7 @@ Machine::stats() const
     return total;
 }
 
+// shard: merge-barrier -- same contract as stats().
 WalkerStats
 Machine::walkerStats() const
 {
@@ -256,6 +260,8 @@ Machine::walkerStats() const
     return total;
 }
 
+// shard: merge-barrier -- drains the per-lane windows serially
+// between epochs.
 Count
 Machine::takeSlowAccessCount()
 {
@@ -267,6 +273,8 @@ Machine::takeSlowAccessCount()
     return out;
 }
 
+// shard: serial-only -- registration happens once at setup; the
+// callbacks themselves fire from the serial reporting phase.
 void
 Machine::registerMetrics(MetricRegistry &registry,
                          const std::string &prefix) const

@@ -47,6 +47,7 @@ flightColumns()
 
 } // namespace
 
+// shard: serial-only -- construction precedes any lane fan-out.
 Simulation::Simulation(std::unique_ptr<Workload> workload,
                        const SimConfig &config,
                        ThreadPool *shared_pool)
@@ -55,6 +56,7 @@ Simulation::Simulation(std::unique_ptr<Workload> workload,
       faults_(config.faultPlan.enabled()
                   ? std::make_unique<FaultInjector>(
                         config.faultPlan,
+                        // rng: fault-injector stream
                         config.seed ^ 0xfa017ab1eULL)
                   : nullptr),
       machine_(config.machine),
@@ -68,7 +70,7 @@ Simulation::Simulation(std::unique_ptr<Workload> workload,
               config.policyParams.queueServiceBytes,
               config.policyParams.queueBusyThreshold}),
       rng_(config.seed),
-      profileRng_(config.seed ^ 0x5aadddULL),
+      profileRng_(config.seed ^ 0x5aadddULL), // rng: profiler
       shards_(resolveShards(config)),
       ownedPool_(shards_ > 1 && shared_pool == nullptr
                      ? std::make_unique<ThreadPool>(shards_)
@@ -168,6 +170,8 @@ Simulation::engine()
     return thermostat_->engine();
 }
 
+// shard: merge-barrier -- runs between epochs, after the lane
+// fan-out has joined and syncDeviceState() has drained the lanes.
 Simulation::EpochBase
 Simulation::epochBase()
 {
@@ -189,6 +193,7 @@ Simulation::epochBase()
     return base;
 }
 
+// shard: merge-barrier -- same contract as epochBase().
 void
 Simulation::recordEpoch(Ns at, const EpochBase &base, Ns actual,
                         Ns baseline, Ns work, Ns overhead,
@@ -376,6 +381,7 @@ Simulation::runProfileStream(std::uint64_t profile_samples,
     });
 }
 
+// shard: merge-barrier -- same contract as epochBase().
 void
 Simulation::recordFootprint(SimResult &result, Ns now)
 {
@@ -558,6 +564,7 @@ Simulation::stepEpoch()
     return report;
 }
 
+// shard: serial-only -- the run has ended; no lanes are in flight.
 SimResult
 Simulation::finishRun()
 {

@@ -145,11 +145,12 @@ class BadgerTrap
         PageCounterShard counts;
     };
 
-    AddressSpace &space_;
-    TlbShards &tlb_;
-    BadgerTrapConfig config_;
+    AddressSpace &space_; // shard: read-only
+    TlbShards &tlb_; // shard: read-only
+    BadgerTrapConfig config_; // shard: read-only
+    // shard: serial-only
     BadgerTrapStats controlStats_; //!< serial-phase counters only
-    EventTracer *tracer_ = nullptr;
+    EventTracer *tracer_ = nullptr; // shard: serial-only
     std::array<LaneState, kMachineLanes> lanes_;
 };
 

@@ -118,13 +118,15 @@ class Tlb
     /** Full two-granularity probe (useClock_ already advanced). */
     std::optional<TlbEntry> lookupProbe(Addr vaddr);
 
-    TlbConfig config_;
-    unsigned setCount_;
+    TlbConfig config_; // shard: read-only
+    unsigned setCount_; // shard: read-only
+    // shard: read-only
     std::uint64_t setMask_; //!< setCount_ - 1 when a power of two
-    bool setsPow2_;
+    bool setsPow2_; // shard: read-only
+    // shard: lane-local
     std::vector<TlbEntry> entries_; //!< setCount_ x ways, row-major
-    std::uint64_t useClock_ = 0;
-    TlbStats stats_;
+    std::uint64_t useClock_ = 0; // shard: lane-local
+    TlbStats stats_; // shard: lane-local
 
     /**
      * Valid entries per size class ([0]=4KB, [1]=2MB), so a probe
@@ -141,8 +143,8 @@ class Tlb
      * exact (the 4KB probe that would normally take priority cannot
      * have gained an entry while the cache is live).
      */
-    Vpn lastPage_ = 0;
-    TlbEntry *lastEntry_ = nullptr;
+    Vpn lastPage_ = 0; // shard: lane-local
+    TlbEntry *lastEntry_ = nullptr; // shard: lane-local
 };
 
 /**
@@ -178,8 +180,8 @@ class TlbHierarchy
                          const std::string &prefix) const;
 
   private:
-    Tlb l1_;
-    Tlb l2_;
+    Tlb l1_; // shard: lane-local
+    Tlb l2_; // shard: lane-local
 };
 
 /**
@@ -261,8 +263,9 @@ class TlbShards
     static TlbConfig sliceConfig(const TlbConfig &config);
 
   private:
+    // shard: read-only
     TlbConfig l1Config_; //!< per-lane slice geometry
-    TlbConfig l2Config_;
+    TlbConfig l2Config_; // shard: read-only
     std::vector<TlbHierarchy> lanes_; //!< kMachineLanes slices
 };
 

@@ -168,10 +168,10 @@ class PageTable
     /** Any structural change invalidates the walk cache wholesale. */
     void invalidateWalkCache() { ++walkGen_; }
 
-    std::unique_ptr<Node> root_;
-    std::uint64_t hugeLeaves_ = 0;
-    std::uint64_t baseLeaves_ = 0;
-    std::uint64_t nodes_ = 0;
+    std::unique_ptr<Node> root_; // shard: read-only
+    std::uint64_t hugeLeaves_ = 0; // shard: read-only
+    std::uint64_t baseLeaves_ = 0; // shard: read-only
+    std::uint64_t nodes_ = 0; // shard: read-only
 
     /**
      * Direct-mapped cache of resolved PD-level state per 2MB region:
@@ -180,8 +180,8 @@ class PageTable
      * every map/unmap/split/collapse bumps the generation, so walk()
      * never observes stale structure.
      */
-    std::unique_ptr<WalkCacheEntry[]> walkCache_;
-    std::uint64_t walkGen_ = 1;
+    std::unique_ptr<WalkCacheEntry[]> walkCache_; // shard: read-only
+    std::uint64_t walkGen_ = 1; // shard: read-only
 };
 
 inline WalkResult

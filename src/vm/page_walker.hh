@@ -106,8 +106,8 @@ class PageWalker
                          const std::string &prefix) const;
 
   private:
-    WalkerConfig config_;
-    WalkerStats stats_;
+    WalkerConfig config_; // shard: read-only
+    WalkerStats stats_; // shard: lane-local
     Ns latency_[2]; //!< [huge] walk latency, fixed at construction
     unsigned accesses_[2]; //!< [huge] accesses per walk
 };

@@ -1,0 +1,7 @@
+// Fixture: subsystem-layering must fire -- mem/ reaching up into
+// policy/ inverts the DAG (policy depends on mem, never the other
+// way around).
+
+#include "policy/tiering_policy.hh"
+
+int fixture_layering = 0;

@@ -1,0 +1,14 @@
+// Fixture: rng-stream-discipline duplicate-salt check, half A.
+// Both halves document their stream with a '// rng:' marker, so the
+// only finding is the cross-TU salt collision with rng_salt_b.cc.
+
+struct Rng
+{
+    explicit Rng(unsigned long) {}
+};
+
+Rng
+streamA(unsigned long seed)
+{
+    return Rng(seed ^ 0xabc123ULL); // rng: fixture stream A
+}

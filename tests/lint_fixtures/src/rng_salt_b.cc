@@ -1,0 +1,13 @@
+// Fixture: rng-stream-discipline duplicate-salt check, half B.
+// See rng_salt_a.cc -- same salt value, distinct site.
+
+struct Rng
+{
+    explicit Rng(unsigned long) {}
+};
+
+Rng
+streamB(unsigned long seed)
+{
+    return Rng(seed ^ 0xabc123ULL); // rng: fixture stream B
+}

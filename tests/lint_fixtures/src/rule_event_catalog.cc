@@ -1,0 +1,19 @@
+// Fixture: metric-schema must fire -- EventKind::RogueEvent is not
+// a row in the fixture DESIGN.md event catalog (with no EventKind
+// enum definition in the scanned set, the rule audits use sites).
+
+enum class EventKind
+{
+};
+
+template <typename T>
+void
+emit(T)
+{
+}
+
+void
+trace()
+{
+    emit(EventKind::RogueEvent);
+}

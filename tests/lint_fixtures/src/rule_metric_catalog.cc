@@ -1,0 +1,13 @@
+// Fixture: metric-schema must fire -- "rogue/metric" is an absolute
+// name with no root in the fixture DESIGN.md metric catalog.
+
+struct Registry
+{
+    template <typename F> void addCallback(const char *, F) {}
+};
+
+void
+registerRogue(Registry &registry)
+{
+    registry.addCallback("rogue/metric", [] { return 0.0; });
+}

@@ -1,0 +1,14 @@
+// Fixture: metric-schema duplicate-registration check, half A.  The
+// name is in the fixture catalog, so the only finding is the
+// duplicate absolute registration (see rule_metric_schema_b.cc).
+
+struct Registry
+{
+    template <typename F> void addCallback(const char *, F) {}
+};
+
+void
+registerA(Registry &registry)
+{
+    registry.addCallback("flight/rows", [] { return 0.0; });
+}

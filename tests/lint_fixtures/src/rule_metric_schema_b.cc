@@ -1,0 +1,13 @@
+// Fixture: metric-schema duplicate-registration check, half B.
+// See rule_metric_schema_a.cc.
+
+struct Registry
+{
+    template <typename F> void addCallback(const char *, F) {}
+};
+
+void
+registerB(Registry &registry)
+{
+    registry.addCallback("flight/rows", [] { return 1.0; });
+}

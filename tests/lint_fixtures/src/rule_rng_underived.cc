@@ -1,0 +1,15 @@
+// Fixture: rng-stream-discipline must fire -- a stream built from a
+// bare constant is not derived from the run seed and carries no
+// '// rng:' marker.
+
+struct Rng
+{
+    explicit Rng(unsigned long) {}
+};
+
+void
+makeStream()
+{
+    Rng stray(12345);
+    (void)stray;
+}

@@ -1,0 +1,47 @@
+// Fixture: merge-barrier-escape.  badTotal() reads the lane-held
+// vector from a non-lane method with no syncDeviceState() route and
+// no '// shard:' classification -- the one expected finding.  The
+// other three methods each demonstrate an accepted escape: a
+// lane-scoped reader, a merge-barrier routed through
+// syncDeviceState(), and a '// shard:'-blessed serial reader.
+
+#include <vector>
+
+struct FakeMachine
+{
+    unsigned long badTotal() const;
+    unsigned long laneValue(unsigned lane) const;
+    void syncDeviceState();
+    unsigned long blessedTotal() const;
+
+    std::vector<unsigned long> lanes_;
+};
+
+unsigned long
+FakeMachine::badTotal() const
+{
+    unsigned long sum = 0;
+    for (unsigned long v : lanes_) {
+        sum += v;
+    }
+    return sum;
+}
+
+unsigned long
+FakeMachine::laneValue(unsigned lane) const
+{
+    return lanes_[lane];
+}
+
+void
+FakeMachine::syncDeviceState()
+{
+    lanes_.clear();
+}
+
+// shard: serial-only -- fixture stand-in for a between-epoch reader.
+unsigned long
+FakeMachine::blessedTotal() const
+{
+    return lanes_.empty() ? 0 : lanes_.front();
+}

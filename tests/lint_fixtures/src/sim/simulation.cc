@@ -1,0 +1,35 @@
+// Fixture: merge-barrier-escape stays quiet on a file whose every
+// lane-held access is lane-scoped (laneOf dispatch) or routed
+// through syncDeviceState().
+
+#include <cstddef>
+#include <vector>
+
+struct FakeSim
+{
+    void access(unsigned long addr);
+    void syncDeviceState();
+    unsigned laneOf(unsigned long addr) const;
+
+    std::vector<unsigned long> laneHits_;
+};
+
+unsigned
+FakeSim::laneOf(unsigned long addr) const
+{
+    return static_cast<unsigned>(addr % laneHits_.size());
+}
+
+void
+FakeSim::access(unsigned long addr)
+{
+    laneHits_[laneOf(addr)] += 1;
+}
+
+void
+FakeSim::syncDeviceState()
+{
+    for (std::size_t i = 0; i < laneHits_.size(); ++i) {
+        laneHits_[i] = 0;
+    }
+}

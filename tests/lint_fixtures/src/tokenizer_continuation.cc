@@ -1,0 +1,10 @@
+// Fixture: backslash line-continuations.  The comment below splices
+// onto its next physical line, so the banned construct it mentions \
+   std::random_device still_commented_out;
+// stays commented out; the spliced string literal keeps its body
+// out of the code view too.  This file is clean.
+
+const char *kSpliced = "rand() and \
+strcpy() live in a string literal";
+
+int fixture_continuation = 0;

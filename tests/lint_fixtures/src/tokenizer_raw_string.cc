@@ -1,0 +1,16 @@
+// Fixture: the tokenizer must not let rules match inside raw string
+// literals -- this file is clean even though the literal bodies
+// below spell out several banned constructs.
+
+const char *kRawDoc = R"(
+    std::random_device entropy;
+    rand();
+    strcpy(dst, src);
+)";
+
+const char *kDelimited = R"doc(
+    std::thread worker;
+    time(nullptr);
+)doc";
+
+int fixture_raw_string = 0;

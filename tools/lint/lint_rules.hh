@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Rule registry, findings, and the two-tier suppression machinery
+ * (inline `lint:allow(<rule>)` markers and the content-keyed
+ * baseline) shared by the per-file scanner and the project passes.
+ *
+ * Keep rule ids stable: they are referenced by the suppression
+ * baseline, inline markers, tests/lint_fixtures, DESIGN.md section 7
+ * and the SARIF rule metadata CI uploads.
+ */
+
+#ifndef THERMOSTAT_LINT_RULES_HH
+#define THERMOSTAT_LINT_RULES_HH
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace thermostat
+{
+namespace lint
+{
+
+/** Path scoping: a rule applies when rel matches a prefix in
+ * `include` (empty = everywhere) and no prefix in `exclude`. */
+struct RuleScope
+{
+    std::vector<std::string> include;
+    std::vector<std::string> exclude;
+};
+
+struct RuleInfo
+{
+    const char *id;
+    const char *summary;
+    RuleScope scope;
+};
+
+/** The full rule catalog (also what --list-rules prints). */
+const std::vector<RuleInfo> &rules();
+
+const RuleInfo *findRule(const std::string &id);
+
+bool ruleApplies(const RuleInfo &rule, const std::string &rel);
+
+struct Finding
+{
+    std::string file; //!< root-relative path
+    std::size_t line = 0;
+    std::string rule;
+    std::string message;
+    std::string snippet; //!< trimmed raw source line
+};
+
+/** Stable ordering for report output: file, line, rule. */
+bool findingLess(const Finding &a, const Finding &b);
+
+/** Baseline entry key: rule|path|trimmed-line-content.  Content
+ * (not line number) keys the entry so unrelated edits don't churn
+ * it. */
+std::string baselineKey(const std::string &rule,
+                        const std::string &file,
+                        const std::string &snippet);
+
+struct Baseline
+{
+    /** entry key -> 1-based line in the baseline file. */
+    std::map<std::string, std::size_t> entries;
+    std::set<std::string> used;
+};
+
+bool loadBaseline(const std::string &path, Baseline *out);
+
+} // namespace lint
+} // namespace thermostat
+
+#endif // THERMOSTAT_LINT_RULES_HH

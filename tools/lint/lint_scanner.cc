@@ -1,0 +1,860 @@
+#include "lint_scanner.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <regex>
+#include <sstream>
+
+#include "lint_source.hh"
+
+namespace thermostat
+{
+namespace lint
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// Suppression-context helpers
+// ---------------------------------------------------------------------------
+
+/** Rules named by `lint:allow(<rule>)` on line @p index or the line
+ * immediately above it (the marker's two documented placements). */
+std::set<std::string>
+allowsAt(const std::vector<LineView> &lines, std::size_t index)
+{
+    static const std::regex kAllow(R"(lint:allow\(([a-z0-9-]+)\))");
+    std::set<std::string> out;
+    for (std::size_t i = index == 0 ? index : index - 1;
+         i <= index && i < lines.size(); ++i) {
+        auto begin = std::sregex_iterator(lines[i].raw.begin(),
+                                          lines[i].raw.end(), kAllow);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            out.insert((*it)[1]);
+        }
+    }
+    return out;
+}
+
+bool
+markedAt(const std::vector<LineView> &lines, std::size_t index,
+         const char *marker)
+{
+    if (lines[index].raw.find(marker) != std::string::npos) {
+        return true;
+    }
+    return index > 0 &&
+           lines[index - 1].raw.find(marker) != std::string::npos;
+}
+
+FactSite
+siteAt(const std::vector<LineView> &lines, std::size_t index)
+{
+    FactSite site;
+    site.line = index + 1;
+    site.snippet = trim(lines[index].raw);
+    site.allows = allowsAt(lines, index);
+    site.shardMarked = markedAt(lines, index, "// shard:");
+    site.rngMarked = markedAt(lines, index, "// rng:");
+    return site;
+}
+
+// ---------------------------------------------------------------------------
+// Line rules (the original scanner's rule set)
+// ---------------------------------------------------------------------------
+
+const std::set<std::string> kTraceCategories = {
+    "all",     "none",    "sample", "poison", "classify",
+    "migrate", "correct", "phase",  "fault",  "policy"};
+
+bool
+validMetricLiteral(const std::string &lit)
+{
+    // Leading '.' is the "suffix appended to a prefix" form
+    // (registry.addCallback(prefix + ".ticks", ...)).
+    static const std::regex re(
+        R"(^\.?[a-z0-9_]+([./][a-z0-9_]+)*$)");
+    return std::regex_match(lit, re);
+}
+
+bool
+validTraceCategoryList(const std::string &lit)
+{
+    std::size_t start = 0;
+    while (start <= lit.size()) {
+        std::size_t end = lit.find(',', start);
+        if (end == std::string::npos) {
+            end = lit.size();
+        }
+        const std::string token = lit.substr(start, end - start);
+        if (!token.empty() &&
+            kTraceCategories.find(token) == kTraceCategories.end()) {
+            return false;
+        }
+        if (end == lit.size()) {
+            break;
+        }
+        start = end + 1;
+    }
+    return true;
+}
+
+/**
+ * mutable-global helper: true when the statement starting at line
+ * @p index with a bare `static` keyword declares a variable rather
+ * than a function.  A declarator whose first `(`/`=`/`;` terminator
+ * is `(` is a function (or ctor-style init, which this tree does not
+ * use for statics).  The repo's gem5-style declarations break the
+ * line after the return type, so continuation lines are joined until
+ * a terminator appears.
+ */
+bool
+staticDeclaresVariable(const std::vector<LineView> &lines,
+                       std::size_t index)
+{
+    std::string code = lines[index].code;
+    for (std::size_t next = index + 1;
+         next < lines.size() && next < index + 4 &&
+         code.find_first_of("=;({") == std::string::npos;
+         ++next) {
+        code += " " + lines[next].code;
+    }
+    const std::size_t paren = code.find('(');
+    const std::size_t assign = code.find('=');
+    const std::size_t semi = code.find(';');
+    const std::size_t first_end = std::min(assign, semi);
+    if (paren != std::string::npos && paren < first_end) {
+        return false; // function declaration/definition
+    }
+    return true;
+}
+
+/** Exact-path membership in a rule's include list (the sharded-set
+ * and merge-barrier scopes list whole files, not prefixes). */
+bool
+inScopeList(const char *rule_id, const std::string &rel)
+{
+    const RuleInfo *rule = findRule(rule_id);
+    return rule && ruleApplies(*rule, rel);
+}
+
+void
+scanLine(const std::string &rel, const std::vector<LineView> &lines,
+         std::size_t index, FileFacts *facts)
+{
+    const LineView &line = lines[index];
+    const std::size_t lineno = index + 1;
+    struct Pattern
+    {
+        const char *rule;
+        std::regex re;
+        const char *what;
+    };
+    // Compiled once; matched against the code view only, so
+    // comments and literal bodies can't trigger them.
+    static const std::vector<Pattern> kPatterns = [] {
+        std::vector<Pattern> p;
+        p.push_back({"ban-random-device",
+                     std::regex(R"(\bstd\s*::\s*random_device\b)"),
+                     "std::random_device"});
+        p.push_back({"ban-c-random",
+                     std::regex(R"(\b(rand|srand|random|srandom|drand48|lrand48)\s*\()"),
+                     "C random API"});
+        p.push_back({"ban-wall-clock",
+                     std::regex(R"(\b(system_clock|steady_clock|high_resolution_clock)\b)"),
+                     "std::chrono wall clock"});
+        p.push_back({"ban-wall-clock",
+                     std::regex(R"(\btime\s*\(\s*(nullptr|NULL|0)\s*\))"),
+                     "time()"});
+        p.push_back({"ban-wall-clock",
+                     std::regex(R"(\b(gettimeofday|clock_gettime)\s*\()"),
+                     "POSIX wall clock"});
+        p.push_back({"ban-naked-thread",
+                     std::regex(R"(\bstd\s*::\s*(thread|jthread|async)\b)"),
+                     "raw thread primitive"});
+        p.push_back({"ban-naked-thread",
+                     std::regex(R"(\bpthread_create\s*\()"),
+                     "pthread_create"});
+        p.push_back({"unsafe-c-api",
+                     std::regex(R"(\b(strcpy|strcat|sprintf|vsprintf|gets|strtok)\s*\()"),
+                     "unbounded C string API"});
+        p.push_back({"hot-path-unordered-map",
+                     std::regex(R"(\bstd\s*::\s*unordered_map\s*<)"),
+                     "std::unordered_map"});
+        return p;
+    }();
+
+    auto add = [&](const char *rule, const std::string &message) {
+        const RuleInfo *info = findRule(rule);
+        if (!info || !ruleApplies(*info, rel)) {
+            return;
+        }
+        if (allowsAt(lines, index).count(rule)) {
+            return;
+        }
+        facts->lineFindings.push_back(
+            {rel, lineno, rule, message, trim(line.raw)});
+    };
+
+    for (const Pattern &p : kPatterns) {
+        if (std::regex_search(line.code, p.re)) {
+            const RuleInfo *info = findRule(p.rule);
+            add(p.rule, std::string(p.what) + ": " +
+                            (info ? info->summary : ""));
+        }
+    }
+
+    // mutable-global: `static` locals/members that are not
+    // const/constexpr, plus namespace-scope g_* definitions.
+    static const std::regex kStatic(R"(^\s*static\s+)");
+    static const std::regex kStaticConst(
+        R"(^\s*static\s+(const|constexpr|thread_local\s+const)\b)");
+    if (std::regex_search(line.code, kStatic) &&
+        !std::regex_search(line.code, kStaticConst) &&
+        staticDeclaresVariable(lines, index)) {
+        add("mutable-global",
+            "mutable static: " +
+                std::string(findRule("mutable-global")->summary));
+    }
+    static const std::regex kGlobal(
+        R"(^\s*[A-Za-z_][\w:<>,\s*&]*[\s*&]g_\w+\s*(=|;))");
+    static const std::regex kConstGlobal(R"(\b(const|constexpr)\b)");
+    if (std::regex_search(line.code, kGlobal) &&
+        !std::regex_search(line.code, kConstGlobal)) {
+        add("mutable-global",
+            "mutable g_* global: " +
+                std::string(findRule("mutable-global")->summary));
+    }
+
+    // metric-name-style: literals at registration call sites.
+    const bool metricSite =
+        line.code.find(".counter(") != std::string::npos ||
+        line.code.find(".gauge(") != std::string::npos ||
+        line.code.find(".histogram(") != std::string::npos ||
+        line.code.find("addCallback(") != std::string::npos;
+    if (metricSite) {
+        for (const std::string &lit : line.literals) {
+            if (!validMetricLiteral(lit)) {
+                add("metric-name-style",
+                    "metric name \"" + lit + "\" is not lowercase "
+                    "dot/slash-separated (component/name.leaf)");
+            } else {
+                MetricFact m;
+                m.at = siteAt(lines, index);
+                m.literal = lit;
+                facts->metrics.push_back(std::move(m));
+            }
+        }
+    }
+    if (line.code.find("registerMetrics(") != std::string::npos) {
+        for (const std::string &lit : line.literals) {
+            if (validMetricLiteral(lit) && lit[0] != '.') {
+                MetricFact m;
+                m.at = siteAt(lines, index);
+                m.literal = lit;
+                m.prefixArg = true;
+                facts->metrics.push_back(std::move(m));
+            }
+        }
+    }
+
+    // trace-category: literal masks must use registered categories.
+    if (line.code.find("parseEventMask(") != std::string::npos) {
+        for (const std::string &lit : line.literals) {
+            if (!validTraceCategoryList(lit)) {
+                add("trace-category",
+                    "\"" + lit + "\" contains a category outside "
+                    "the registered set (see obs/event_trace.hh)");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fact extraction for the project passes
+// ---------------------------------------------------------------------------
+
+/** Member declaration in a sharded header: fills facts->members and
+ * fires shard-unsynced-state when the member is unclassified. */
+void
+scanShardMember(const std::string &rel,
+                const std::vector<LineView> &lines, std::size_t index,
+                FileFacts *facts)
+{
+    const LineView &line = lines[index];
+    static const std::regex kMemberDecl(
+        R"(^\s*[A-Za-z_][\w:<>,*&\s\[\]]*[\s*&](\w+_)\s*[;={])");
+    static const std::regex kDeclExcluded(
+        R"(^\s*(return|delete|throw|using|typedef|friend|template|)"
+        R"(case|goto|if|while|for|else|public|private|protected|)"
+        R"(const|constexpr|static\s+const|static\s+constexpr)\b)");
+    std::smatch m;
+    if (!std::regex_search(line.code, m, kMemberDecl) ||
+        std::regex_search(line.code, kDeclExcluded)) {
+        return;
+    }
+    MemberFact member;
+    member.at = siteAt(lines, index);
+    member.name = m[1];
+    member.guarded =
+        line.code.find("TSTAT_GUARDED_BY") != std::string::npos;
+    static const std::regex kRngType(R"(^\s*Rng[\s&])");
+    member.rngTyped = std::regex_search(line.code, kRngType);
+    std::string lowered = member.name;
+    std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    member.laneNamed = lowered.find("lane") != std::string::npos;
+    for (std::size_t i = index == 0 ? index : index - 1;
+         i <= index; ++i) {
+        const std::size_t at = lines[i].raw.find("// shard:");
+        if (at != std::string::npos) {
+            member.classification =
+                trim(lines[i].raw.substr(at + 9));
+        }
+    }
+
+    if (!member.guarded && !member.laneNamed &&
+        member.classification.empty() &&
+        !member.at.allows.count("shard-unsynced-state")) {
+        facts->lineFindings.push_back(
+            {rel, member.at.line, "shard-unsynced-state",
+             "member '" + member.name + "' is unclassified: " +
+                 std::string(findRule("shard-unsynced-state")->summary),
+             member.at.snippet});
+    }
+    facts->members.push_back(std::move(member));
+}
+
+void
+scanRng(const std::vector<LineView> &lines, std::size_t index,
+        FileFacts *facts)
+{
+    const LineView &line = lines[index];
+    // Stream constructions: `Rng name(args)`, `Rng(args)` temporaries
+    // and `fooRng_(args)` / `rng_(args)` member initializers.
+    static const std::regex kCtor(
+        R"((?:\bRng\s+\w+\s*|\bRng\s*|\b\w*[Rr]ng_\s*)\(([^;{]*))");
+    static const std::regex kAssign(R"(\bRng\s+\w+\s*=\s*(.*))");
+    // Seed-salt derivation: `...seed... ^ 0x<literal>`.
+    static const std::regex kSalt(
+        R"([Ss]eed\w*(\(\))?\s*\^\s*0[xX]([0-9a-fA-F']+))");
+
+    // Parameter lists (constructor/function *declarations*) start
+    // with a type; real constructions pass values.
+    static const std::regex kParamList(
+        R"(^\s*(unsigned|signed|int|long|short|char|bool|float|)"
+        R"(double|const|std\s*::|uint|Seed)\b)");
+
+    std::smatch m;
+    bool construction = false;
+    std::string args;
+    if (std::regex_search(line.code, m, kCtor)) {
+        construction = true;
+        args = m[1];
+    } else if (std::regex_search(line.code, m, kAssign)) {
+        construction = true;
+        args = m[1];
+    }
+    if (construction &&
+        (trim(args).empty() ||
+         std::regex_search(args, kParamList) ||
+         line.code.find("explicit") != std::string::npos)) {
+        construction = false;
+    }
+    std::smatch saltMatch;
+    const bool hasSalt =
+        std::regex_search(line.code, saltMatch, kSalt);
+    if (!construction && !hasSalt) {
+        return;
+    }
+    RngFact fact;
+    fact.at = siteAt(lines, index);
+    fact.construction = construction;
+    fact.args = trim(args);
+    if (hasSalt) {
+        std::string digits = saltMatch[2];
+        digits.erase(std::remove(digits.begin(), digits.end(), '\''),
+                     digits.end());
+        fact.hasSalt = true;
+        fact.salt = std::strtoull(digits.c_str(), nullptr, 16);
+    }
+    facts->rngs.push_back(std::move(fact));
+}
+
+/** Method spans + member-token references for the merge-barrier
+ * scoped implementation files (gem5 style: definitions start at
+ * column 0, the body's braces are column 0 too). */
+void
+scanMethods(const std::vector<LineView> &lines, FileFacts *facts)
+{
+    static const std::regex kDefStart(
+        R"(^([A-Za-z_][\w:<>~]*)\()");
+    static const std::regex kToken(R"(([A-Za-z_]\w*_)\b)");
+
+    std::size_t i = 0;
+    while (i < lines.size()) {
+        std::smatch m;
+        if (!std::regex_search(lines[i].code, m, kDefStart)) {
+            ++i;
+            continue;
+        }
+        MethodFact method;
+        const std::string qualified = m[1];
+        const std::size_t sep = qualified.rfind("::");
+        method.name = sep == std::string::npos
+                          ? qualified
+                          : qualified.substr(sep + 2);
+        method.sigLine = i + 1;
+        for (std::size_t b = i >= 3 ? i - 3 : 0; b <= i; ++b) {
+            if (lines[b].raw.find("// shard:") != std::string::npos) {
+                method.blessed = true;
+            }
+        }
+
+        // Signature: until the parameter parens balance out.
+        int parens = 0;
+        std::size_t j = i;
+        std::string signature;
+        for (; j < lines.size(); ++j) {
+            signature += lines[j].code;
+            for (const char c : lines[j].code) {
+                parens += c == '(' ? 1 : c == ')' ? -1 : 0;
+            }
+            if (parens <= 0) {
+                break;
+            }
+        }
+        std::string sigLower = signature;
+        std::transform(sigLower.begin(), sigLower.end(),
+                       sigLower.begin(), [](unsigned char c) {
+                           return std::tolower(c);
+                       });
+        method.laneScoped =
+            sigLower.find("lane") != std::string::npos;
+        method.synced =
+            signature.find("syncDeviceState") != std::string::npos;
+
+        // Body (plus any ctor initializer list): from the signature
+        // end to the column-0 closing brace.
+        int depth = 0;
+        bool opened = false;
+        std::size_t k = j + 1;
+        for (; k < lines.size(); ++k) {
+            const std::string &code = lines[k].code;
+            if (!opened &&
+                code.find_first_of(";") != std::string::npos &&
+                code.find('{') == std::string::npos) {
+                // Declaration, not a definition.
+                break;
+            }
+            for (const char c : code) {
+                depth += c == '{' ? 1 : c == '}' ? -1 : 0;
+                if (c == '{') {
+                    opened = true;
+                }
+            }
+            if (code.find("laneOf(") != std::string::npos) {
+                method.laneScoped = true;
+            }
+            if (code.find("syncDeviceState") != std::string::npos) {
+                method.synced = true;
+            }
+            for (auto it = std::sregex_iterator(code.begin(),
+                                                code.end(), kToken);
+                 it != std::sregex_iterator(); ++it) {
+                TokenRefFact ref;
+                ref.at = siteAt(lines, k);
+                ref.token = (*it)[1];
+                facts->tokenRefs.push_back(std::move(ref));
+            }
+            if (opened && depth <= 0) {
+                break;
+            }
+        }
+        if (opened) {
+            method.bodyEnd = k + 1;
+            facts->methods.push_back(std::move(method));
+            i = k + 1;
+        } else {
+            i = j + 1;
+        }
+    }
+}
+
+void
+scanEventEnum(const std::vector<LineView> &lines, FileFacts *facts)
+{
+    static const std::regex kEnumerator(R"(^\s*([A-Z]\w*)\s*[,=]?)");
+    bool inEnum = false;
+    for (const LineView &line : lines) {
+        if (!inEnum) {
+            if (line.code.find("enum class EventKind") !=
+                std::string::npos) {
+                inEnum = true;
+            }
+            continue;
+        }
+        if (line.code.find("};") != std::string::npos) {
+            break;
+        }
+        std::smatch m;
+        if (std::regex_search(line.code, m, kEnumerator)) {
+            facts->eventEnumerators.push_back(m[1]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache serialization
+// ---------------------------------------------------------------------------
+
+std::string
+escapeField(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '|':
+            out += "\\p";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+unescapeField(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\' || i + 1 >= s.size()) {
+            out += s[i];
+            continue;
+        }
+        ++i;
+        switch (s[i]) {
+          case 'n':
+            out += '\n';
+            break;
+          case 'p':
+            out += '|';
+            break;
+          default:
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitFields(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string cur;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+            cur += line[i];
+            cur += line[i + 1];
+            ++i;
+            continue;
+        }
+        if (line[i] == '|') {
+            fields.push_back(cur);
+            cur.clear();
+            continue;
+        }
+        cur += line[i];
+    }
+    fields.push_back(cur);
+    for (std::string &f : fields) {
+        f = unescapeField(f);
+    }
+    return fields;
+}
+
+std::string
+encodeSite(const FactSite &site)
+{
+    std::string flags;
+    if (site.shardMarked) {
+        flags += 's';
+    }
+    if (site.rngMarked) {
+        flags += 'r';
+    }
+    std::string allows;
+    for (const std::string &a : site.allows) {
+        allows += allows.empty() ? a : "," + a;
+    }
+    std::ostringstream os;
+    os << site.line << "|" << flags << "|" << escapeField(allows)
+       << "|" << escapeField(site.snippet);
+    return os.str();
+}
+
+/** Decode the 4 site fields starting at fields[at]. */
+bool
+decodeSite(const std::vector<std::string> &fields, std::size_t at,
+           FactSite *site)
+{
+    if (fields.size() < at + 4) {
+        return false;
+    }
+    site->line = std::strtoull(fields[at].c_str(), nullptr, 10);
+    site->shardMarked =
+        fields[at + 1].find('s') != std::string::npos;
+    site->rngMarked = fields[at + 1].find('r') != std::string::npos;
+    std::stringstream allows(fields[at + 2]);
+    std::string token;
+    while (std::getline(allows, token, ',')) {
+        if (!token.empty()) {
+            site->allows.insert(token);
+        }
+    }
+    site->snippet = fields[at + 3];
+    return true;
+}
+
+} // namespace
+
+FileFacts
+scanFile(const std::string &rel, const std::string &text)
+{
+    FileFacts facts;
+    facts.path = rel;
+    facts.hash = fnv1a(text);
+    const std::vector<LineView> lines = splitLines(text);
+
+    const bool shardHeader = inScopeList("shard-unsynced-state", rel);
+    const bool barrierFile = inScopeList("merge-barrier-escape", rel);
+    const bool eventTraceFile =
+        rel.find("obs/event_trace.") != std::string::npos;
+
+    static const std::regex kInclude(
+        R"(^\s*#\s*include\s*"([^"]+)\")");
+    static const std::regex kEventUse(R"(\bEventKind\s*::\s*(\w+))");
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        scanLine(rel, lines, i, &facts);
+
+        std::smatch m;
+        if (std::regex_search(lines[i].raw, m, kInclude)) {
+            IncludeFact inc;
+            inc.at = siteAt(lines, i);
+            inc.target = m[1];
+            facts.includes.push_back(std::move(inc));
+        }
+        if (!eventTraceFile) {
+            const std::string &code = lines[i].code;
+            for (auto it = std::sregex_iterator(code.begin(),
+                                                code.end(),
+                                                kEventUse);
+                 it != std::sregex_iterator(); ++it) {
+                EventUseFact use;
+                use.at = siteAt(lines, i);
+                use.kind = (*it)[1];
+                facts.events.push_back(std::move(use));
+            }
+        }
+        if (shardHeader) {
+            scanShardMember(rel, lines, i, &facts);
+        }
+        scanRng(lines, i, &facts);
+    }
+    if (barrierFile) {
+        scanMethods(lines, &facts);
+    }
+    if (rel.find("obs/event_trace.hh") != std::string::npos) {
+        scanEventEnum(lines, &facts);
+    }
+    return facts;
+}
+
+std::string
+serializeFacts(const FileFacts &facts)
+{
+    std::ostringstream os;
+    os << "F|" << escapeField(facts.path) << "|" << std::hex
+       << facts.hash << std::dec << "\n";
+    for (const Finding &f : facts.lineFindings) {
+        os << "L|" << f.line << "|" << escapeField(f.rule) << "|"
+           << escapeField(f.message) << "|" << escapeField(f.snippet)
+           << "\n";
+    }
+    for (const IncludeFact &f : facts.includes) {
+        os << "I|" << encodeSite(f.at) << "|"
+           << escapeField(f.target) << "\n";
+    }
+    for (const MetricFact &f : facts.metrics) {
+        os << "M|" << encodeSite(f.at) << "|"
+           << (f.prefixArg ? "p" : "") << "|"
+           << escapeField(f.literal) << "\n";
+    }
+    for (const EventUseFact &f : facts.events) {
+        os << "E|" << encodeSite(f.at) << "|" << escapeField(f.kind)
+           << "\n";
+    }
+    for (const std::string &e : facts.eventEnumerators) {
+        os << "K|" << escapeField(e) << "\n";
+    }
+    for (const RngFact &f : facts.rngs) {
+        std::string flags;
+        if (f.construction) {
+            flags += 'c';
+        }
+        if (f.hasSalt) {
+            flags += 'h';
+        }
+        os << "R|" << encodeSite(f.at) << "|" << flags << "|"
+           << std::hex << f.salt << std::dec << "|"
+           << escapeField(f.args) << "\n";
+    }
+    for (const MemberFact &f : facts.members) {
+        std::string flags;
+        if (f.laneNamed) {
+            flags += 'l';
+        }
+        if (f.guarded) {
+            flags += 'g';
+        }
+        if (f.rngTyped) {
+            flags += 'r';
+        }
+        os << "D|" << encodeSite(f.at) << "|" << flags << "|"
+           << escapeField(f.name) << "|"
+           << escapeField(f.classification) << "\n";
+    }
+    for (const MethodFact &f : facts.methods) {
+        std::string flags;
+        if (f.laneScoped) {
+            flags += 'l';
+        }
+        if (f.synced) {
+            flags += 's';
+        }
+        if (f.blessed) {
+            flags += 'b';
+        }
+        os << "X|" << escapeField(f.name) << "|" << f.sigLine << "|"
+           << f.bodyEnd << "|" << flags << "\n";
+    }
+    for (const TokenRefFact &f : facts.tokenRefs) {
+        os << "T|" << encodeSite(f.at) << "|"
+           << escapeField(f.token) << "\n";
+    }
+    return os.str();
+}
+
+bool
+parseFacts(const std::vector<std::string> &lines, std::size_t *pos,
+           FileFacts *out)
+{
+    if (*pos >= lines.size()) {
+        return false;
+    }
+    {
+        const std::vector<std::string> fields =
+            splitFields(lines[*pos]);
+        if (fields.size() != 3 || fields[0] != "F") {
+            return false;
+        }
+        out->path = fields[1];
+        out->hash = std::strtoull(fields[2].c_str(), nullptr, 16);
+        ++*pos;
+    }
+    while (*pos < lines.size()) {
+        const std::string &line = lines[*pos];
+        if (line.empty()) {
+            ++*pos;
+            continue;
+        }
+        if (line[0] == 'F') {
+            break; // next file's records
+        }
+        const std::vector<std::string> fields = splitFields(line);
+        const std::string &tag = fields[0];
+        bool ok = true;
+        if (tag == "L" && fields.size() == 5) {
+            Finding f;
+            f.file = out->path;
+            f.line = std::strtoull(fields[1].c_str(), nullptr, 10);
+            f.rule = fields[2];
+            f.message = fields[3];
+            f.snippet = fields[4];
+            out->lineFindings.push_back(std::move(f));
+        } else if (tag == "I" && fields.size() == 6) {
+            IncludeFact f;
+            ok = decodeSite(fields, 1, &f.at);
+            f.target = fields[5];
+            out->includes.push_back(std::move(f));
+        } else if (tag == "M" && fields.size() == 7) {
+            MetricFact f;
+            ok = decodeSite(fields, 1, &f.at);
+            f.prefixArg = fields[5].find('p') != std::string::npos;
+            f.literal = fields[6];
+            out->metrics.push_back(std::move(f));
+        } else if (tag == "E" && fields.size() == 6) {
+            EventUseFact f;
+            ok = decodeSite(fields, 1, &f.at);
+            f.kind = fields[5];
+            out->events.push_back(std::move(f));
+        } else if (tag == "K" && fields.size() == 2) {
+            out->eventEnumerators.push_back(fields[1]);
+        } else if (tag == "R" && fields.size() == 8) {
+            RngFact f;
+            ok = decodeSite(fields, 1, &f.at);
+            f.construction =
+                fields[5].find('c') != std::string::npos;
+            f.hasSalt = fields[5].find('h') != std::string::npos;
+            f.salt = std::strtoull(fields[6].c_str(), nullptr, 16);
+            f.args = fields[7];
+            out->rngs.push_back(std::move(f));
+        } else if (tag == "D" && fields.size() == 8) {
+            MemberFact f;
+            ok = decodeSite(fields, 1, &f.at);
+            f.laneNamed = fields[5].find('l') != std::string::npos;
+            f.guarded = fields[5].find('g') != std::string::npos;
+            f.rngTyped = fields[5].find('r') != std::string::npos;
+            f.name = fields[6];
+            f.classification = fields[7];
+            out->members.push_back(std::move(f));
+        } else if (tag == "X" && fields.size() == 5) {
+            MethodFact f;
+            f.name = fields[1];
+            f.sigLine =
+                std::strtoull(fields[2].c_str(), nullptr, 10);
+            f.bodyEnd =
+                std::strtoull(fields[3].c_str(), nullptr, 10);
+            f.laneScoped = fields[4].find('l') != std::string::npos;
+            f.synced = fields[4].find('s') != std::string::npos;
+            f.blessed = fields[4].find('b') != std::string::npos;
+            out->methods.push_back(std::move(f));
+        } else if (tag == "T" && fields.size() == 6) {
+            TokenRefFact f;
+            ok = decodeSite(fields, 1, &f.at);
+            f.token = fields[5];
+            out->tokenRefs.push_back(std::move(f));
+        } else {
+            return false;
+        }
+        if (!ok) {
+            return false;
+        }
+        ++*pos;
+    }
+    return true;
+}
+
+} // namespace lint
+} // namespace thermostat

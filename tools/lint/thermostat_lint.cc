@@ -1,556 +1,44 @@
 /**
  * @file
- * thermostat_lint: repo-specific determinism/concurrency/convention
- * analyzer (see DESIGN.md, "Static analysis & determinism
- * enforcement").
+ * thermostat_lint driver: collects files, runs the per-file scanner
+ * in parallel over the shared ThreadPool (with a content-hash
+ * incremental cache), evaluates the cross-TU project rules, applies
+ * the suppression baseline and renders text/JSON/SARIF.
  *
- * The reproduction's headline guarantees -- bit-identical parallel
- * sweeps, byte-identical golden runs, per-policy determinism -- are
- * enforced at runtime by tests, which only fire *after* a stray
- * `std::random_device` or unsynchronized global has already skewed a
- * run.  This tool bans those bug classes at lint time, before any
- * simulation executes.
+ * The rule implementations live in the lint library next to this
+ * file: lint_source (tokenizer), lint_rules (registry + baseline),
+ * lint_scanner (per-file pass), lint_project (cross-TU passes),
+ * lint_report (renderers).
  *
- * It is deliberately a fast, self-contained, line-oriented scanner
- * (comments and string-literal bodies are stripped before rule
- * matching; no compiler, no external deps) rather than an AST tool:
- * every rule is a repo convention with a textual signature, and the
- * suppression baseline + inline `lint:allow(<rule>)` markers absorb
- * the rare heuristic false positive.
- *
- * Usage:
- *   thermostat_lint [--root DIR] [--baseline FILE] [--json]
- *                   [--out FILE] [--list-rules] [paths...]
- *
- * Paths default to src bench tools tests under --root (default ".").
- * Exit status: 0 clean, 1 non-baselined findings, 2 usage/IO error.
+ * Exit status: 0 clean, 1 findings, 2 usage/environment error.
  */
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <regex>
-#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
-namespace
-{
+#include "common/thread_pool.hh"
+#include "lint_project.hh"
+#include "lint_report.hh"
+#include "lint_rules.hh"
+#include "lint_scanner.hh"
+#include "lint_source.hh"
 
 namespace fs = std::filesystem;
 
-// ---------------------------------------------------------------------------
-// Rule table
-// ---------------------------------------------------------------------------
+using namespace thermostat;
+using namespace thermostat::lint;
 
-/** Path scoping: a rule applies when rel matches a prefix in
- * `include` (empty = everywhere) and no prefix in `exclude`. */
-struct RuleScope
+namespace
 {
-    std::vector<std::string> include;
-    std::vector<std::string> exclude;
-};
 
-struct RuleInfo
-{
-    const char *id;
-    const char *summary;
-    RuleScope scope;
-};
-
-// Keep ids stable: they are referenced by the suppression baseline,
-// inline lint:allow markers, tests/lint_fixtures, and DESIGN.md.
-const std::vector<RuleInfo> kRules = {
-    {"ban-random-device",
-     "std::random_device is nondeterministic; derive streams from "
-     "the run seed via common/rng.hh",
-     {{"src/", "bench/", "tools/"}, {}}},
-    {"ban-c-random",
-     "rand()/srand()/random()/drand48() share hidden global state; "
-     "use common/rng.hh streams",
-     {{"src/", "bench/", "tools/"}, {}}},
-    {"ban-wall-clock",
-     "wall-clock reads in the simulator break run reproducibility; "
-     "use simulated Ns (obs/ may timestamp host phases)",
-     {{"src/"}, {"src/obs/"}}},
-    {"ban-naked-thread",
-     "raw std::thread/std::async outside common/thread_pool; all "
-     "parallelism goes through ThreadPool",
-     {{"src/", "bench/", "tools/"}, {"src/common/thread_pool."}}},
-    {"mutable-global",
-     "mutable global/static-local state outside common/ breaks the "
-     "one-Simulation-per-thread isolation contract",
-     {{"src/"}, {"src/common/"}}},
-    {"metric-name-style",
-     "metric names are lowercase dot/slash-separated "
-     "(component/name.leaf); see obs/metrics.hh",
-     {{"src/", "bench/", "tools/"}, {}}},
-    {"trace-category",
-     "event-mask literals must use registered categories "
-     "(sample,poison,classify,migrate,correct,phase,fault,policy,"
-     "all,none)",
-     {{"src/", "bench/", "tools/"}, {}}},
-    {"unsafe-c-api",
-     "banned unbounded C string API (strcpy/strcat/sprintf/vsprintf/"
-     "gets/strtok); use snprintf or std::string",
-     {{}, {}}},
-    {"hot-path-unordered-map",
-     "std::unordered_map on simulator/bench paths; per-page tables "
-     "use common/flat_map.hh (baseline cold paths with a "
-     "justification)",
-     {{"src/", "bench/"}, {}}},
-    {"shard-unsynced-state",
-     "mutable member in the sharded execution set without a "
-     "concurrency classification; annotate TSTAT_GUARDED_BY, make "
-     "it lane-indexed (name contains 'lane'), or mark it "
-     "'// shard: <class>' (lane-local | serial-only | read-only | "
-     "merge-barrier)",
-     {{"src/sim/machine.hh", "src/sim/simulation.hh",
-       "src/tlb/tlb.hh", "src/cache/llc.hh",
-       "src/sys/badger_trap.hh", "src/obs/access_sampler.hh",
-       "src/vm/page_table.hh", "src/vm/page_walker.hh",
-       "src/migrate/migration_queue.hh",
-       "src/migrate/transaction_engine.hh"},
-      {}}},
-};
-
-const RuleInfo *
-findRule(const std::string &id)
-{
-    for (const RuleInfo &r : kRules) {
-        if (id == r.id) {
-            return &r;
-        }
-    }
-    return nullptr;
-}
-
-bool
-ruleApplies(const RuleInfo &rule, const std::string &rel)
-{
-    for (const std::string &prefix : rule.scope.exclude) {
-        if (rel.rfind(prefix, 0) == 0) {
-            return false;
-        }
-    }
-    if (rule.scope.include.empty()) {
-        return true;
-    }
-    for (const std::string &prefix : rule.scope.include) {
-        if (rel.rfind(prefix, 0) == 0) {
-            return true;
-        }
-    }
-    return false;
-}
-
-// ---------------------------------------------------------------------------
-// Source model
-// ---------------------------------------------------------------------------
-
-/** One physical line: raw text, comment/literal-stripped code view,
- * and the bodies of the double-quoted literals on the line. */
-struct LineView
-{
-    std::string raw;
-    std::string code;
-    std::vector<std::string> literals;
-};
-
-/**
- * Split @p text into LineViews.  The code view keeps string/char
- * literal *delimiters* but blanks their bodies, and blanks comments
- * entirely, so rule regexes never match inside either.  Raw-string
- * literals are handled as plain strings (good enough for this tree:
- * the scanner's consumers are conventions, not a parser).
- */
-std::vector<LineView>
-splitLines(const std::string &text)
-{
-    std::vector<LineView> lines;
-    bool in_block_comment = false;
-    std::size_t pos = 0;
-    while (pos <= text.size()) {
-        const std::size_t eol = text.find('\n', pos);
-        const std::size_t end =
-            eol == std::string::npos ? text.size() : eol;
-        LineView line;
-        line.raw = text.substr(pos, end - pos);
-        std::string &code = line.code;
-        code.reserve(line.raw.size());
-        for (std::size_t i = 0; i < line.raw.size();) {
-            const char c = line.raw[i];
-            if (in_block_comment) {
-                if (c == '*' && i + 1 < line.raw.size() &&
-                    line.raw[i + 1] == '/') {
-                    in_block_comment = false;
-                    i += 2;
-                } else {
-                    ++i;
-                }
-                continue;
-            }
-            if (c == '/' && i + 1 < line.raw.size()) {
-                if (line.raw[i + 1] == '/') {
-                    break; // line comment: drop the rest
-                }
-                if (line.raw[i + 1] == '*') {
-                    in_block_comment = true;
-                    i += 2;
-                    continue;
-                }
-            }
-            if (c == '"' || c == '\'') {
-                const char quote = c;
-                std::string body;
-                std::size_t j = i + 1;
-                bool closed = false;
-                while (j < line.raw.size()) {
-                    if (line.raw[j] == '\\' &&
-                        j + 1 < line.raw.size()) {
-                        body += line.raw[j];
-                        body += line.raw[j + 1];
-                        j += 2;
-                        continue;
-                    }
-                    if (line.raw[j] == quote) {
-                        closed = true;
-                        break;
-                    }
-                    body += line.raw[j];
-                    ++j;
-                }
-                code += quote;
-                code.append(body.size(), ' ');
-                if (closed) {
-                    code += quote;
-                    if (quote == '"') {
-                        line.literals.push_back(body);
-                    }
-                    i = j + 1;
-                } else {
-                    i = line.raw.size(); // unterminated: eat line
-                }
-                continue;
-            }
-            code += c;
-            ++i;
-        }
-        lines.push_back(std::move(line));
-        if (eol == std::string::npos) {
-            break;
-        }
-        pos = eol + 1;
-    }
-    return lines;
-}
-
-std::string
-trim(const std::string &s)
-{
-    std::size_t b = 0;
-    std::size_t e = s.size();
-    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) {
-        ++b;
-    }
-    while (e > b &&
-           std::isspace(static_cast<unsigned char>(s[e - 1]))) {
-        --e;
-    }
-    return s.substr(b, e - b);
-}
-
-// ---------------------------------------------------------------------------
-// Findings and suppression
-// ---------------------------------------------------------------------------
-
-struct Finding
-{
-    std::string file; //!< root-relative path
-    std::size_t line = 0;
-    std::string rule;
-    std::string message;
-    std::string snippet; //!< trimmed raw source line
-};
-
-/** Baseline entry key: rule|path|trimmed-line-content.  Content (not
- * line number) keys the entry so unrelated edits don't churn it. */
-std::string
-baselineKey(const std::string &rule, const std::string &file,
-            const std::string &snippet)
-{
-    return rule + "|" + file + "|" + snippet;
-}
-
-struct Baseline
-{
-    std::set<std::string> entries;
-    std::set<std::string> used;
-};
-
-bool
-loadBaseline(const fs::path &path, Baseline *out)
-{
-    std::ifstream in(path);
-    if (!in) {
-        return false;
-    }
-    std::string line;
-    while (std::getline(in, line)) {
-        const std::string t = trim(line);
-        if (t.empty() || t[0] == '#') {
-            continue;
-        }
-        out->entries.insert(t);
-    }
-    return true;
-}
-
-/** `lint:allow(<rule>)` suppresses a rule on its own line and, so
- * the marker fits the 79-column style as a standalone comment, on
- * the line immediately after it. */
-bool
-inlineSuppressed(const std::vector<LineView> &lines,
-                 std::size_t index, const char *rule)
-{
-    const std::string marker = std::string("lint:allow(") + rule + ")";
-    if (lines[index].raw.find(marker) != std::string::npos) {
-        return true;
-    }
-    return index > 0 &&
-           lines[index - 1].raw.find(marker) != std::string::npos;
-}
-
-// ---------------------------------------------------------------------------
-// Rule implementations
-// ---------------------------------------------------------------------------
-
-const std::set<std::string> kTraceCategories = {
-    "all",     "none",    "sample", "poison", "classify",
-    "migrate", "correct", "phase",  "fault",  "policy"};
-
-bool
-validMetricLiteral(const std::string &lit)
-{
-    // Leading '.' is the "suffix appended to a prefix" form
-    // (registry.addCallback(prefix + ".ticks", ...)).
-    static const std::regex re(
-        R"(^\.?[a-z0-9_]+([./][a-z0-9_]+)*$)");
-    return std::regex_match(lit, re);
-}
-
-bool
-validTraceCategoryList(const std::string &lit)
-{
-    std::size_t start = 0;
-    while (start <= lit.size()) {
-        std::size_t end = lit.find(',', start);
-        if (end == std::string::npos) {
-            end = lit.size();
-        }
-        const std::string token = lit.substr(start, end - start);
-        if (!token.empty() &&
-            kTraceCategories.find(token) == kTraceCategories.end()) {
-            return false;
-        }
-        if (end == lit.size()) {
-            break;
-        }
-        start = end + 1;
-    }
-    return true;
-}
-
-/**
- * mutable-global helper: true when the statement starting at line
- * @p index with a bare `static` keyword declares a variable rather
- * than a function.  A declarator whose first `(`/`=`/`;` terminator
- * is `(` is a function (or ctor-style init, which this tree does not
- * use for statics).  The repo's gem5-style declarations break the
- * line after the return type, so continuation lines are joined until
- * a terminator appears.
- */
-bool
-staticDeclaresVariable(const std::vector<LineView> &lines,
-                       std::size_t index)
-{
-    std::string code = lines[index].code;
-    for (std::size_t next = index + 1;
-         next < lines.size() && next < index + 4 &&
-         code.find_first_of("=;({") == std::string::npos;
-         ++next) {
-        code += " " + lines[next].code;
-    }
-    const std::size_t paren = code.find('(');
-    const std::size_t assign = code.find('=');
-    const std::size_t semi = code.find(';');
-    const std::size_t first_end = std::min(assign, semi);
-    if (paren != std::string::npos && paren < first_end) {
-        return false; // function declaration/definition
-    }
-    return true;
-}
-
-void
-scanLine(const std::string &rel,
-         const std::vector<LineView> &lines, std::size_t index,
-         std::vector<Finding> *findings)
-{
-    const LineView &line = lines[index];
-    const std::size_t lineno = index + 1;
-    struct Pattern
-    {
-        const char *rule;
-        std::regex re;
-        const char *what;
-    };
-    // Compiled once; matched against the code view only, so
-    // comments and literal bodies can't trigger them.
-    static const std::vector<Pattern> kPatterns = [] {
-        std::vector<Pattern> p;
-        p.push_back({"ban-random-device",
-                     std::regex(R"(\bstd\s*::\s*random_device\b)"),
-                     "std::random_device"});
-        p.push_back({"ban-c-random",
-                     std::regex(R"(\b(rand|srand|random|srandom|drand48|lrand48)\s*\()"),
-                     "C random API"});
-        p.push_back({"ban-wall-clock",
-                     std::regex(R"(\b(system_clock|steady_clock|high_resolution_clock)\b)"),
-                     "std::chrono wall clock"});
-        p.push_back({"ban-wall-clock",
-                     std::regex(R"(\btime\s*\(\s*(nullptr|NULL|0)\s*\))"),
-                     "time()"});
-        p.push_back({"ban-wall-clock",
-                     std::regex(R"(\b(gettimeofday|clock_gettime)\s*\()"),
-                     "POSIX wall clock"});
-        p.push_back({"ban-naked-thread",
-                     std::regex(R"(\bstd\s*::\s*(thread|jthread|async)\b)"),
-                     "raw thread primitive"});
-        p.push_back({"ban-naked-thread",
-                     std::regex(R"(\bpthread_create\s*\()"),
-                     "pthread_create"});
-        p.push_back({"unsafe-c-api",
-                     std::regex(R"(\b(strcpy|strcat|sprintf|vsprintf|gets|strtok)\s*\()"),
-                     "unbounded C string API"});
-        p.push_back({"hot-path-unordered-map",
-                     std::regex(R"(\bstd\s*::\s*unordered_map\s*<)"),
-                     "std::unordered_map"});
-        return p;
-    }();
-
-    auto add = [&](const char *rule, const std::string &message) {
-        const RuleInfo *info = findRule(rule);
-        if (!info || !ruleApplies(*info, rel)) {
-            return;
-        }
-        if (inlineSuppressed(lines, index, rule)) {
-            return;
-        }
-        findings->push_back(
-            {rel, lineno, rule, message, trim(line.raw)});
-    };
-
-    for (const Pattern &p : kPatterns) {
-        if (std::regex_search(line.code, p.re)) {
-            const RuleInfo *info = findRule(p.rule);
-            add(p.rule, std::string(p.what) + ": " +
-                            (info ? info->summary : ""));
-        }
-    }
-
-    // mutable-global: `static` locals/members that are not
-    // const/constexpr, plus namespace-scope g_* definitions.
-    static const std::regex kStatic(R"(^\s*static\s+)");
-    static const std::regex kStaticConst(
-        R"(^\s*static\s+(const|constexpr|thread_local\s+const)\b)");
-    if (std::regex_search(line.code, kStatic) &&
-        !std::regex_search(line.code, kStaticConst) &&
-        staticDeclaresVariable(lines, index)) {
-        add("mutable-global", "mutable static: " +
-                                  std::string(findRule("mutable-global")
-                                                  ->summary));
-    }
-    static const std::regex kGlobal(
-        R"(^\s*[A-Za-z_][\w:<>,\s*&]*[\s*&]g_\w+\s*(=|;))");
-    static const std::regex kConstGlobal(R"(\b(const|constexpr)\b)");
-    if (std::regex_search(line.code, kGlobal) &&
-        !std::regex_search(line.code, kConstGlobal)) {
-        add("mutable-global", "mutable g_* global: " +
-                                  std::string(findRule("mutable-global")
-                                                  ->summary));
-    }
-
-    // shard-unsynced-state: class data members (trailing-underscore
-    // convention) in the headers whose state lane workers execute
-    // against must say how they are safe: a TSTAT_GUARDED_BY
-    // capability, a lane-indexed name, or an explicit `// shard:`
-    // classification on the same or preceding line.  Anything else
-    // is a member a future edit could silently mutate from inside a
-    // parallel lane.
-    static const std::regex kMemberDecl(
-        R"(^\s*[A-Za-z_][\w:<>,*&\s\[\]]*[\s*&](\w+_)\s*[;={])");
-    static const std::regex kDeclExcluded(
-        R"(^\s*(return|delete|throw|using|typedef|friend|template|)"
-        R"(case|goto|if|while|for|else|public|private|protected|)"
-        R"(const|constexpr|static\s+const|static\s+constexpr)\b)");
-    std::smatch member_match;
-    if (std::regex_search(line.code, member_match, kMemberDecl) &&
-        !std::regex_search(line.code, kDeclExcluded) &&
-        line.code.find("TSTAT_GUARDED_BY") == std::string::npos) {
-        std::string member = member_match[1];
-        std::string lowered = member;
-        std::transform(lowered.begin(), lowered.end(),
-                       lowered.begin(), [](unsigned char c) {
-                           return std::tolower(c);
-                       });
-        const bool lane_indexed =
-            lowered.find("lane") != std::string::npos;
-        const bool classified =
-            line.raw.find("// shard:") != std::string::npos ||
-            (index > 0 && lines[index - 1].raw.find("// shard:") !=
-                              std::string::npos);
-        if (!lane_indexed && !classified) {
-            add("shard-unsynced-state",
-                "member '" + member + "' is unclassified: " +
-                    std::string(
-                        findRule("shard-unsynced-state")->summary));
-        }
-    }
-
-    // metric-name-style: literals at registration call sites.
-    if (line.code.find(".counter(") != std::string::npos ||
-        line.code.find(".gauge(") != std::string::npos ||
-        line.code.find(".histogram(") != std::string::npos ||
-        line.code.find("addCallback(") != std::string::npos) {
-        for (const std::string &lit : line.literals) {
-            if (!validMetricLiteral(lit)) {
-                add("metric-name-style",
-                    "metric name \"" + lit + "\" is not lowercase "
-                    "dot/slash-separated (component/name.leaf)");
-            }
-        }
-    }
-
-    // trace-category: literal masks must use registered categories.
-    if (line.code.find("parseEventMask(") != std::string::npos) {
-        for (const std::string &lit : line.literals) {
-            if (!validTraceCategoryList(lit)) {
-                add("trace-category",
-                    "\"" + lit + "\" contains a category outside "
-                    "the registered set (see obs/event_trace.hh)");
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// File walking
-// ---------------------------------------------------------------------------
+const char *const kCacheHeader = "thermostat-lint-cache v2";
 
 bool
 lintableExtension(const fs::path &p)
@@ -611,82 +99,74 @@ relativeTo(const fs::path &file, const fs::path &root)
     return rel.generic_string();
 }
 
-// ---------------------------------------------------------------------------
-// Output
-// ---------------------------------------------------------------------------
-
-std::string
-jsonEscape(const std::string &s)
+/** Cache file -> facts keyed by root-relative path.  Any parse
+ * hiccup makes the whole cache cold (it is only an accelerator). */
+std::map<std::string, FileFacts>
+loadCache(const std::string &path)
 {
-    std::string out;
-    out.reserve(s.size() + 8);
-    for (const char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
+    std::map<std::string, FileFacts> cache;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return cache;
     }
-    return out;
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        lines.push_back(line);
+    }
+    if (lines.empty() || lines[0] != kCacheHeader) {
+        return cache;
+    }
+    std::size_t pos = 1;
+    while (pos < lines.size()) {
+        if (lines[pos].empty()) {
+            ++pos;
+            continue;
+        }
+        FileFacts facts;
+        if (!parseFacts(lines, &pos, &facts)) {
+            cache.clear();
+            return cache;
+        }
+        cache.emplace(facts.path, std::move(facts));
+    }
+    return cache;
 }
 
-std::string
-jsonReport(const std::vector<Finding> &findings,
-           std::size_t baselined, std::size_t files,
-           const std::vector<std::string> &unused_baseline)
+void
+storeCache(const std::string &path,
+           const std::vector<FileFacts> &files)
 {
-    std::ostringstream os;
-    os << "{\n  \"version\": 1,\n";
-    os << "  \"checkedFiles\": " << files << ",\n";
-    os << "  \"baselinedFindings\": " << baselined << ",\n";
-    os << "  \"findings\": [";
-    for (std::size_t i = 0; i < findings.size(); ++i) {
-        const Finding &f = findings[i];
-        os << (i ? ",\n    {" : "\n    {");
-        os << "\"file\": \"" << jsonEscape(f.file) << "\", ";
-        os << "\"line\": " << f.line << ", ";
-        os << "\"rule\": \"" << jsonEscape(f.rule) << "\", ";
-        os << "\"message\": \"" << jsonEscape(f.message) << "\", ";
-        os << "\"snippet\": \"" << jsonEscape(f.snippet) << "\"}";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr,
+                     "thermostat_lint: cannot write cache %s\n",
+                     path.c_str());
+        return;
     }
-    os << (findings.empty() ? "],\n" : "\n  ],\n");
-    os << "  \"unusedBaselineEntries\": [";
-    for (std::size_t i = 0; i < unused_baseline.size(); ++i) {
-        os << (i ? ", " : "") << "\"" << jsonEscape(unused_baseline[i])
-           << "\"";
+    out << kCacheHeader << "\n";
+    for (const FileFacts &facts : files) {
+        out << serializeFacts(facts);
     }
-    os << "]\n}\n";
-    return os.str();
 }
 
 void
 usage(std::FILE *to)
 {
-    std::fprintf(to,
-                 "usage: thermostat_lint [--root DIR] [--baseline FILE]\n"
-                 "                       [--json] [--out FILE]\n"
-                 "                       [--list-rules] [paths...]\n"
-                 "\n"
-                 "Scans paths (default: src bench tools tests under\n"
-                 "--root) for determinism/concurrency/convention\n"
-                 "violations.  Exit: 0 clean, 1 findings, 2 error.\n");
+    std::fprintf(
+        to,
+        "usage: thermostat_lint [--root DIR] [--baseline FILE]\n"
+        "                       [--format text|json|sarif] [--json]\n"
+        "                       [--out FILE] [--cache FILE] [--ci]\n"
+        "                       [--list-rules] [paths...]\n"
+        "\n"
+        "Scans paths (default: src bench tools tests under --root)\n"
+        "for determinism/concurrency/convention violations, then\n"
+        "runs the cross-TU project rules (subsystem layering DAG,\n"
+        "RNG-stream discipline, metric/trace schema audit,\n"
+        "merge-barrier escape).  --cache enables the content-hash\n"
+        "incremental cache; --ci promotes unused baseline entries\n"
+        "to errors.  Exit: 0 clean, 1 findings, 2 error.\n");
 }
 
 } // namespace
@@ -697,8 +177,10 @@ main(int argc, char **argv)
     fs::path root = ".";
     fs::path baseline_path;
     bool baseline_set = false;
-    bool json = false;
+    Format format = Format::Text;
+    bool ci = false;
     std::string out_path;
+    std::string cache_path;
     std::vector<std::string> paths;
 
     for (int i = 1; i < argc; ++i) {
@@ -718,11 +200,29 @@ main(int argc, char **argv)
             baseline_path = next("--baseline");
             baseline_set = true;
         } else if (arg == "--json") {
-            json = true;
+            format = Format::Json;
+        } else if (arg == "--format") {
+            const std::string value = next("--format");
+            if (value == "text") {
+                format = Format::Text;
+            } else if (value == "json") {
+                format = Format::Json;
+            } else if (value == "sarif") {
+                format = Format::Sarif;
+            } else {
+                std::fprintf(stderr,
+                             "thermostat_lint: unknown format %s\n",
+                             value.c_str());
+                return 2;
+            }
         } else if (arg == "--out") {
             out_path = next("--out");
+        } else if (arg == "--cache") {
+            cache_path = next("--cache");
+        } else if (arg == "--ci") {
+            ci = true;
         } else if (arg == "--list-rules") {
-            for (const RuleInfo &r : kRules) {
+            for (const RuleInfo &r : rules()) {
                 std::printf("%-24s %s\n", r.id, r.summary);
             }
             return 0;
@@ -742,7 +242,8 @@ main(int argc, char **argv)
 
     std::error_code ec;
     if (!fs::is_directory(root, ec)) {
-        std::fprintf(stderr, "thermostat_lint: --root %s: not a directory\n",
+        std::fprintf(stderr,
+                     "thermostat_lint: --root %s: not a directory\n",
                      root.string().c_str());
         return 2;
     }
@@ -759,14 +260,15 @@ main(int argc, char **argv)
         baseline_path = root / "tools" / "lint" / "lint_baseline.txt";
     }
     if (fs::exists(baseline_path, ec)) {
-        if (!loadBaseline(baseline_path, &baseline)) {
+        if (!loadBaseline(baseline_path.string(), &baseline)) {
             std::fprintf(stderr,
                          "thermostat_lint: cannot read baseline %s\n",
                          baseline_path.string().c_str());
             return 2;
         }
     } else if (baseline_set) {
-        std::fprintf(stderr, "thermostat_lint: baseline %s not found\n",
+        std::fprintf(stderr,
+                     "thermostat_lint: baseline %s not found\n",
                      baseline_path.string().c_str());
         return 2;
     }
@@ -776,78 +278,119 @@ main(int argc, char **argv)
         fs::path full = fs::path(p).is_absolute() ? fs::path(p)
                                                   : root / p;
         if (!fs::exists(full, ec)) {
-            std::fprintf(stderr, "thermostat_lint: %s: no such path\n",
+            std::fprintf(stderr,
+                         "thermostat_lint: %s: no such path\n",
                          full.string().c_str());
             return 2;
         }
         collectFiles(full, &files);
     }
 
-    std::vector<Finding> fresh;
-    std::size_t baselined = 0;
-    for (const fs::path &file : files) {
-        std::ifstream in(file, std::ios::binary);
-        if (!in) {
-            std::fprintf(stderr, "thermostat_lint: cannot read %s\n",
-                         file.string().c_str());
+    std::map<std::string, FileFacts> cache;
+    if (!cache_path.empty()) {
+        cache = loadCache(cache_path);
+    }
+
+    // Per-file pass: parallel over the shared pool, results written
+    // into index-disjoint slots so ordering stays deterministic.
+    std::vector<FileFacts> allFacts(files.size());
+    std::vector<std::string> readErrors(files.size());
+    std::vector<char> hits(files.size(), 0);
+    {
+        ThreadPool pool;
+        pool.parallelFor(
+            0, files.size(), 1, [&](std::size_t i) {
+                std::ifstream in(files[i], std::ios::binary);
+                if (!in) {
+                    readErrors[i] = files[i].string();
+                    return;
+                }
+                std::ostringstream buf;
+                buf << in.rdbuf();
+                const std::string text = buf.str();
+                const std::string rel = relativeTo(files[i], root);
+                const auto it = cache.find(rel);
+                if (it != cache.end() &&
+                    it->second.hash == fnv1a(text)) {
+                    allFacts[i] = it->second;
+                    hits[i] = 1;
+                    return;
+                }
+                allFacts[i] = scanFile(rel, text);
+            });
+        pool.wait();
+    }
+    for (const std::string &err : readErrors) {
+        if (!err.empty()) {
+            std::fprintf(stderr,
+                         "thermostat_lint: cannot read %s\n",
+                         err.c_str());
             return 2;
         }
-        std::ostringstream buf;
-        buf << in.rdbuf();
-        const std::string rel = relativeTo(file, root);
-        const std::vector<LineView> lines = splitLines(buf.str());
-        std::vector<Finding> file_findings;
-        for (std::size_t i = 0; i < lines.size(); ++i) {
-            scanLine(rel, lines, i, &file_findings);
-        }
-        for (Finding &f : file_findings) {
-            const std::string key =
-                baselineKey(f.rule, f.file, f.snippet);
-            if (baseline.entries.count(key)) {
-                baseline.used.insert(key);
-                ++baselined;
-            } else {
-                fresh.push_back(std::move(f));
-            }
-        }
+    }
+    if (!cache_path.empty()) {
+        storeCache(cache_path, allFacts);
     }
 
-    std::vector<std::string> unused_baseline;
-    for (const std::string &entry : baseline.entries) {
-        if (!baseline.used.count(entry)) {
-            unused_baseline.push_back(entry);
+    // Project passes always run fresh from the (possibly replayed)
+    // facts; the DESIGN.md catalogs are re-read every run so docs
+    // edits invalidate findings without touching the cache.
+    std::vector<Finding> combined;
+    for (const FileFacts &facts : allFacts) {
+        combined.insert(combined.end(), facts.lineFindings.begin(),
+                        facts.lineFindings.end());
+    }
+    const DesignCatalog catalog =
+        loadDesignCatalog((root / "DESIGN.md").string());
+    runProjectRules(allFacts, catalog, &combined);
+
+    Report report;
+    report.ci = ci;
+    report.filesScanned = files.size();
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        (hits[i] ? report.cacheHits : report.cacheMisses) += 1;
+    }
+    for (Finding &f : combined) {
+        const std::string key = baselineKey(f.rule, f.file, f.snippet);
+        const auto it = baseline.entries.find(key);
+        if (it != baseline.entries.end()) {
+            baseline.used.insert(key);
+            ++report.baselined;
+        } else {
+            report.findings.push_back(std::move(f));
         }
     }
-
-    std::string report;
-    if (json) {
-        report = jsonReport(fresh, baselined, files.size(),
-                            unused_baseline);
-    } else {
-        std::ostringstream os;
-        for (const Finding &f : fresh) {
-            os << f.file << ":" << f.line << ": error: [" << f.rule
-               << "] " << f.message << "\n    " << f.snippet << "\n";
+    const std::string baselineRel =
+        relativeTo(baseline_path, root);
+    for (const auto &entry : baseline.entries) {
+        if (baseline.used.count(entry.first)) {
+            continue;
         }
-        for (const std::string &entry : unused_baseline) {
-            os << "warning: unused baseline entry: " << entry << "\n";
+        report.unusedBaseline.emplace_back(entry.first,
+                                           entry.second);
+        if (ci) {
+            report.findings.push_back(
+                {baselineRel, entry.second, "unused-baseline-entry",
+                 "baseline entry no longer matches any finding; "
+                 "prune it",
+                 entry.first});
         }
-        os << files.size() << " files checked, " << fresh.size()
-           << " finding" << (fresh.size() == 1 ? "" : "s") << " ("
-           << baselined << " baselined)\n";
-        report = os.str();
     }
+    std::sort(report.findings.begin(), report.findings.end(),
+              findingLess);
 
+    const std::string rendered = render(report, format);
     if (!out_path.empty()) {
         std::ofstream out(out_path, std::ios::binary);
         if (!out) {
-            std::fprintf(stderr, "thermostat_lint: cannot write %s\n",
+            std::fprintf(stderr,
+                         "thermostat_lint: cannot write %s\n",
                          out_path.c_str());
             return 2;
         }
-        out << report;
+        out << rendered;
     } else {
-        std::fputs(report.c_str(), stdout);
+        std::fputs(rendered.c_str(), stdout);
     }
-    return fresh.empty() ? 0 : 1;
+    return report.findings.empty() ? 0 : 1;
 }
